@@ -1,0 +1,106 @@
+// Command snbench regenerates every table and figure of the paper's
+// evaluation section (experiments E1..E12 of DESIGN.md) and prints them
+// in the plain-text form recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	snbench            # run everything
+//	snbench -only E5   # run one experiment
+//	snbench -quick     # smaller parameters (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	only := flag.String("only", "", "run only this experiment (E1..E12)")
+	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
+	flag.Parse()
+
+	type exp struct {
+		id  string
+		run func() *metrics.Table
+	}
+	full := !*quick
+	pick := func(a, b int) int {
+		if full {
+			return a
+		}
+		return b
+	}
+	suite := []exp{
+		{"E1", func() *metrics.Table {
+			if full {
+				return experiments.E1JoinApproaches([]int{6, 10, 14, 18}, 20)
+			}
+			return experiments.E1JoinApproaches([]int{6, 10}, 10)
+		}},
+		{"E2", func() *metrics.Table {
+			return experiments.E2LoadBalance(pick(12, 8), pick(40, 20))
+		}},
+		{"E3", func() *metrics.Table {
+			return experiments.E3MultiStream(pick(10, 6), []int{2, 3, 4}, pick(6, 3))
+		}},
+		{"E4", func() *metrics.Table {
+			return experiments.E4Spatial(pick(12, 8), []float64{0, 8, 4, 2}, pick(12, 6))
+		}},
+		{"E5", func() *metrics.Table {
+			if full {
+				return experiments.E5SPT([]int{5, 7, 10, 14})
+			}
+			return experiments.E5SPT([]int{4, 6})
+		}},
+		{"E6", func() *metrics.Table {
+			return experiments.E6Deletions(pick(300, 100), []float64{0.1, 0.3, 0.5})
+		}},
+		{"E7", func() *metrics.Table {
+			return experiments.E7Loss(pick(10, 6), []float64{0, 0.05, 0.1, 0.2, 0.3}, pick(20, 10))
+		}},
+		{"E8", func() *metrics.Table {
+			if full {
+				return experiments.E8Latency([]int{6, 10, 14})
+			}
+			return experiments.E8Latency([]int{6})
+		}},
+		{"E9", func() *metrics.Table {
+			return experiments.E9Memory(pick(8, 6))
+		}},
+		{"E10", func() *metrics.Table {
+			return experiments.E10Magic(pick(8, 4), pick(12, 8))
+		}},
+		{"E11", func() *metrics.Table {
+			if full {
+				return experiments.E11Aggregation([]int{6, 10, 14})
+			}
+			return experiments.E11Aggregation([]int{6})
+		}},
+		{"E12", func() *metrics.Table {
+			return experiments.E12Lifetime(pick(10, 8), 500, pick(150, 60))
+		}},
+	}
+
+	ran := 0
+	for _, e := range suite {
+		if *only != "" && !strings.EqualFold(*only, e.id) {
+			continue
+		}
+		start := time.Now()
+		tbl := e.run()
+		fmt.Printf("=== %s (%.2fs) ===\n", e.id, time.Since(start).Seconds())
+		tbl.Render(os.Stdout)
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "snbench: unknown experiment %q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+// Command snlogc is the deductive-program compiler front end: it parses
+// a program, runs the static analyses the distributed engine depends on
+// (safety, stratification, XY-stratification), reports the compilation
+// plan, and optionally applies the magic-set transformation for a query.
+//
+// Usage:
+//
+//	snlogc [-magic 'anc(a, X)'] program.snl
+//	cat program.snl | snlogc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/datalog/analysis"
+	"repro/internal/datalog/magic"
+	"repro/internal/datalog/parser"
+)
+
+func main() {
+	magicQuery := flag.String("magic", "", "apply the magic-set transformation for this query literal and print the rewritten program")
+	quiet := flag.Bool("q", false, "only report errors")
+	flag.Parse()
+
+	src, err := readSource(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := analysis.Analyze(prog)
+	if err != nil {
+		fatal(err)
+	}
+	if *magicQuery != "" {
+		qr, err := parser.ParseRule(*magicQuery + ".")
+		if err != nil {
+			fatal(fmt.Errorf("bad -magic query: %w", err))
+		}
+		tr, err := magic.Rewrite(prog, qr.Head)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%% magic-set rewrite for %s (answers in %s)\n", *magicQuery, tr.AnswerPred)
+		fmt.Print(tr.Program.String())
+		return
+	}
+	if *quiet {
+		return
+	}
+	report(prog, res)
+}
+
+func readSource(args []string) (string, error) {
+	if len(args) == 0 {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(args[0])
+	return string(b), err
+}
+
+func report(prog interface{ String() string }, res *analysis.Result) {
+	fmt.Printf("program OK: %d rules\n", len(res.Program.Rules))
+	switch {
+	case res.Stratified && !res.Recursive:
+		fmt.Println("class: non-recursive, stratified")
+	case res.Stratified:
+		fmt.Println("class: recursive, stratified")
+	case res.XYStratified:
+		fmt.Println("class: XY-stratified (recursion through negation, staged)")
+	}
+	var preds []string
+	for p := range res.Strata {
+		preds = append(preds, p)
+	}
+	sort.Slice(preds, func(i, j int) bool {
+		if res.Strata[preds[i]] != res.Strata[preds[j]] {
+			return res.Strata[preds[i]] < res.Strata[preds[j]]
+		}
+		return preds[i] < preds[j]
+	})
+	fmt.Println("strata:")
+	for _, p := range preds {
+		kind := "derived"
+		if res.Program.IsBase(p) {
+			kind = "base"
+		}
+		fmt.Printf("  %d  %-16s %s\n", res.Strata[p], p, kind)
+	}
+	for rep, w := range res.XY {
+		fmt.Printf("XY component at %s:\n", rep)
+		for p, arg := range w.StageArg {
+			fmt.Printf("  stage argument of %s: #%d\n", p, arg)
+		}
+		fmt.Printf("  same-stage order: %v\n", w.SameStageOrder)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snlogc:", err)
+	os.Exit(1)
+}

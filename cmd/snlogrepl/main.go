@@ -1,0 +1,165 @@
+// Command snlogrepl is an interactive console for the deductive
+// language: load a program, assert and retract facts, and watch derived
+// predicates update incrementally (set-of-derivations maintenance) —
+// the centralized counterpart of what the distributed engine does
+// in-network, handy for developing programs before deployment.
+//
+// Usage:
+//
+//	snlogrepl [program.snl]
+//
+// Commands:
+//
+//	assert:      + fact(args).
+//	retract:     - fact(args).
+//	query:       ? pred/arity     (bare ? lists everything derived)
+//	proof tree:  proof fact(args).
+//	counters:    stats
+//	exit:        quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/eval"
+	"repro/internal/datalog/parser"
+)
+
+func main() {
+	src := ""
+	if len(os.Args) > 1 {
+		b, err := os.ReadFile(os.Args[1])
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	}
+	m, err := newSession(src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("snlogrepl — deductive console (help for commands)")
+	repl(os.Stdin, os.Stdout, m)
+}
+
+func newSession(src string) (*eval.Maintainer, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return eval.NewMaintainer(prog, eval.SetOfDerivations, eval.Options{})
+}
+
+// repl runs the command loop; factored for tests.
+func repl(in io.Reader, out io.Writer, m *eval.Maintainer) {
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if done := execute(out, m, line); done {
+			return
+		}
+	}
+}
+
+// execute runs one command; returns true to quit.
+func execute(out io.Writer, m *eval.Maintainer, line string) bool {
+	switch {
+	case line == "quit" || line == "exit":
+		return true
+	case line == "help":
+		fmt.Fprintln(out, "  + fact(args).      assert\n  - fact(args).      retract\n  ? pred/arity       list tuples\n  ?                  list all derived\n  proof fact(args).  proof tree\n  stats              counters\n  quit               exit")
+	case line == "stats":
+		st := m.Stats()
+		fmt.Fprintf(out, "  join ops: %d, derivations held: %d, cascade steps: %d\n",
+			st.JoinOps, st.DerivationsHeld, st.CascadeSteps)
+	case line == "?":
+		for _, pred := range m.DB().Predicates() {
+			fmt.Fprintf(out, "  %% %s\n", pred)
+			for _, t := range m.DB().Tuples(pred) {
+				fmt.Fprintf(out, "  %v\n", t)
+			}
+		}
+	case strings.HasPrefix(line, "? "):
+		pred := strings.TrimSpace(line[2:])
+		for _, t := range m.DB().Tuples(pred) {
+			fmt.Fprintf(out, "  %v\n", t)
+		}
+	case strings.HasPrefix(line, "+ "), strings.HasPrefix(line, "- "):
+		tup, err := parseFact(line[2:])
+		if err != nil {
+			fmt.Fprintf(out, "  error: %v\n", err)
+			return false
+		}
+		var changes []eval.Change
+		if line[0] == '+' {
+			changes, err = m.Insert(tup)
+		} else {
+			changes, err = m.Delete(tup)
+		}
+		if err != nil {
+			fmt.Fprintf(out, "  error: %v\n", err)
+			return false
+		}
+		for _, c := range changes {
+			op := "+"
+			if !c.Insert {
+				op = "-"
+			}
+			fmt.Fprintf(out, "  %s %v\n", op, c.Tuple)
+		}
+	case strings.HasPrefix(line, "proof "):
+		tup, err := parseFact(strings.TrimSpace(line[len("proof "):]))
+		if err != nil {
+			fmt.Fprintf(out, "  error: %v\n", err)
+			return false
+		}
+		tree, err := m.ProofTree(tup)
+		if err != nil {
+			fmt.Fprintf(out, "  error: %v\n", err)
+			return false
+		}
+		for _, l := range strings.Split(strings.TrimRight(tree.String(), "\n"), "\n") {
+			fmt.Fprintf(out, "  %s\n", l)
+		}
+	default:
+		fmt.Fprintf(out, "  unknown command (try help)\n")
+	}
+	return false
+}
+
+// parseFact parses "pred(args)." (trailing dot optional) into a tuple.
+func parseFact(src string) (eval.Tuple, error) {
+	src = strings.TrimSpace(src)
+	if !strings.HasSuffix(src, ".") {
+		src += "."
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return eval.Tuple{}, err
+	}
+	if len(prog.Rules) != 1 || !prog.Rules[0].IsFact() {
+		return eval.Tuple{}, fmt.Errorf("not a ground fact: %s", src)
+	}
+	h := prog.Rules[0].Head
+	args := make([]ast.Term, len(h.Args))
+	copy(args, h.Args)
+	return eval.Tuple{Pred: h.PredKey(), Args: args}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snlogrepl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sessionSrc = `
+cov(L, T) :- veh(enemy, L, T), veh(friendly, L2, T), dist(L, L2) <= 5.
+uncov(L, T) :- NOT cov(L, T), veh(enemy, L, T).
+`
+
+func TestReplSession(t *testing.T) {
+	m, err := newSession(sessionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+
+	run := func(line string) string {
+		out.Reset()
+		if done := execute(&out, m, line); done {
+			t.Fatalf("unexpected quit on %q", line)
+		}
+		return out.String()
+	}
+
+	got := run("+ veh(enemy, loc(1, 1), 5)")
+	if !strings.Contains(got, "+ uncov(loc(1, 1), 5)") {
+		t.Errorf("assert output = %q", got)
+	}
+	got = run("+ veh(friendly, loc(2, 2), 5)")
+	if !strings.Contains(got, "- uncov(loc(1, 1), 5)") || !strings.Contains(got, "+ cov(") {
+		t.Errorf("cover output = %q", got)
+	}
+	got = run("? cov/2")
+	if !strings.Contains(got, "cov(loc(1, 1), 5)") {
+		t.Errorf("query output = %q", got)
+	}
+	got = run("- veh(friendly, loc(2, 2), 5)")
+	if !strings.Contains(got, "+ uncov(loc(1, 1), 5)") {
+		t.Errorf("retract output = %q", got)
+	}
+	got = run("proof uncov(loc(1, 1), 5)")
+	if !strings.Contains(got, "veh(enemy, loc(1, 1), 5)") {
+		t.Errorf("proof output = %q", got)
+	}
+	got = run("stats")
+	if !strings.Contains(got, "join ops") {
+		t.Errorf("stats output = %q", got)
+	}
+	got = run("?")
+	if !strings.Contains(got, "uncov/2") {
+		t.Errorf("list-all output = %q", got)
+	}
+	got = run("nonsense")
+	if !strings.Contains(got, "unknown command") {
+		t.Errorf("unknown output = %q", got)
+	}
+	got = run("+ not a fact")
+	if !strings.Contains(got, "error") {
+		t.Errorf("bad fact output = %q", got)
+	}
+	out.Reset()
+	if done := execute(&out, m, "quit"); !done {
+		t.Error("quit should end the session")
+	}
+}
+
+func TestReplLoop(t *testing.T) {
+	m, err := newSession(`d(X) :- s(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader("+ s(1)\n? d/1\nquit\n")
+	var out strings.Builder
+	repl(in, &out, m)
+	if !strings.Contains(out.String(), "d(1)") {
+		t.Errorf("repl output = %q", out.String())
+	}
+}
+
+func TestParseFactVariants(t *testing.T) {
+	if _, err := parseFact("p(1, a)."); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseFact("p(1, a)"); err != nil {
+		t.Error("trailing dot should be optional")
+	}
+	if _, err := parseFact("p(X)"); err == nil {
+		t.Error("non-ground fact should error")
+	}
+}

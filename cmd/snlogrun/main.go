@@ -1,0 +1,171 @@
+// Command snlogrun deploys a deductive program onto a simulated sensor
+// network, feeds it a fact timeline, and prints the derived results plus
+// the communication-cost accounting.
+//
+// Usage:
+//
+//	snlogrun -grid 8 -facts timeline.txt program.snl
+//	snlogrun -grid 6 -edges -scheme perpendicular program.snl
+//
+// The timeline file has one event per line:
+//
+//	<time> <node> + pred(arg, ...)     insertion
+//	<time> <node> - pred(arg, ...)     deletion
+//
+// -edges additionally injects the network adjacency as g/2 facts at time
+// 0 (what the shortest-path-tree programs consume).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	snlog "repro"
+)
+
+func main() {
+	grid := flag.Int("grid", 8, "grid side length (m x m nodes)")
+	schemeName := flag.String("scheme", "perpendicular", "join scheme: perpendicular | naive-broadcast | local-storage | centroid | centralized")
+	server := flag.Int("server", 0, "server node for the centralized scheme")
+	loss := flag.Float64("loss", 0, "message loss rate")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	factsFile := flag.String("facts", "", "fact timeline file")
+	edges := flag.Bool("edges", false, "inject grid adjacency as g/2 facts")
+	multipass := flag.Bool("multipass", false, "use the multiple-pass join scheme")
+	collect := flag.String("collect", "", "after the timeline settles, run a TAG collection epoch for this aggregate predicate (name/arity) at node 0")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fatal(fmt.Errorf("usage: snlogrun [flags] program.snl"))
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	var scheme snlog.Scheme
+	switch *schemeName {
+	case "perpendicular":
+		scheme = snlog.Perpendicular
+	case "naive-broadcast":
+		scheme = snlog.NaiveBroadcast
+	case "local-storage":
+		scheme = snlog.LocalStorage
+	case "centralized":
+		scheme = snlog.Centralized
+	case "centroid":
+		scheme = snlog.Centroid
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
+	}
+
+	cluster, err := snlog.DeployGrid(*grid, string(srcBytes), snlog.Options{
+		Scheme:    scheme,
+		Server:    *server,
+		LossRate:  *loss,
+		Seed:      *seed,
+		MultiPass: *multipass,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *edges {
+		for _, n := range cluster.Network.Nodes() {
+			for _, nb := range n.Neighbors() {
+				cluster.InjectAt(0, int(n.ID),
+					snlog.NewTuple("g", snlog.NodeSym(int(n.ID)), snlog.NodeSym(int(nb))))
+			}
+		}
+	}
+	if *factsFile != "" {
+		if err := loadTimeline(cluster, *factsFile); err != nil {
+			fatal(err)
+		}
+	}
+
+	end := cluster.Run()
+	if *collect != "" {
+		if err := cluster.CollectAggregate(end+10, *collect, 0); err != nil {
+			fatal(err)
+		}
+		end = cluster.Run()
+		fmt.Printf("%% %s (TAG collection at node 0)\n", *collect)
+		for _, t := range cluster.AggregateResult(*collect) {
+			fmt.Println(t)
+		}
+	}
+
+	prog, err := snlog.Parse(string(srcBytes))
+	if err != nil {
+		fatal(err)
+	}
+	preds := prog.Queries
+	if len(preds) == 0 {
+		preds = prog.DerivedPredicates()
+	}
+	for _, pred := range preds {
+		fmt.Printf("%% %s\n", pred)
+		for _, t := range cluster.Results(pred) {
+			fmt.Println(t)
+		}
+	}
+	st := cluster.Stats()
+	fmt.Printf("%% finished at t=%d: %d messages, %d bytes, %d dropped, max node load %d\n",
+		end, st.Messages, st.Bytes, st.Dropped, st.MaxNodeLoad)
+	for kind, n := range st.ByKind {
+		fmt.Printf("%%   %-8s %d\n", kind, n)
+	}
+}
+
+// loadTimeline parses and schedules the fact events.
+func loadTimeline(c *snlog.Cluster, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var at int64
+		var node int
+		var op string
+		rest := ""
+		n, err := fmt.Sscanf(line, "%d %d %1s %s", &at, &node, &op, &rest)
+		if err != nil || n < 4 {
+			return fmt.Errorf("%s:%d: want '<time> <node> +|- fact(...)': %q", path, lineNo, line)
+		}
+		// Sscanf stops %s at whitespace; re-extract the fact text.
+		idx := strings.Index(line, op)
+		factSrc := strings.TrimSpace(line[idx+1:])
+		rule, err := snlog.Parse(factSrc + ".")
+		if err != nil || len(rule.Rules) != 1 || !rule.Rules[0].IsFact() {
+			return fmt.Errorf("%s:%d: bad fact %q: %v", path, lineNo, factSrc, err)
+		}
+		head := rule.Rules[0].Head
+		tup := snlog.NewTuple(head.Predicate, head.Args...)
+		switch op {
+		case "+":
+			c.InjectAt(at, node, tup)
+		case "-":
+			c.DeleteAt(at, node, tup)
+		default:
+			return fmt.Errorf("%s:%d: bad op %q", path, lineNo, op)
+		}
+	}
+	return sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snlogrun:", err)
+	os.Exit(1)
+}

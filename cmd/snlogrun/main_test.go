@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	snlog "repro"
+)
+
+var (
+	osReadFile  = os.ReadFile
+	osWriteFile = os.WriteFile
+)
+
+func TestLoadTimelineAndRun(t *testing.T) {
+	cluster, err := snlog.DeployGrid(8, mustRead(t, "testdata/uncov.snl"), snlog.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadTimeline(cluster, "testdata/uncov.facts"); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run()
+	// Friendly covered enemy A then left: both alerts stand at the end.
+	if n := len(cluster.Results("uncov/2")); n != 2 {
+		t.Errorf("uncov = %v", cluster.Results("uncov/2"))
+	}
+	// And the log shows the retract/reinstate cycle: 3 inserts, 1 delete.
+	ins, del := 0, 0
+	for _, ev := range cluster.Engine.ResultLog {
+		if ev.Insert {
+			ins++
+		} else {
+			del++
+		}
+	}
+	if ins != 3 || del != 1 {
+		t.Errorf("log inserts=%d deletes=%d", ins, del)
+	}
+}
+
+func TestLoadTimelineErrors(t *testing.T) {
+	cluster, err := snlog.DeployGrid(4, `.base s/1.
+d(X) :- s(X).`, snlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadTimeline(cluster, "testdata/nonexistent"); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := t.TempDir() + "/bad.facts"
+	writeFile(t, bad, "0 1 ? s(1)\n")
+	if err := loadTimeline(cluster, bad); err == nil {
+		t.Error("bad op should error")
+	}
+	bad2 := t.TempDir() + "/bad2.facts"
+	writeFile(t, bad2, "0 1 + not a fact\n")
+	if err := loadTimeline(cluster, bad2); err == nil {
+		t.Error("malformed fact should error")
+	}
+	ok := t.TempDir() + "/ok.facts"
+	writeFile(t, ok, "% comment\n\n0 1 + s(1)\n")
+	if err := loadTimeline(cluster, ok); err != nil {
+		t.Errorf("comments and blanks should be skipped: %v", err)
+	}
+}
+
+func mustRead(t *testing.T, path string) string {
+	t.Helper()
+	b, err := readFileHelper(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func readFileHelper(path string) (string, error) {
+	b, err := osReadFile(path)
+	return string(b), err
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := osWriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Livenet: the hardware-testbed substitute — every node is a goroutine,
+// every radio link a delayed lossy channel. The demo runs a distributed
+// shortest-path-tree protocol under real asynchrony and 10% message
+// loss, with per-node re-advertisement riding out the drops.
+//
+//	go run ./examples/livenet
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/livenet"
+)
+
+type sptMsg struct {
+	Depth  int
+	Sender livenet.NodeID
+}
+
+type sptApp struct {
+	root livenet.NodeID
+
+	mu    sync.Mutex
+	depth map[livenet.NodeID]int
+}
+
+func (a *sptApp) Init(n *livenet.Node) {
+	if n.ID == a.root {
+		a.mu.Lock()
+		a.depth[n.ID] = 0
+		a.mu.Unlock()
+		a.advertise(n)
+	}
+}
+
+func (a *sptApp) advertise(n *livenet.Node) {
+	a.mu.Lock()
+	d := a.depth[n.ID]
+	a.mu.Unlock()
+	n.Broadcast("spt", sptMsg{Depth: d, Sender: n.ID}, 6)
+	for i := 1; i <= 3; i++ {
+		n.After(time.Duration(i)*20*time.Millisecond, func() {
+			a.mu.Lock()
+			cur := a.depth[n.ID]
+			a.mu.Unlock()
+			n.Broadcast("spt", sptMsg{Depth: cur, Sender: n.ID}, 6)
+		})
+	}
+}
+
+func (a *sptApp) Receive(n *livenet.Node, m livenet.Message) {
+	msg := m.Payload.(sptMsg)
+	nd := msg.Depth + 1
+	a.mu.Lock()
+	cur, ok := a.depth[n.ID]
+	improved := !ok || nd < cur
+	if improved {
+		a.depth[n.ID] = nd
+	}
+	a.mu.Unlock()
+	if improved {
+		a.advertise(n)
+	}
+}
+
+func main() {
+	const m = 6
+	app := &sptApp{root: 0, depth: map[livenet.NodeID]int{}}
+	nw := livenet.New(livenet.Config{Seed: 5, LossRate: 0.10})
+	for q := 0; q < m; q++ {
+		for p := 0; p < m; p++ {
+			nw.AddNode(float64(p), float64(q), app)
+		}
+	}
+
+	fmt.Printf("live %dx%d grid (goroutine per node, 10%% loss): building SPT...\n", m, m)
+	start := time.Now()
+	nw.Start()
+	nw.Quiesce(120*time.Millisecond, 10*time.Second)
+	nw.Stop()
+
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	for q := 0; q < m; q++ {
+		for p := 0; p < m; p++ {
+			id := livenet.NodeID(q*m + p)
+			if d, ok := app.depth[id]; ok {
+				fmt.Printf("%3d", d)
+			} else {
+				fmt.Printf("  ?")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("converged in %v wall time, %d messages\n",
+		time.Since(start).Round(time.Millisecond), nw.TotalSent)
+}

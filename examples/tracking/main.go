@@ -1,0 +1,74 @@
+// Tracking: Example 1 of the paper — alert on uncovered enemy vehicles.
+//
+// A battlefield sensor network observes a stream veh(type, loc, time).
+// An enemy vehicle is "covered" when a friendly vehicle is within
+// distance 5 at the same time step; the program alerts on enemy vehicles
+// that are NOT covered. The negated subgoal is what SQL-style engines of
+// the time could not express; here it is maintained incrementally: when
+// a friendly vehicle later moves into range, the standing alert is
+// retracted in-network, and when it moves away (a deletion), the alert
+// reappears.
+//
+//	go run ./examples/tracking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	snlog "repro"
+)
+
+const program = `
+.base veh/3.
+
+% An enemy at L is covered when some friendly vehicle L2 is within
+% distance 5 of it at the same time step.
+cov(L, T) :- veh(enemy, L, T), veh(friendly, L2, T), dist(L, L2) <= 5.
+
+% Alert on uncovered enemies (Example 1 of the paper).
+uncov(L, T) :- NOT cov(L, T), veh(enemy, L, T).
+
+.query uncov/2.
+`
+
+func loc(x, y int64) snlog.Term { return snlog.Cmp("loc", snlog.Int(x), snlog.Int(y)) }
+
+func main() {
+	cluster, err := snlog.DeployGrid(8, program, snlog.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	enemyA := snlog.NewTuple("veh", snlog.Sym("enemy"), loc(1, 1), snlog.Int(1))
+	enemyB := snlog.NewTuple("veh", snlog.Sym("enemy"), loc(40, 40), snlog.Int(1))
+	friendly := snlog.NewTuple("veh", snlog.Sym("friendly"), loc(4, 5), snlog.Int(1))
+
+	// t=0: two enemy detections at different sensors.
+	cluster.InjectAt(0, 9, enemyA)
+	cluster.InjectAt(0, 54, enemyB)
+	// t=2000: a friendly vehicle appears near enemy A — its alert must be
+	// retracted in-network.
+	cluster.InjectAt(2000, 20, friendly)
+	// t=9000: the friendly vehicle leaves (stream deletion) — the alert
+	// for enemy A must come back.
+	cluster.DeleteAt(9000, 20, friendly)
+
+	cluster.Run()
+
+	fmt.Println("alert timeline (in-network result transitions):")
+	for _, ev := range cluster.Engine.ResultLog {
+		op := "+"
+		if !ev.Insert {
+			op = "-"
+		}
+		fmt.Printf("  t=%-6d %s %v   (finalized at node %d)\n", ev.At, op, ev.Tuple, ev.Node)
+	}
+
+	fmt.Println("\nstanding alerts after the timeline:")
+	for _, a := range cluster.Results("uncov/2") {
+		fmt.Printf("  %v\n", a)
+	}
+	st := cluster.Stats()
+	fmt.Printf("\n%d messages, %d bytes\n", st.Messages, st.Bytes)
+}

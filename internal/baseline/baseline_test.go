@@ -1,0 +1,83 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/nsim"
+	"repro/internal/topo"
+)
+
+func wantGridDepths(t *testing.T, m int, res SPTResult) {
+	t.Helper()
+	for id, d := range res.Depth {
+		p, q := topo.GridCoords(m, id)
+		if d != p+q {
+			t.Errorf("depth(%d,%d) = %d, want %d", p, q, d, p+q)
+		}
+	}
+}
+
+func TestKairosSPTOnGrid(t *testing.T) {
+	m := 5
+	nw := topo.Grid(m, nsim.Config{Seed: 1})
+	res := RunKairosSPT(nw, 0)
+	wantGridDepths(t, m, res)
+	if res.Messages == 0 || res.Bytes == 0 {
+		t.Error("no communication accounted")
+	}
+	// Every non-root node has a parent one step closer to the root.
+	for id, par := range res.Parent {
+		if id == 0 {
+			continue
+		}
+		if res.Depth[par] != res.Depth[id]-1 {
+			t.Errorf("parent(%d)=%d depth mismatch", id, par)
+		}
+	}
+}
+
+func TestBellmanFordSPTOnGrid(t *testing.T) {
+	m := 5
+	nw := topo.Grid(m, nsim.Config{Seed: 2})
+	res := RunBellmanFordSPT(nw, 0)
+	wantGridDepths(t, m, res)
+	if res.Messages == 0 {
+		t.Error("no messages accounted")
+	}
+}
+
+func TestBellmanFordOnRandomTopology(t *testing.T) {
+	nw, err := topo.RandomGeometric(40, 8, 2.5, 5, nsim.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunBellmanFordSPT(nw, 0)
+	for id, d := range res.Depth {
+		if d < 0 {
+			t.Errorf("node %d unreached", id)
+		}
+	}
+}
+
+func TestKairosCostsMoreThanBellmanFord(t *testing.T) {
+	// The paper's criticism of Kairos: gathering the whole topology at
+	// the root dwarfs a purpose-built distributed protocol.
+	m := 8
+	k := RunKairosSPT(topo.Grid(m, nsim.Config{Seed: 4}), 0)
+	b := RunBellmanFordSPT(topo.Grid(m, nsim.Config{Seed: 4}), 0)
+	if k.Bytes <= b.Bytes {
+		t.Errorf("kairos bytes %d should exceed bellman-ford %d", k.Bytes, b.Bytes)
+	}
+}
+
+func TestSPTRootedElsewhere(t *testing.T) {
+	m := 4
+	center := topo.GridID(m, 1, 1)
+	res := RunBellmanFordSPT(topo.Grid(m, nsim.Config{Seed: 5}), center)
+	if res.Depth[center] != 0 {
+		t.Error("root depth must be 0")
+	}
+	if res.Depth[topo.GridID(m, 3, 3)] != 4 {
+		t.Errorf("far corner depth = %d, want 4", res.Depth[topo.GridID(m, 3, 3)])
+	}
+}

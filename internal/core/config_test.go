@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/eval"
+	"repro/internal/gpa"
+	"repro/internal/nsim"
+	"repro/internal/topo"
+)
+
+func TestConfigDefaultsDerivedFromGeometry(t *testing.T) {
+	nw := topo.Grid(6, nsim.Config{})
+	cfg := Config{}
+	cfg.fill(nw)
+	if cfg.TauS <= 0 || cfg.TauJ <= 0 || cfg.FinalizeGap <= 0 {
+		t.Errorf("defaults not derived: %+v", cfg)
+	}
+	// Larger networks get larger settle bounds.
+	nwBig := topo.Grid(12, nsim.Config{})
+	cfgBig := Config{}
+	cfgBig.fill(nwBig)
+	if cfgBig.TauS <= cfg.TauS {
+		t.Errorf("TauS should grow with diameter: %d vs %d", cfgBig.TauS, cfg.TauS)
+	}
+	// Explicit values are preserved.
+	cfgSet := Config{TauS: 7, TauJ: 9, TauC: 3, FinalizeGap: 11}
+	cfgSet.fill(nw)
+	if cfgSet.TauS != 7 || cfgSet.TauJ != 9 || cfgSet.TauC != 3 || cfgSet.FinalizeGap != 11 {
+		t.Errorf("explicit config overridden: %+v", cfgSet)
+	}
+}
+
+func TestEngineStringListsRulesAndModes(t *testing.T) {
+	nw := topo.Grid(4, nsim.Config{})
+	src := `
+.base g/2.
+.store g/2 at 0 hops 1.
+.store j/2 at 0 hops 1.
+.store jp/2 at 0.
+j(n0, 0).
+jp(Y, D1) :- j(Y, Dp), D1 = D + 1, D1 > Dp, j(X, D), g(X, Y).
+j(Y, D1) :- g(X, Y), j(X, D), D1 = D + 1, NOT jp(Y, D1).
+`
+	e, err := New(nw, mustProg(t, src), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.String()
+	if !strings.Contains(out, "[local]") {
+		t.Errorf("placed rules should compile to local mode:\n%s", out)
+	}
+	if !strings.Contains(out, "scheme=perpendicular") {
+		t.Errorf("scheme missing:\n%s", out)
+	}
+}
+
+func TestLocalStorageRejectsNegationAndMultiway(t *testing.T) {
+	nw := topo.Grid(4, nsim.Config{})
+	if _, err := New(nw, mustProg(t, uncovSrc), Config{Scheme: gpa.LocalStorage}); err == nil {
+		t.Error("local-storage with negation should be rejected")
+	}
+	nw2 := topo.Grid(4, nsim.Config{})
+	if _, err := New(nw2, mustProg(t, threeWaySrc), Config{Scheme: gpa.LocalStorage}); err == nil {
+		t.Error("local-storage three-way join should be rejected")
+	}
+}
+
+func TestInjectDeleteUnknownTupleErrors(t *testing.T) {
+	e, _ := buildGrid(t, 3, `.base s/1.
+d(X) :- s(X).`, Config{}, nsim.Config{Seed: 40})
+	if err := e.InjectDelete(0, eval.NewTuple("s", ast.Int64(99))); err == nil {
+		t.Error("deleting a never-injected tuple should error")
+	}
+}
+
+func TestUnstratifiableProgramRejectedByEngine(t *testing.T) {
+	nw := topo.Grid(3, nsim.Config{})
+	if _, err := New(nw, mustProg(t, `win(X) :- move(X, Y), NOT win(Y).`), Config{}); err == nil {
+		t.Error("unstratifiable program should be rejected at compile")
+	}
+}
+
+func TestAnalysisAccessor(t *testing.T) {
+	e, _ := buildGrid(t, 3, joinSrc, Config{}, nsim.Config{Seed: 41})
+	if e.Analysis() == nil || !e.Analysis().Stratified {
+		t.Error("analysis accessor broken")
+	}
+	if e.Network() == nil {
+		t.Error("network accessor broken")
+	}
+}
+
+func TestDerivedStateQueriesEmptyEngine(t *testing.T) {
+	e, _ := buildGrid(t, 3, joinSrc, Config{}, nsim.Config{Seed: 42})
+	if n := len(e.Derived("out/2")); n != 0 {
+		t.Errorf("fresh engine derived = %d", n)
+	}
+	if e.DerivedDB().TotalSize() != 0 {
+		t.Error("fresh engine db non-empty")
+	}
+	max, avg := e.MaxMemoryTuples()
+	if max != 0 || avg != 0 {
+		t.Errorf("fresh memory = %d/%f", max, avg)
+	}
+}

@@ -1,0 +1,629 @@
+// Package core is the distributed deductive query engine — the paper's
+// primary contribution. It compiles an analyzed logic program into
+// per-node runtimes that evaluate the program bottom-up, incrementally
+// and asynchronously inside a simulated sensor network:
+//
+//   - base facts are injected at their source nodes and stored/replicated
+//     according to the Generalized Perpendicular Approach scheme in force
+//     (or a node-attribute placement declared with .store);
+//   - after the storage-phase delay τs+τc, an update's join-computation
+//     phase sweeps its join region accumulating partial results
+//     (Figure 1), filtering against negated subgoals, and emitting
+//     complete results;
+//   - complete results are routed to a home node (geographic hash or
+//     declared placement), where the set-of-derivations store decides
+//     whether the derived tuple appears or disappears (Section IV-A);
+//     transitions make the derived tuple itself a stream update,
+//     cascading through higher rules;
+//   - deletions travel the same paths as deletion markers and remove
+//     matching derivations (Theorem 3 machinery).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog/analysis"
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/builtin"
+	"repro/internal/datalog/eval"
+	"repro/internal/ghash"
+	"repro/internal/gpa"
+	"repro/internal/nsim"
+	"repro/internal/window"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Scheme is the GPA scheme for hash-placed predicates.
+	Scheme gpa.Scheme
+	// Server is the sink node for the Centralized scheme.
+	Server nsim.NodeID
+	// MultiPass switches the join-computation phase from the one-pass to
+	// the multiple-pass scheme (one traversal per remaining stream).
+	MultiPass bool
+	// SpatialRadius scopes storage/join regions (0 = unbounded).
+	SpatialRadius float64
+	// BandWidth generalizes PA's rows/columns to geographic bands of this
+	// width for arbitrary (non-grid) topologies. Band mode supports
+	// two-stream positive joins (the paper defers the full general-
+	// topology construction to [44]).
+	BandWidth float64
+	// CentroidRadius bounds the Centroid scheme's central region
+	// (default 1.5 radio ranges around the bounding-box center).
+	CentroidRadius float64
+	// TauS bounds storage-phase completion; TauC is the clock-skew bound;
+	// TauJ bounds join-phase completion. Zero values are derived from the
+	// network geometry.
+	TauS, TauC, TauJ nsim.Time
+	// FinalizeGap separates the finalize delays of same-stage predicates
+	// (XY evaluation order). Zero derives a default.
+	FinalizeGap nsim.Time
+	// DefaultWindow is the sliding-window range for streams without a
+	// .window declaration (0 = unbounded).
+	DefaultWindow int64
+	// Registry supplies built-ins (nil = builtin.Default()).
+	Registry *builtin.Registry
+	// NodeTerm names a node as a term for placement-based storage; the
+	// default is the symbol n<id>.
+	NodeTerm func(n *nsim.Node) ast.Term
+}
+
+func (c *Config) fill(nw *nsim.Network) {
+	if c.Registry == nil {
+		c.Registry = builtin.Default()
+	}
+	if c.NodeTerm == nil {
+		c.NodeTerm = func(n *nsim.Node) ast.Term {
+			return ast.Symbol(fmt.Sprintf("n%d", n.ID))
+		}
+	}
+	minX, minY, maxX, maxY := boundsOf(nw)
+	diamHops := nsim.Time((maxX-minX)+(maxY-minY)) + 4
+	hop := nw.Config().MaxDelay
+	if c.TauS == 0 {
+		c.TauS = 2 * diamHops * hop
+	}
+	if c.TauC == 0 {
+		c.TauC = nw.Config().MaxSkew
+	}
+	if c.TauJ == 0 {
+		c.TauJ = 2 * diamHops * hop
+	}
+	if c.FinalizeGap == 0 {
+		c.FinalizeGap = c.TauS + c.TauC + 4*hop
+	}
+}
+
+func boundsOf(nw *nsim.Network) (minX, minY, maxX, maxY float64) {
+	minX, minY = 1e18, 1e18
+	maxX, maxY = -1e18, -1e18
+	for _, n := range nw.Nodes() {
+		if n.X < minX {
+			minX = n.X
+		}
+		if n.Y < minY {
+			minY = n.Y
+		}
+		if n.X > maxX {
+			maxX = n.X
+		}
+		if n.Y > maxY {
+			maxY = n.Y
+		}
+	}
+	return
+}
+
+// ruleMode distinguishes hash-placed (GPA) rules from node-placement
+// (localized-join) rules.
+type ruleMode int
+
+const (
+	hashMode ruleMode = iota
+	localMode
+)
+
+// compiledRule is the per-rule execution plan.
+type compiledRule struct {
+	rule   *ast.Rule
+	mode   ruleMode
+	posIdx []int // positive relational body indices, in order
+	negIdx []int
+	// negSameStage[i] = true when negIdx[i] refers to a predicate in the
+	// head's XY component (checked at finalize against live state rather
+	// than by stamp order).
+	negSameStage []bool
+}
+
+// trigger links a stream update to a rule evaluation.
+type trigger struct {
+	rule    *compiledRule
+	bodyIdx int  // which body literal the update pins
+	negated bool // pinned at a negated subgoal (retraction/enable path)
+}
+
+// Engine is the compiled distributed program.
+type Engine struct {
+	nw   *nsim.Network
+	prog *ast.Program
+	res  *analysis.Result
+	cfg  Config
+
+	rules     []*compiledRule
+	triggers  map[string][]trigger // predKey -> triggers
+	hasher    *ghash.Hasher
+	planner   *gpa.Planner
+	nodeTerms map[string]nsim.NodeID // term key -> node
+	// finalizePrio orders same-stage predicates (XY witness); predicates
+	// absent from the map finalize with priority 0.
+	finalizePrio map[string]int
+	// windows per predicate (0 = unbounded).
+	windows map[string]int64
+	// placements per predicate.
+	placements map[string]ast.Placement
+	// queryPreds marks predicates whose transitions are logged.
+	queryPreds map[string]bool
+
+	rts []*nodeRT // per-node runtimes, indexed by NodeID
+
+	// baseIDs registers injected base generations for later deletion:
+	// tuple key -> stamp.
+	baseIDs map[string]window.Stamp
+
+	// centroidNodes is the Centroid scheme's storage region.
+	centroidNodes []nsim.NodeID
+
+	// TAG aggregation state.
+	aggRules   map[string]*aggRule     // head pred -> plan
+	aggResults map[string][]eval.Tuple // head pred -> last epoch result
+	aggEpoch   int64
+
+	// ResultLog records finalized transitions of query predicates.
+	ResultLog []ResultEvent
+}
+
+// ResultEvent is one visible transition of a query predicate.
+type ResultEvent struct {
+	Tuple  eval.Tuple
+	Insert bool
+	At     nsim.Time // global time of finalization
+	Node   nsim.NodeID
+}
+
+// New compiles prog onto the network. Must be called before nw.Finalize.
+func New(nw *nsim.Network, prog *ast.Program, cfg Config) (*Engine, error) {
+	res, err := analysis.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	cfg.fill(nw)
+	e := &Engine{
+		nw:           nw,
+		prog:         prog,
+		res:          res,
+		cfg:          cfg,
+		triggers:     make(map[string][]trigger),
+		hasher:       ghash.ForNetwork(nw),
+		planner:      gpa.NewPlanner(nw, cfg.Scheme),
+		nodeTerms:    make(map[string]nsim.NodeID),
+		finalizePrio: make(map[string]int),
+		windows:      make(map[string]int64),
+		placements:   prog.Placements,
+		queryPreds:   make(map[string]bool),
+		baseIDs:      make(map[string]window.Stamp),
+		aggRules:     make(map[string]*aggRule),
+		aggResults:   make(map[string][]eval.Tuple),
+	}
+	// Aggregate rules are evaluated by TAG collection epochs, not by the
+	// join machinery; validate and register them.
+	for _, r := range prog.Rules {
+		if !r.HasAggregates() {
+			continue
+		}
+		plan, err := validateAggregateRule(r)
+		if err != nil {
+			return nil, err
+		}
+		e.aggRules[r.Head.PredKey()] = plan
+	}
+	e.planner.Server = cfg.Server
+	e.planner.SpatialRadius = cfg.SpatialRadius
+	e.planner.BandWidth = cfg.BandWidth
+	for _, n := range nw.Nodes() {
+		e.nodeTerms[cfg.NodeTerm(n).Key()] = n.ID
+	}
+	for _, w := range res.XY {
+		for i, p := range w.SameStageOrder {
+			e.finalizePrio[p] = i
+		}
+	}
+	for _, q := range prog.Queries {
+		e.queryPreds[q] = true
+	}
+	// Window ranges.
+	allPreds := map[string]bool{}
+	for _, r := range prog.Rules {
+		allPreds[r.Head.PredKey()] = true
+		for _, l := range r.Body {
+			if !l.Builtin {
+				allPreds[l.PredKey()] = true
+			}
+		}
+	}
+	for p := range allPreds {
+		if w, ok := prog.Windows[p]; ok {
+			e.windows[p] = w
+		} else {
+			e.windows[p] = cfg.DefaultWindow
+		}
+	}
+
+	if cfg.Scheme == gpa.Centroid {
+		if cfg.CentroidRadius == 0 {
+			cfg.CentroidRadius = 1.5 * nw.Config().Range
+			e.cfg.CentroidRadius = cfg.CentroidRadius
+		}
+		minX, minY, maxX, maxY := boundsOf(nw)
+		cx, cy := (minX+maxX)/2, (minY+maxY)/2
+		for _, n := range nw.Nodes() {
+			dx, dy := n.X-cx, n.Y-cy
+			if dx*dx+dy*dy <= cfg.CentroidRadius*cfg.CentroidRadius+1e-9 {
+				e.centroidNodes = append(e.centroidNodes, n.ID)
+			}
+		}
+		if len(e.centroidNodes) == 0 {
+			e.centroidNodes = []nsim.NodeID{nw.NearestNode(cx, cy).ID}
+		}
+	}
+
+	if err := e.compileRules(); err != nil {
+		return nil, err
+	}
+
+	// Attach runtimes.
+	e.rts = make([]*nodeRT, nw.Len())
+	for _, n := range nw.Nodes() {
+		rt := newNodeRT(e, n)
+		e.rts[n.ID] = rt
+		n.App = rt
+	}
+	return e, nil
+}
+
+// compileRules classifies each rule and builds the trigger index.
+func (e *Engine) compileRules() error {
+	for _, r := range e.prog.Rules {
+		if len(r.Body) == 0 {
+			continue // facts are injected at start
+		}
+		if r.HasAggregates() {
+			continue // evaluated by TAG collection epochs
+		}
+		cr := &compiledRule{rule: r}
+		for i, l := range r.Body {
+			if l.Builtin {
+				continue
+			}
+			if l.Negated {
+				cr.negIdx = append(cr.negIdx, i)
+			} else {
+				cr.posIdx = append(cr.posIdx, i)
+			}
+		}
+		// Mode: local if the head and every relational subgoal have a
+		// declared placement.
+		local := true
+		if _, ok := e.placements[r.Head.PredKey()]; !ok {
+			local = false
+		}
+		for _, l := range r.Body {
+			if l.Builtin {
+				continue
+			}
+			if _, ok := e.placements[l.PredKey()]; !ok {
+				local = false
+			}
+		}
+		if local {
+			cr.mode = localMode
+		} else {
+			// Mixed placements are not supported: a placed predicate has
+			// no GPA storage region, so a hash-mode sweep would miss it.
+			for _, l := range r.Body {
+				if l.Builtin {
+					continue
+				}
+				if _, ok := e.placements[l.PredKey()]; ok {
+					return fmt.Errorf("core: rule %d mixes placed predicate %s with hash-placed ones; declare placements for all of the rule's predicates or none", r.ID, l.PredKey())
+				}
+			}
+			if _, ok := e.placements[r.Head.PredKey()]; ok {
+				return fmt.Errorf("core: rule %d has a placed head %s but hash-placed body", r.ID, r.Head.PredKey())
+			}
+			cr.mode = hashMode
+		}
+		// Same-stage negation flags. Negations checked at finalize time
+		// (local-mode rules and same-stage XY negations) re-derive their
+		// bindings from the head tuple, so their variables must all
+		// occur in the head.
+		headVars := map[string]bool{}
+		for _, v := range r.Head.Vars(nil) {
+			headVars[v] = true
+		}
+		for _, ni := range cr.negIdx {
+			same := e.sameXYComponent(r.Head.PredKey(), r.Body[ni].PredKey())
+			cr.negSameStage = append(cr.negSameStage, same)
+			if same || cr.mode == localMode {
+				for _, v := range r.Body[ni].Vars(nil) {
+					if !headVars[v] {
+						return fmt.Errorf("core: rule %d: negated subgoal %s is checked at the head's home node, so its variable %s must appear in the head",
+							r.ID, r.Body[ni], v)
+					}
+				}
+			}
+		}
+		e.rules = append(e.rules, cr)
+		for i, l := range r.Body {
+			if l.Builtin {
+				continue
+			}
+			e.triggers[l.PredKey()] = append(e.triggers[l.PredKey()], trigger{
+				rule: cr, bodyIdx: i, negated: l.Negated,
+			})
+		}
+	}
+	// The LocalStorage scheme floods updates and joins at each node;
+	// partial results cannot be accumulated coherently across a flood, so
+	// it only supports two-stream positive rules. The same restriction
+	// applies to band-mode PA on arbitrary topologies.
+	if e.cfg.Scheme == gpa.LocalStorage || e.cfg.Scheme == gpa.Centroid ||
+		(e.cfg.Scheme == gpa.Perpendicular && e.cfg.BandWidth > 0) {
+		for _, cr := range e.rules {
+			if cr.mode == hashMode && (len(cr.posIdx) > 2 || len(cr.negIdx) > 0) {
+				return fmt.Errorf("core: flood-based join regions (local-storage or band-PA) support only two-stream positive joins (rule %d)", cr.rule.ID)
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) sameXYComponent(a, b string) bool {
+	for _, w := range e.res.XY {
+		_, hasA := w.StageArg[a]
+		_, hasB := w.StageArg[b]
+		if hasA && hasB {
+			return true
+		}
+	}
+	return false
+}
+
+// Start injects the program's facts (at their placement nodes, or their
+// geographic home for hash-placed predicates). Call after nw.Finalize.
+func (e *Engine) Start() {
+	for _, f := range e.prog.Facts() {
+		f := f
+		t := eval.Tuple{Pred: f.Head.PredKey(), Args: f.Head.Args}
+		nodeID := e.homeFor(t)
+		if e.prog.IsDerived(t.Pred) {
+			// A program fact of a derived predicate seeds the derivation
+			// store at its home (a nullary derivation), so it shows up in
+			// the derived state like any rule-derived tuple.
+			e.nw.ScheduleAt(e.nw.Now(), func() {
+				rt := e.rts[nodeID]
+				key := t.Key()
+				if rt.derivs[key] == nil {
+					rt.derivs[key] = make(map[string]bool)
+				}
+				rt.derivs[key][fmt.Sprintf("fact:r%d", f.ID)] = true
+				rt.derivedLive[key] = t
+				rt.derivedIDs[key] = rt.generate(t, nil)
+			})
+			continue
+		}
+		e.Inject(nodeID, t)
+	}
+}
+
+// homeFor returns the node where tuple t should originate: its placement
+// node if declared, else its geographic-hash home.
+func (e *Engine) homeFor(t eval.Tuple) nsim.NodeID {
+	if pl, ok := e.placements[t.Pred]; ok {
+		if id, ok2 := e.nodeTerms[t.Args[pl.Arg].Key()]; ok2 {
+			return id
+		}
+	}
+	return e.hasher.Home(e.nw, t.Key()).ID
+}
+
+// Inject generates base tuple t at the given node (scheduled immediately).
+func (e *Engine) Inject(node nsim.NodeID, t eval.Tuple) {
+	e.nw.ScheduleAt(e.nw.Now(), func() {
+		e.rts[node].generate(t, nil)
+	})
+}
+
+// InjectAt schedules the generation at an absolute simulation time.
+func (e *Engine) InjectAt(at nsim.Time, node nsim.NodeID, t eval.Tuple) {
+	e.nw.ScheduleAt(at, func() {
+		e.rts[node].generate(t, nil)
+	})
+}
+
+// InjectDelete deletes a previously injected base tuple; the deletion
+// originates at the same source node (per the paper, deletion happens
+// only at the source).
+func (e *Engine) InjectDelete(node nsim.NodeID, t eval.Tuple) error {
+	id, ok := e.baseIDs[t.Key()]
+	if !ok {
+		return fmt.Errorf("core: deleting unknown base tuple %s", t)
+	}
+	e.nw.ScheduleAt(e.nw.Now(), func() {
+		e.rts[node].generate(t, &id)
+	})
+	return nil
+}
+
+// InjectDeleteAt schedules the deletion at an absolute time; the tuple
+// must have been generated by then.
+func (e *Engine) InjectDeleteAt(at nsim.Time, node nsim.NodeID, t eval.Tuple) {
+	e.nw.ScheduleAt(at, func() {
+		id, ok := e.baseIDs[t.Key()]
+		if !ok {
+			return
+		}
+		e.rts[node].generate(t, &id)
+	})
+}
+
+// Derived returns the live derived tuples of predKey across the network
+// (union of home-node states), in canonical order.
+func (e *Engine) Derived(predKey string) []eval.Tuple {
+	seen := map[string]eval.Tuple{}
+	for _, rt := range e.rts {
+		for k, t := range rt.derivedLive {
+			if t.Pred == predKey {
+				seen[k] = t
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]eval.Tuple, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+// DerivedDB snapshots all derived predicates into a database for oracle
+// comparison.
+func (e *Engine) DerivedDB() *eval.Database {
+	db := eval.NewDatabase()
+	for _, rt := range e.rts {
+		for _, t := range rt.derivedLive {
+			db.Insert(t)
+		}
+	}
+	return db
+}
+
+// StoredReplicas returns the total replica entries held at node id (the
+// E9 memory metric).
+func (e *Engine) StoredReplicas(id nsim.NodeID) int { return e.rts[id].store.TotalCount() }
+
+// DerivationEntries returns the derivation records held at node id.
+func (e *Engine) DerivationEntries(id nsim.NodeID) int {
+	n := 0
+	for _, set := range e.rts[id].derivs {
+		n += len(set)
+	}
+	return n
+}
+
+// MaxMemoryTuples returns max and average per-node stored tuples
+// (replicas + derivations).
+func (e *Engine) MaxMemoryTuples() (max int, avg float64) {
+	total := 0
+	for _, n := range e.nw.Nodes() {
+		m := e.StoredReplicas(n.ID) + e.DerivationEntries(n.ID)
+		total += m
+		if m > max {
+			max = m
+		}
+	}
+	return max, float64(total) / float64(e.nw.Len())
+}
+
+// Analysis exposes the program analysis.
+func (e *Engine) Analysis() *analysis.Result { return e.res }
+
+// Network exposes the underlying network.
+func (e *Engine) Network() *nsim.Network { return e.nw }
+
+// centroidFor picks the region node a tuple is stored at (hash-spread
+// over the centroid region).
+func (e *Engine) centroidFor(key string) *nsim.Node {
+	h := 0
+	for _, c := range key {
+		h = h*31 + int(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return e.nw.Node(e.centroidNodes[h%len(e.centroidNodes)])
+}
+
+// retention computes the replica lifetime of Section IV-B:
+// (τs+τc) + τj + (τw+τc); unbounded windows never expire.
+func (e *Engine) retention(predKey string) int64 {
+	w := e.windows[predKey]
+	if w == 0 {
+		return 0
+	}
+	return int64(e.cfg.TauS+2*e.cfg.TauC+e.cfg.TauJ) + w
+}
+
+// candSettle bounds how long after an update's timestamp its candidates
+// can still be in flight: join-phase start (τs+τc) + sweep (τj) + result
+// routing (τj) + clock skew. Applying every candidate at
+// updateTS + candSettle therefore applies candidates in update-timestamp
+// order — the distributed analogue of Theorem 3's "process updates in
+// the order of their local timestamps".
+func (e *Engine) candSettle() nsim.Time {
+	return e.cfg.TauS + 2*e.cfg.TauJ + 2*e.cfg.TauC
+}
+
+// finalizeDeadline computes the local time at which a candidate with the
+// given update stamp and head predicate must be applied; same-stage XY
+// predicates are staggered by their evaluation-order priority.
+func (e *Engine) finalizeDeadline(updateTS int64, predKey string) nsim.Time {
+	return nsim.Time(updateTS) + e.candSettle() +
+		e.cfg.FinalizeGap*nsim.Time(1+e.finalizePrio[predKey])
+}
+
+// sizeOfTuple estimates the wire size of a tuple in bytes.
+func sizeOfTuple(t eval.Tuple) int {
+	n := 4 // predicate tag
+	for _, a := range t.Args {
+		n += sizeOfTerm(a)
+	}
+	return n
+}
+
+func sizeOfTerm(t ast.Term) int {
+	switch t.Kind {
+	case ast.KindInt, ast.KindFloat:
+		return 4
+	case ast.KindString, ast.KindSymbol:
+		return 2 + len(t.Str)
+	case ast.KindVar:
+		return 2
+	case ast.KindCompound:
+		n := 2
+		for _, a := range t.Args {
+			n += sizeOfTerm(a)
+		}
+		return n
+	}
+	return 2
+}
+
+// String summarizes the compiled program.
+func (e *Engine) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: %d rules, scheme=%s\n", len(e.rules), e.cfg.Scheme)
+	for _, cr := range e.rules {
+		mode := "hash"
+		if cr.mode == localMode {
+			mode = "local"
+		}
+		fmt.Fprintf(&b, "  rule %d [%s]: %s\n", cr.rule.ID, mode, cr.rule)
+	}
+	return b.String()
+}

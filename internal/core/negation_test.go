@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/eval"
+	"repro/internal/gpa"
+	"repro/internal/nsim"
+)
+
+// lateNegSrc has a negated subgoal whose variable (Z) is bound only
+// mid-sweep (by rb), forcing the engine's verification pass: the
+// completed result must be re-checked across the whole join region.
+const lateNegSrc = `
+.base ra/2.
+.base rb/2.
+.base ex/1.
+res(X, Z) :- ra(X, Y), rb(Y, Z), NOT ex(Z).
+`
+
+func TestLateGroundNegationVerificationPass(t *testing.T) {
+	e, nw := buildGrid(t, 6, lateNegSrc, Config{Scheme: gpa.Perpendicular}, nsim.Config{Seed: 31})
+	base := []eval.Tuple{
+		eval.NewTuple("ra", ast.Int64(1), ast.Int64(2)),
+		eval.NewTuple("rb", ast.Int64(2), ast.Int64(3)), // res(1,3) unless ex(3)
+		eval.NewTuple("ra", ast.Int64(4), ast.Int64(5)),
+		eval.NewTuple("rb", ast.Int64(5), ast.Int64(6)), // res(4,6), blocked by ex(6)
+		eval.NewTuple("ex", ast.Int64(6)),
+	}
+	for i, b := range base {
+		e.InjectAt(nsim.Time(i*4), nsim.NodeID((i*9+1)%nw.Len()), b)
+	}
+	nw.Run(0)
+	oracleCompare(t, e, lateNegSrc, base, "res/2")
+	res := e.Derived("res/2")
+	if len(res) != 1 || res[0].Args[1].Int != 3 {
+		t.Errorf("res = %v", res)
+	}
+}
+
+func TestLateGroundNegationBlockerArrivesLater(t *testing.T) {
+	// The blocker ex(3) arrives long after res(1,3) is derived: the
+	// negated-occurrence trigger must retract it.
+	e, nw := buildGrid(t, 6, lateNegSrc, Config{Scheme: gpa.Perpendicular}, nsim.Config{Seed: 32})
+	base := []eval.Tuple{
+		eval.NewTuple("ra", ast.Int64(1), ast.Int64(2)),
+		eval.NewTuple("rb", ast.Int64(2), ast.Int64(3)),
+	}
+	e.InjectAt(0, 3, base[0])
+	e.InjectAt(4, 17, base[1])
+	ex := eval.NewTuple("ex", ast.Int64(3))
+	e.InjectAt(6000, 30, ex)
+	nw.Run(0)
+	oracleCompare(t, e, lateNegSrc, append(base, ex), "res/2")
+	if n := len(e.Derived("res/2")); n != 0 {
+		t.Errorf("res should be retracted: %v", e.Derived("res/2"))
+	}
+}
+
+// Example 2 distributed end-to-end: trajectory lists built by
+// XY-recursion over function symbols, with negation for start/end
+// detection and a built-in pairwise comparison.
+func TestTrajectoryProgramDistributed(t *testing.T) {
+	const src = `
+.base report/1.
+notStart(R2) :- report(R1), report(R2), close(R1, R2).
+notLast(R1) :- report(R1), report(R2), close(R1, R2).
+traj([R2, R1]) :- report(R1), report(R2), close(R1, R2), NOT notStart(R1).
+traj([R2 | L]) :- traj(L), L = [R1 | _], report(R2), close(R1, R2).
+complete(L) :- traj(L), L = [R | _], NOT notLast(R).
+parallel(L1, L2) :- complete(L1), complete(L2), isParallel(L1, L2).
+`
+	e, nw := buildGrid(t, 7, src, Config{Scheme: gpa.Perpendicular}, nsim.Config{Seed: 33})
+	rep := func(x, y, ts int64) eval.Tuple {
+		return eval.NewTuple("report", ast.Compound("r", ast.Int64(x), ast.Int64(y), ast.Int64(ts)))
+	}
+	base := []eval.Tuple{
+		rep(0, 0, 1), rep(1, 1, 2), rep(2, 2, 3), // track 1
+		rep(4, 0, 1), rep(5, 1, 2), rep(6, 2, 3), // parallel track 2
+	}
+	for i, b := range base {
+		e.InjectAt(nsim.Time(i*9), nsim.NodeID((i*11+2)%nw.Len()), b)
+	}
+	nw.Run(0)
+	oracleCompare(t, e, src, base, "traj/1", "complete/1", "parallel/2")
+	if n := len(e.Derived("complete/1")); n != 2 {
+		t.Errorf("complete = %v", e.Derived("complete/1"))
+	}
+	if n := len(e.Derived("parallel/2")); n != 2 { // both orderings
+		t.Errorf("parallel = %v", e.Derived("parallel/2"))
+	}
+}
+
+// Deletion inside a windowed stream: the deletion marker respects the
+// window (Theorem 3's visibility rules combine).
+func TestWindowedDeletion(t *testing.T) {
+	src := `
+.base ra/2.
+.base rb/2.
+.window ra/2 5000.
+.window rb/2 5000.
+outw(X, Z) :- ra(X, Y), rb(Y, Z).
+`
+	e, nw := buildGrid(t, 5, src, Config{Scheme: gpa.Perpendicular}, nsim.Config{Seed: 34})
+	a := eval.NewTuple("ra", ast.Int64(1), ast.Int64(2))
+	b := eval.NewTuple("rb", ast.Int64(2), ast.Int64(3))
+	e.InjectAt(0, 2, a)
+	e.InjectAt(100, 20, b)
+	e.InjectDeleteAt(2500, 2, a)
+	nw.Run(0)
+	if n := len(e.Derived("outw/2")); n != 0 {
+		t.Errorf("deleted within window: %v", e.Derived("outw/2"))
+	}
+}
+
+// NaiveBroadcast evaluates negation locally (everything is replicated
+// everywhere) and must agree with the oracle.
+func TestNaiveBroadcastNegation(t *testing.T) {
+	e, nw := buildGrid(t, 5, uncovSrc, Config{Scheme: gpa.NaiveBroadcast}, nsim.Config{Seed: 35})
+	base := []eval.Tuple{
+		vehT("enemy", 0, 0, 1),
+		vehT("friendly", 3, 4, 1),
+		vehT("enemy", 30, 30, 1),
+	}
+	for i, b := range base {
+		e.InjectAt(nsim.Time(i*6), nsim.NodeID((i*7+1)%nw.Len()), b)
+	}
+	nw.Run(0)
+	oracleCompare(t, e, uncovSrc, base, "cov/2", "uncov/2")
+}
+
+// MultiPass with a negated subgoal still agrees with the oracle.
+func TestMultiPassWithNegation(t *testing.T) {
+	e, nw := buildGrid(t, 6, lateNegSrc, Config{Scheme: gpa.Perpendicular, MultiPass: true}, nsim.Config{Seed: 36})
+	base := []eval.Tuple{
+		eval.NewTuple("ra", ast.Int64(1), ast.Int64(2)),
+		eval.NewTuple("rb", ast.Int64(2), ast.Int64(3)),
+		eval.NewTuple("ex", ast.Int64(3)),
+		eval.NewTuple("ra", ast.Int64(7), ast.Int64(8)),
+		eval.NewTuple("rb", ast.Int64(8), ast.Int64(9)),
+	}
+	for i, b := range base {
+		e.InjectAt(nsim.Time(i*5), nsim.NodeID((i*13+4)%nw.Len()), b)
+	}
+	nw.Run(0)
+	oracleCompare(t, e, lateNegSrc, base, "res/2")
+}
+
+// Centroid scheme under deletions: the deletion marker follows the same
+// region-storage path and the join flood computes the removals.
+func TestCentroidDeletion(t *testing.T) {
+	e, nw := buildGrid(t, 6, joinSrc, Config{Scheme: gpa.Centroid}, nsim.Config{Seed: 37})
+	ra := eval.NewTuple("ra", ast.Int64(1), ast.Int64(2))
+	rb := eval.NewTuple("rb", ast.Int64(2), ast.Int64(3))
+	e.InjectAt(0, 3, ra)
+	e.InjectAt(5, 30, rb)
+	e.InjectDeleteAt(6000, 3, ra)
+	nw.Run(0)
+	oracleCompare(t, e, joinSrc, []eval.Tuple{rb}, "out/2")
+	if n := len(e.Derived("out/2")); n != 0 {
+		t.Errorf("centroid deletion failed: %v", e.Derived("out/2"))
+	}
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/eval"
+	"repro/internal/gpa"
+	"repro/internal/nsim"
+	"repro/internal/topo"
+)
+
+// The central correctness property (Theorems 1-3): on ANY timeline of
+// insertions and deletions, injected at arbitrary nodes with arbitrary
+// (bounded-skew) clocks, the engine's final derived state equals the
+// centralized oracle over the surviving base facts.
+func TestPropertyRandomTimelineMatchesOracle(t *testing.T) {
+	type workload struct {
+		name string
+		src  string
+		gen  func(r *rand.Rand, i int) eval.Tuple
+	}
+	workloads := []workload{
+		{
+			name: "join",
+			src: `
+.base ra/2.
+.base rb/2.
+out(X, Z) :- ra(X, Y), rb(Y, Z).
+`,
+			gen: func(r *rand.Rand, i int) eval.Tuple {
+				if r.Intn(2) == 0 {
+					return eval.NewTuple("ra", ast.Int64(int64(i)), ast.Int64(int64(r.Intn(5))))
+				}
+				return eval.NewTuple("rb", ast.Int64(int64(r.Intn(5))), ast.Int64(int64(i)))
+			},
+		},
+		{
+			name: "negation",
+			src: `
+.base veh/3.
+cov(L, T) :- veh(enemy, L, T), veh(friendly, L2, T), dist(L, L2) <= 5.
+uncov(L, T) :- NOT cov(L, T), veh(enemy, L, T).
+`,
+			gen: func(r *rand.Rand, i int) eval.Tuple {
+				kind := "enemy"
+				if r.Intn(2) == 0 {
+					kind = "friendly"
+				}
+				return eval.NewTuple("veh", ast.Symbol(kind),
+					ast.Compound("loc", ast.Int64(int64(r.Intn(6))), ast.Int64(int64(r.Intn(6)))),
+					ast.Int64(int64(r.Intn(2))))
+			},
+		},
+		{
+			name: "recursion",
+			src: `
+.base edge/2.
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`,
+			gen: func(r *rand.Rand, i int) eval.Tuple {
+				// DAG edges: locally non-recursive derivations.
+				a := r.Intn(5)
+				return eval.NewTuple("edge", ast.Int64(int64(a)), ast.Int64(int64(a+1+r.Intn(2))))
+			},
+		},
+	}
+
+	for _, w := range workloads {
+		for seed := int64(0); seed < 3; seed++ {
+			// seed 2 additionally runs under 6% loss with link ARQ: the
+			// retransmissions make delivery near-certain, so Theorem 3's
+			// bounded-delay assumption still holds and the oracle
+			// equivalence must survive.
+			simCfg := nsim.Config{Seed: seed, MaxSkew: 6}
+			if seed == 2 {
+				simCfg.LossRate = 0.06
+				simCfg.Retries = 6
+			}
+			t.Run(fmt.Sprintf("%s/seed%d", w.name, seed), func(t *testing.T) {
+				r := rand.New(rand.NewSource(seed*101 + 7))
+				e, nw := buildGrid(t, 6, w.src,
+					Config{Scheme: gpa.Perpendicular},
+					simCfg)
+
+				live := map[string]eval.Tuple{}
+				origin := map[string]nsim.NodeID{}
+				at := nsim.Time(0)
+				// Space the ops so each settles: the oracle equivalence is
+				// about the *final* state; ops are still concurrent within
+				// each other's storage/join phases because deltas overlap.
+				for i := 0; i < 25; i++ {
+					at += nsim.Time(r.Intn(400))
+					if len(live) > 0 && r.Intn(100) < 30 {
+						keys := make([]string, 0, len(live))
+						for k := range live {
+							keys = append(keys, k)
+						}
+						k := keys[r.Intn(len(keys))]
+						e.InjectDeleteAt(at, origin[k], live[k])
+						delete(live, k)
+						continue
+					}
+					tup := w.gen(r, i)
+					if _, dup := live[tup.Key()]; dup {
+						continue
+					}
+					node := nsim.NodeID(r.Intn(nw.Len()))
+					live[tup.Key()] = tup
+					origin[tup.Key()] = node
+					e.InjectAt(at, node, tup)
+				}
+				nw.Run(0)
+
+				var base []eval.Tuple
+				for _, tup := range live {
+					base = append(base, tup)
+				}
+				oracleCompare(t, e, w.src, base, deriveds(w.src)...)
+			})
+		}
+	}
+}
+
+// deriveds lists derived predicate keys of a source program.
+func deriveds(src string) []string {
+	switch {
+	case contains(src, "uncov"):
+		return []string{"cov/2", "uncov/2"}
+	case contains(src, "path"):
+		return []string{"path/2"}
+	default:
+		return []string{"out/2"}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// With link-layer ARQ the join stays complete under 10% loss — the E7
+// robustness claim as a test.
+func TestLossWithARQStaysComplete(t *testing.T) {
+	e, nw := buildGrid(t, 6, joinSrc,
+		Config{Scheme: gpa.Perpendicular},
+		nsim.Config{Seed: 3, LossRate: 0.1, Retries: 4})
+	for i := 0; i < 8; i++ {
+		e.InjectAt(nsim.Time(i*11), nsim.NodeID((i*7)%nw.Len()),
+			eval.NewTuple("ra", ast.Int64(int64(i)), ast.Int64(int64(i))))
+		e.InjectAt(nsim.Time(i*11+5), nsim.NodeID((i*13+2)%nw.Len()),
+			eval.NewTuple("rb", ast.Int64(int64(i)), ast.Int64(int64(i))))
+	}
+	nw.Run(0)
+	if n := len(e.Derived("out/2")); n != 8 {
+		t.Errorf("results under loss+ARQ = %d, want 8", n)
+	}
+}
+
+// logicH (the paper's original Example 3 program) distributed: the full
+// 3-ary tree edges must be exactly the BFS tree levels.
+func TestLogicHDistributed(t *testing.T) {
+	const src = `
+.base g/2.
+.store g/2 at 0 hops 1.
+.store h/3 at 1 hops 1.
+.store hp/2 at 0.
+h(n0, n0, 0).
+h(n0, X, 1) :- g(n0, X).
+hp(Y, D1) :- h(W, Y, Dp), D1 = D + 1, D1 > Dp, h(V, X, D), g(X, Y).
+h(X, Y, D1) :- g(X, Y), h(V, X, D), D1 = D + 1, NOT hp(Y, D1).
+`
+	m := 4
+	nw := topo.Grid(m, nsim.Config{Seed: 21})
+	e, err := New(nw, mustProg(t, src), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Finalize()
+	base := injectGridEdges(e, nw)
+	e.Start()
+	nw.Run(0)
+	oracleCompare(t, e, src, base, "h/3")
+
+	// Every node enters the tree exactly at its BFS depth.
+	depth := map[string]int64{}
+	for _, h := range e.Derived("h/3") {
+		node := h.Args[1].Str
+		if d, ok := depth[node]; !ok || h.Args[2].Int < d {
+			depth[node] = h.Args[2].Int
+		}
+	}
+	for _, h := range e.Derived("h/3") {
+		if h.Args[2].Int != depth[h.Args[1].Str] {
+			t.Errorf("non-shortest edge %v", h)
+		}
+	}
+	var id int
+	for node, d := range depth {
+		fmt.Sscanf(node, "n%d", &id)
+		p, q := topo.GridCoords(m, nsim.NodeID(id))
+		if d != int64(p+q) {
+			t.Errorf("depth(%s) = %d, want %d", node, d, p+q)
+		}
+	}
+}
+
+// Band-mode PA on a random geometric topology: two-stream joins complete.
+func TestBandPAOnRandomTopology(t *testing.T) {
+	nw, err := topo.RandomGeometric(45, 9, 2.7, 31, nsim.Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(nw, mustProg(t, joinSrc), Config{Scheme: gpa.Perpendicular, BandWidth: 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Finalize()
+	e.Start()
+	var base []eval.Tuple
+	for i := 0; i < 6; i++ {
+		a := eval.NewTuple("ra", ast.Int64(int64(i)), ast.Int64(int64(i)))
+		b := eval.NewTuple("rb", ast.Int64(int64(i)), ast.Int64(int64(i+100)))
+		base = append(base, a, b)
+		e.InjectAt(nsim.Time(i*9), nsim.NodeID((i*7)%nw.Len()), a)
+		e.InjectAt(nsim.Time(i*9+4), nsim.NodeID((i*11+3)%nw.Len()), b)
+	}
+	nw.Run(0)
+	oracleCompare(t, e, joinSrc, base, "out/2")
+}
+
+// Band-mode rejects programs beyond two-stream positive joins.
+func TestBandPARejectsComplexRules(t *testing.T) {
+	nw, err := topo.RandomGeometric(30, 8, 2.7, 33, nsim.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(nw, mustProg(t, threeWaySrc), Config{Scheme: gpa.Perpendicular, BandWidth: 4.0})
+	if err == nil {
+		t.Fatal("three-way join should be rejected in band mode")
+	}
+}
+
+// Dead nodes along a row: storage still replicates around them thanks to
+// greedy-avoid detours (the fault-tolerance motivation of Section III-A).
+func TestJoinSurvivesDeadNode(t *testing.T) {
+	e, nw := buildGrid(t, 6, joinSrc, Config{Scheme: gpa.Perpendicular}, nsim.Config{Seed: 10})
+	// Kill a node that sits on the storage row of (1,2) and the join
+	// column of (4,3).
+	nw.Node(topo.GridID(6, 3, 2)).Down = true
+	e.InjectAt(0, topo.GridID(6, 1, 2), eval.NewTuple("ra", ast.Int64(1), ast.Int64(2)))
+	e.InjectAt(5, topo.GridID(6, 4, 3), eval.NewTuple("rb", ast.Int64(2), ast.Int64(3)))
+	nw.Run(0)
+	if n := len(e.Derived("out/2")); n != 1 {
+		t.Errorf("join across dead node: %d results", n)
+	}
+}
+
+// The result log of a .query predicate records inserts and deletes in
+// order with node and time attribution.
+func TestResultLogOrdering(t *testing.T) {
+	e, nw := buildGrid(t, 5, `
+.base s/1.
+d(X) :- s(X).
+.query d/1.
+`, Config{Scheme: gpa.Perpendicular}, nsim.Config{Seed: 12})
+	tup := eval.NewTuple("s", ast.Int64(1))
+	e.InjectAt(0, 3, tup)
+	e.InjectDeleteAt(4000, 3, tup)
+	nw.Run(0)
+	if len(e.ResultLog) != 2 {
+		t.Fatalf("log = %v", e.ResultLog)
+	}
+	if !e.ResultLog[0].Insert || e.ResultLog[1].Insert {
+		t.Error("log order wrong")
+	}
+	if e.ResultLog[0].At >= e.ResultLog[1].At {
+		t.Error("timestamps not increasing")
+	}
+}
+
+// Multiple rules with the same head predicate: derivations carry the
+// rule ID, so deleting one rule's support keeps the other's alive.
+func TestMultipleRulesSameHeadIndependentDerivations(t *testing.T) {
+	src := `
+.base p/1.
+.base q/1.
+r(X) :- p(X).
+r(X) :- q(X).
+`
+	e, nw := buildGrid(t, 5, src, Config{Scheme: gpa.Perpendicular}, nsim.Config{Seed: 13})
+	pt := eval.NewTuple("p", ast.Int64(1))
+	qt := eval.NewTuple("q", ast.Int64(1))
+	e.InjectAt(0, 2, pt)
+	e.InjectAt(5, 9, qt)
+	e.InjectDeleteAt(4000, 2, pt)
+	nw.Run(0)
+	// r(1) still derivable from q(1).
+	if n := len(e.Derived("r/1")); n != 1 {
+		t.Errorf("r = %v", e.Derived("r/1"))
+	}
+	e.InjectDeleteAt(int64Time(nw)+100, 9, qt)
+	nw.Run(0)
+	if n := len(e.Derived("r/1")); n != 0 {
+		t.Errorf("r should be gone: %v", e.Derived("r/1"))
+	}
+}
+
+func int64Time(nw *nsim.Network) nsim.Time { return nw.Now() }

@@ -1,0 +1,1190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/builtin"
+	"repro/internal/datalog/eval"
+	"repro/internal/datalog/unify"
+	"repro/internal/gpa"
+	"repro/internal/nsim"
+	"repro/internal/routing"
+	"repro/internal/window"
+)
+
+// Message kinds on the wire.
+const (
+	kindStore  = "store"  // replication / deletion-marker walker or flood
+	kindJoin   = "join"   // join-computation walker or flood
+	kindResult = "result" // complete result routed to its home node
+)
+
+// Timer keys.
+const (
+	timerJoinPhase = "joinphase"
+	timerFinalize  = "finalize"
+)
+
+// storeMsg replicates a tuple over its storage region (Del set turns it
+// into a deletion marker carrying the deletion stamp).
+type storeMsg struct {
+	Tuple eval.Tuple
+	ID    window.Stamp
+	Del   *window.Stamp
+
+	Legs     []gpa.Leg
+	LegIdx   int
+	Visited  map[nsim.NodeID]bool
+	Flood    bool
+	TTL      int // remaining flood hops; -1 = unlimited
+	ToServer bool
+	// ToNode: walk to this specific node and store only there (the
+	// Centroid scheme's hash-spread region storage).
+	ToNode    nsim.NodeID
+	HasToNode bool
+	Band      *gpa.Band
+}
+
+// partialR is a partial result (Definition 1) in flight.
+type partialR struct {
+	cr     *compiledRule
+	pinned int // body index the update occupies (-1 when pinned at a negated subgoal)
+	subst  unify.Subst
+	used   []posStamp // positive body tuples joined so far (sorted by idx on emit)
+	bound  uint64     // bitmask over body indices of bound positive subgoals
+	bDone  uint64     // bitmask over body indices of satisfied builtins
+	// negGroundAtSeed: every negated subgoal was ground under the seed
+	// substitution, so sweep-long filtering covers the whole region.
+	negGroundAtSeed bool
+}
+
+type posStamp struct {
+	idx   int
+	stamp window.Stamp
+}
+
+// candR is a complete result on its way to (or buffered at) its home.
+type candR struct {
+	cr       *compiledRule
+	Head     eval.Tuple
+	DerivKey string
+	Add      bool
+	Update   window.Stamp // stamp of the triggering update (visibility τ)
+	// negCheckedFromStart: the negated subgoals were ground from the
+	// first sweep node, so the single pass covered the whole region.
+	negCheckedFromStart bool
+	// pendSubst/pendSkip support region-wide negation filtering while the
+	// candidate rides along the sweep.
+	pendSubst unify.Subst
+	pendSkip  int
+}
+
+// joinMsg is a join-computation walker (or flood).
+type joinMsg struct {
+	Update eval.Tuple
+	ID     window.Stamp // generation stamp of the update tuple
+	Tau    window.Stamp // visibility stamp (deletion stamp for deletes)
+	Del    bool
+
+	Partials []*partialR
+	Pending  []*candR
+
+	Legs    []gpa.Leg
+	LegIdx  int
+	Visited map[nsim.NodeID]bool
+	Flood   bool
+	// FloodTTL bounds a flood's hop count (0 = unlimited); FloodAfter
+	// starts a TTL-flood once the legs finish (Centroid: seek to the
+	// region center, then flood the region).
+	FloodTTL   int
+	FloodAfter bool
+	Band       *gpa.Band
+
+	Verify   bool // verification pass: only filter Pending, no expansion
+	Pass     int  // multi-pass index
+	PassRule *compiledRule
+	PassPin  int
+}
+
+// resultMsg routes one candidate to its home node.
+type resultMsg struct {
+	Cand    *candR
+	TX, TY  float64
+	Home    nsim.NodeID
+	HasHome bool
+	Visited map[nsim.NodeID]bool
+}
+
+// updateRec is the pending join-phase work scheduled by a generation.
+type updateRec struct {
+	Tuple eval.Tuple
+	ID    window.Stamp
+	Tau   window.Stamp
+	Del   bool
+}
+
+// nodeRT is the per-node runtime: the join component of Figure 3.
+type nodeRT struct {
+	e    *Engine
+	node *nsim.Node
+
+	store *window.Store
+	seq   int64
+	dedup routing.Dedup
+
+	// Home-node state for derived tuples.
+	derivs      map[string]map[string]bool // tupleKey -> derivation keys
+	derivedLive map[string]eval.Tuple      // live derived tuples homed here
+	derivedIDs  map[string]window.Stamp    // their generation stamps
+
+	aggSessions map[string]*aggSession // epoch -> collection state
+	lastExpire  int64
+
+	// pendingCands buffers result candidates until their finalize
+	// deadlines; they drain in update-stamp order so ties on the
+	// deadline tick cannot apply a removal before the add it targets.
+	pendingCands []pendingCand
+}
+
+// pendingCand is a buffered candidate with its deadline.
+type pendingCand struct {
+	c  *candR
+	at nsim.Time
+}
+
+func newNodeRT(e *Engine, n *nsim.Node) *nodeRT {
+	return &nodeRT{
+		e:           e,
+		node:        n,
+		store:       window.NewStore(),
+		derivs:      make(map[string]map[string]bool),
+		derivedLive: make(map[string]eval.Tuple),
+		derivedIDs:  make(map[string]window.Stamp),
+		aggSessions: make(map[string]*aggSession),
+	}
+}
+
+// Init implements nsim.Handler.
+func (rt *nodeRT) Init(n *nsim.Node) {}
+
+// Timer implements nsim.Handler.
+func (rt *nodeRT) Timer(n *nsim.Node, key string, data interface{}) {
+	switch key {
+	case timerJoinPhase:
+		rt.joinPhase(data.(*updateRec))
+	case timerFinalize:
+		rt.drainFinalize()
+	case timerAggSend:
+		rt.aggSend(data.(string))
+	case timerAggFinal:
+		rt.aggFinal(data.(string))
+	}
+}
+
+// Receive implements nsim.Handler.
+func (rt *nodeRT) Receive(n *nsim.Node, m *nsim.Message) {
+	switch m.Kind {
+	case kindStore:
+		rt.onStore(m.Payload.(*storeMsg))
+	case kindJoin:
+		rt.onJoin(m.Payload.(*joinMsg))
+	case kindResult:
+		rt.onResult(m.Payload.(*resultMsg))
+	case kindAggBuild:
+		rt.onAggBuild(m.Src, m.Payload.(*aggBuildMsg))
+	case kindAggPartial:
+		rt.onAggPartial(m.Payload.(*aggPartialMsg))
+	}
+}
+
+// --- generation: a tuple is inserted or deleted at this node ---
+
+// generate starts the storage phase of an insertion (del == nil) or a
+// deletion of the tuple with original stamp *del. It returns the
+// generation stamp (for inserts) or the deletion stamp (for deletes).
+func (rt *nodeRT) generate(t eval.Tuple, del *window.Stamp) window.Stamp {
+	rt.expire()
+	rt.seq++
+	stamp := window.Stamp{TS: int64(rt.node.LocalTime()), Node: int(rt.node.ID), Seq: rt.seq}
+	var id window.Stamp // generation stamp of the tuple itself
+	var delStamp *window.Stamp
+	if del == nil {
+		id = stamp
+	} else {
+		id = *del
+		delStamp = &stamp
+	}
+	if rt.e.prog.IsBase(t.Pred) {
+		if del == nil {
+			rt.e.baseIDs[t.Key()] = id
+		} else {
+			delete(rt.e.baseIDs, t.Key())
+		}
+	}
+	if rt.e.queryPreds[t.Pred] {
+		rt.e.ResultLog = append(rt.e.ResultLog, ResultEvent{
+			Tuple: t, Insert: del == nil, At: rt.node.Now(), Node: rt.node.ID,
+		})
+	}
+
+	// Storage phase.
+	rt.applyStoreLocal(t, id, delStamp)
+	if pl, ok := rt.e.placements[t.Pred]; ok {
+		if pl.Hops > 0 {
+			rt.floodStore(&storeMsg{Tuple: t, ID: id, Del: delStamp, Flood: true, TTL: pl.Hops})
+		}
+	} else {
+		switch rt.e.cfg.Scheme {
+		case gpa.Centroid:
+			home := rt.e.centroidFor(t.Key())
+			if home.ID != rt.node.ID {
+				sm := &storeMsg{
+					Tuple: t, ID: id, Del: delStamp,
+					Legs:   []gpa.Leg{{TargetX: home.X, TargetY: home.Y}},
+					ToNode: home.ID, HasToNode: true,
+					Visited: map[nsim.NodeID]bool{rt.node.ID: true},
+				}
+				rt.forwardStore(sm)
+			}
+			// Join phase (below) floods the centroid region.
+		case gpa.Centralized:
+			if rt.node.ID != rt.e.cfg.Server {
+				server := rt.e.nw.Node(rt.e.cfg.Server)
+				sm := &storeMsg{
+					Tuple: t, ID: id, Del: delStamp, ToServer: true,
+					Legs:    []gpa.Leg{{TargetX: server.X, TargetY: server.Y}},
+					Visited: map[nsim.NodeID]bool{rt.node.ID: true},
+				}
+				rt.forwardStore(sm)
+			} else {
+				rt.serverJoin(t, id, stamp, delStamp != nil)
+			}
+			return stamp // no per-source join phase in the centralized scheme
+		default:
+			plan := rt.e.planner.Storage(rt.node)
+			switch {
+			case plan.Band != nil:
+				sm := &storeMsg{Tuple: t, ID: id, Del: delStamp, Flood: true, TTL: -1, Band: plan.Band}
+				rt.bandBroadcast(kindStore, sm, plan.Band, sizeOfTuple(t)+8)
+				rt.dedup.Check(fmt.Sprintf("st|%s|%v", id.Key(), delStamp != nil))
+			case plan.Flood:
+				rt.floodStore(&storeMsg{Tuple: t, ID: id, Del: delStamp, Flood: true, TTL: -1})
+			case plan.Local:
+				// already stored locally
+			default:
+				for _, leg := range plan.Legs {
+					sm := &storeMsg{
+						Tuple: t, ID: id, Del: delStamp,
+						Legs:    []gpa.Leg{leg},
+						Visited: map[nsim.NodeID]bool{rt.node.ID: true},
+					}
+					rt.forwardStore(sm)
+				}
+			}
+		}
+	}
+
+	// Join-computation phase after the storage settle delay (Thm 3).
+	rec := &updateRec{Tuple: t, ID: id, Tau: stamp, Del: delStamp != nil}
+	rt.node.SetTimer(rt.e.cfg.TauS+rt.e.cfg.TauC, timerJoinPhase, rec)
+	return stamp
+}
+
+// applyStoreLocal stores a replica or records a deletion stamp.
+func (rt *nodeRT) applyStoreLocal(t eval.Tuple, id window.Stamp, del *window.Stamp) {
+	if del == nil {
+		rt.store.Insert(t, id)
+	} else {
+		rt.store.MarkDeleted(t.Pred, id, *del)
+	}
+}
+
+// floodStore broadcasts a replication flood (TTL-limited for placements).
+func (rt *nodeRT) floodStore(sm *storeMsg) {
+	key := fmt.Sprintf("st|%s|%v", sm.ID.Key(), sm.Del != nil)
+	rt.dedup.Check(key) // mark own
+	rt.node.Broadcast(kindStore, sm, sizeOfTuple(sm.Tuple)+8)
+}
+
+// forwardStore advances a storage walker one hop.
+func (rt *nodeRT) forwardStore(sm *storeMsg) {
+	leg := sm.Legs[sm.LegIdx]
+	arrived := routing.AtTarget(rt.e.nw, rt.node.ID, leg.TargetX, leg.TargetY)
+	if sm.HasToNode {
+		arrived = sm.ToNode == rt.node.ID
+	}
+	if arrived {
+		rt.storeWalkerArrived(sm)
+		return
+	}
+	next, ok := routing.NextHopGreedyAvoid(rt.e.nw, rt.node.ID, leg.TargetX, leg.TargetY, sm.Visited)
+	if !ok {
+		rt.storeWalkerArrived(sm)
+		return
+	}
+	sm.Visited[next] = true
+	rt.node.Send(next, kindStore, sm, sizeOfTuple(sm.Tuple)+8)
+}
+
+func (rt *nodeRT) storeWalkerArrived(sm *storeMsg) {
+	if sm.HasToNode {
+		rt.applyStoreLocal(sm.Tuple, sm.ID, sm.Del)
+		return
+	}
+	if sm.ToServer {
+		rt.applyStoreLocal(sm.Tuple, sm.ID, sm.Del)
+		rt.seq++
+		tau := window.Stamp{TS: int64(rt.node.LocalTime()), Node: int(rt.node.ID), Seq: rt.seq}
+		rt.serverJoin(sm.Tuple, sm.ID, tau, sm.Del != nil)
+	}
+}
+
+// onStore handles a replication message.
+func (rt *nodeRT) onStore(sm *storeMsg) {
+	rt.expire()
+	if sm.Flood {
+		key := fmt.Sprintf("st|%s|%v", sm.ID.Key(), sm.Del != nil)
+		if rt.dedup.Check(key) {
+			return
+		}
+		rt.applyStoreLocal(sm.Tuple, sm.ID, sm.Del)
+		if sm.TTL != 0 {
+			fwd := *sm
+			if fwd.TTL > 0 {
+				fwd.TTL--
+			}
+			if fwd.TTL != 0 {
+				if fwd.Band != nil {
+					rt.bandBroadcast(kindStore, &fwd, fwd.Band, sizeOfTuple(sm.Tuple)+8)
+				} else {
+					rt.node.Broadcast(kindStore, &fwd, sizeOfTuple(sm.Tuple)+8)
+				}
+			}
+		}
+		return
+	}
+	if sm.ToServer || sm.HasToNode {
+		// Pure transit toward the server / region node.
+		rt.forwardStore(sm)
+		return
+	}
+	// Sweep replication: store here and keep walking.
+	rt.applyStoreLocal(sm.Tuple, sm.ID, sm.Del)
+	rt.forwardStore(sm)
+}
+
+// --- join-computation phase ---
+
+// joinPhase runs once per update at its source node, τs+τc after the
+// storage phase began.
+func (rt *nodeRT) joinPhase(rec *updateRec) {
+	rt.expire()
+	trigs := rt.e.triggers[rec.Tuple.Pred]
+	if len(trigs) == 0 {
+		return
+	}
+	_, placed := rt.e.placements[rec.Tuple.Pred]
+
+	var hashPartials []*partialR
+	for _, tg := range trigs {
+		p, ok := rt.seedPartial(tg, rec)
+		if !ok {
+			continue
+		}
+		if tg.rule.mode == localMode {
+			// Localized join: expand fully against the local store and
+			// route candidates to the head's placement node.
+			rt.expandLocally(p, rec)
+			continue
+		}
+		if placed {
+			continue // placed predicates only drive local-mode rules
+		}
+		hashPartials = append(hashPartials, p)
+	}
+	if len(hashPartials) == 0 {
+		return
+	}
+
+	if rt.e.cfg.Scheme == gpa.Centroid {
+		// Seek to the region center, then flood the region with a small
+		// TTL so every region node extends the pinned partials.
+		minX, minY, maxX, maxY := boundsOf(rt.e.nw)
+		ttl := int(rt.e.cfg.CentroidRadius/rt.e.nw.Config().Range) + 2
+		jm := &joinMsg{
+			Update: rec.Tuple, ID: rec.ID, Tau: rec.Tau, Del: rec.Del,
+			Partials:   hashPartials,
+			Legs:       []gpa.Leg{{TargetX: (minX + maxX) / 2, TargetY: (minY + maxY) / 2}},
+			Visited:    map[nsim.NodeID]bool{rt.node.ID: true},
+			FloodAfter: true, FloodTTL: ttl,
+		}
+		rt.forwardJoin(jm)
+		return
+	}
+	plan := rt.e.planner.Join(rt.node)
+	switch {
+	case plan.Band != nil:
+		jm := &joinMsg{
+			Update: rec.Tuple, ID: rec.ID, Tau: rec.Tau, Del: rec.Del,
+			Partials: hashPartials, Flood: true, Band: plan.Band,
+		}
+		rt.processJoinHere(jm)
+		rt.dedup.Check("jf|" + jm.ID.Key() + fmt.Sprintf("|%v", jm.Del))
+		rt.bandBroadcast(kindJoin, jm, plan.Band, rt.joinMsgSize(jm))
+	case plan.Local:
+		// All replicas are local (naive-broadcast): expand in place.
+		for _, p := range hashPartials {
+			rt.expandLocalHash(p, rec)
+		}
+	case plan.Flood:
+		jm := &joinMsg{
+			Update: rec.Tuple, ID: rec.ID, Tau: rec.Tau, Del: rec.Del,
+			Partials: hashPartials, Flood: true,
+		}
+		rt.processJoinHere(jm)
+		rt.floodJoin(jm)
+	default:
+		if rt.e.cfg.MultiPass {
+			for _, p := range hashPartials {
+				rt.launchMultiPass(p, rec, plan)
+			}
+			return
+		}
+		jm := &joinMsg{
+			Update: rec.Tuple, ID: rec.ID, Tau: rec.Tau, Del: rec.Del,
+			Partials: hashPartials,
+			Legs:     plan.Legs,
+			Visited:  map[nsim.NodeID]bool{rt.node.ID: true},
+		}
+		rt.forwardJoin(jm)
+	}
+}
+
+// seedPartial pins the update at the trigger's body position.
+func (rt *nodeRT) seedPartial(tg trigger, rec *updateRec) (*partialR, bool) {
+	lit := tg.rule.rule.Body[tg.bodyIdx]
+	s, ok := unify.MatchArgs(lit.Args, rec.Tuple.Args, unify.Subst{})
+	if !ok {
+		return nil, false
+	}
+	p := &partialR{cr: tg.rule, subst: s}
+	if tg.negated {
+		p.pinned = -1
+		// A deletion from a negated stream enables derivations (Add);
+		// an insertion retracts them. The caller reads this off rec.Del.
+	} else {
+		p.pinned = tg.bodyIdx
+		p.bound = 1 << uint(tg.bodyIdx)
+		p.used = append(p.used, posStamp{idx: tg.bodyIdx, stamp: rec.ID})
+	}
+	// Evaluate any builtins already ground.
+	p2, ok := rt.evalBuiltins(p)
+	if !ok {
+		return nil, false
+	}
+	p2.negGroundAtSeed = rt.negReady(p2)
+	return p2, true
+}
+
+// evalBuiltins evaluates every not-yet-done builtin whose arguments are
+// ground (or is an = that can bind); returns false when one fails.
+func (rt *nodeRT) evalBuiltins(p *partialR) (*partialR, bool) {
+	reg := rt.e.cfg.Registry
+	subst := p.subst
+	done := p.bDone
+	for progress := true; progress; {
+		progress = false
+		for i, l := range p.cr.rule.Body {
+			if !l.Builtin || done&(1<<uint(i)) != 0 {
+				continue
+			}
+			ok, ns, err := reg.Eval(l, subst)
+			if errors.Is(err, builtin.ErrNotGround) {
+				continue
+			}
+			if err != nil || !ok {
+				return nil, false
+			}
+			subst = ns
+			done |= 1 << uint(i)
+			progress = true
+		}
+	}
+	if subst.Len() == p.subst.Len() && done == p.bDone {
+		return p, true
+	}
+	np := *p
+	np.subst = subst
+	np.bDone = done
+	return &np, true
+}
+
+// complete reports whether all positive subgoals are bound and all
+// builtins satisfied.
+func (p *partialR) complete() bool {
+	for _, i := range p.cr.posIdx {
+		if p.bound&(1<<uint(i)) == 0 {
+			return false
+		}
+	}
+	for i, l := range p.cr.rule.Body {
+		if l.Builtin && p.bDone&(1<<uint(i)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// extend tries to bind unbound positive subgoals of p against the local
+// store (visible at tau), producing new partials; out gathers them.
+func (rt *nodeRT) extend(p *partialR, tau window.Stamp, onlyIdx int, out *[]*partialR) {
+	for _, i := range p.cr.posIdx {
+		if p.bound&(1<<uint(i)) != 0 {
+			continue
+		}
+		if onlyIdx >= 0 && i != onlyIdx {
+			continue
+		}
+		lit := p.cr.rule.Body[i]
+		w := rt.e.windows[lit.PredKey()]
+		for _, e := range rt.store.Visible(lit.PredKey(), tau, w) {
+			ns, ok := unify.MatchArgs(lit.Args, e.Tuple.Args, p.subst)
+			if !ok {
+				continue
+			}
+			np := &partialR{
+				cr: p.cr, pinned: p.pinned, subst: ns,
+				bound: p.bound | 1<<uint(i), bDone: p.bDone,
+				negGroundAtSeed: p.negGroundAtSeed,
+			}
+			np.used = append(append([]posStamp(nil), p.used...), posStamp{idx: i, stamp: e.ID})
+			np2, ok := rt.evalBuiltins(np)
+			if !ok {
+				continue
+			}
+			*out = append(*out, np2)
+		}
+	}
+}
+
+// saturate expands partials transitively against the local store,
+// returning all partials (original + derived) deduplicated by shape.
+func (rt *nodeRT) saturate(partials []*partialR, tau window.Stamp, onlyIdx int) []*partialR {
+	all := append([]*partialR(nil), partials...)
+	seen := map[string]bool{}
+	for _, p := range all {
+		seen[p.key()] = true
+	}
+	for i := 0; i < len(all); i++ {
+		var out []*partialR
+		rt.extend(all[i], tau, onlyIdx, &out)
+		for _, np := range out {
+			k := np.key()
+			if !seen[k] {
+				seen[k] = true
+				all = append(all, np)
+			}
+		}
+	}
+	return all
+}
+
+// key canonically identifies a partial (rule, pinned position, used
+// tuples) for deduplication within a sweep.
+func (p *partialR) key() string {
+	k := fmt.Sprintf("r%d|p%d", p.cr.rule.ID, p.pinned)
+	ids := make([]string, 0, len(p.used))
+	for _, u := range p.used {
+		ids = append(ids, fmt.Sprintf("%d:%s", u.idx, u.stamp.Key()))
+	}
+	sortStrings(ids)
+	for _, s := range ids {
+		k += "|" + s
+	}
+	return k
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// negReady reports whether all negated subgoals are ground under p.
+func (rt *nodeRT) negReady(p *partialR) bool {
+	for _, ni := range p.cr.negIdx {
+		lit := p.cr.rule.Body[ni]
+		for _, a := range lit.Args {
+			if !p.subst.Apply(a).Ground() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// negMatchLocal reports whether any local visible tuple matches a
+// stamp-ordered negated subgoal of the candidate's rule under subst.
+// skipPinned skips the subgoal index pinned by a negated-trigger update.
+func (rt *nodeRT) negMatchLocal(cr *compiledRule, subst unify.Subst, tau window.Stamp, skipIdx int) bool {
+	for k, ni := range cr.negIdx {
+		if ni == skipIdx {
+			continue
+		}
+		if cr.negSameStage[k] {
+			continue // same-stage negation is checked at finalize time
+		}
+		lit := cr.rule.Body[ni]
+		w := rt.e.windows[lit.PredKey()]
+		for _, e := range rt.store.Visible(lit.PredKey(), tau, w) {
+			if _, ok := unify.MatchArgs(lit.Args, e.Tuple.Args, subst); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mkCand converts a complete partial into a result candidate.
+func (rt *nodeRT) mkCand(p *partialR, rec *updateRec, negFromStart bool) (*candR, bool) {
+	r := p.cr.rule
+	args := make([]ast.Term, len(r.Head.Args))
+	for i, a := range r.Head.Args {
+		v, err := rt.e.cfg.Registry.EvalTerm(a, p.subst)
+		if err != nil || !v.Ground() {
+			return nil, false
+		}
+		args[i] = v
+	}
+	head := eval.Tuple{Pred: r.Head.PredKey(), Args: args}
+	// Derivation key: rule ID + positive body tuple IDs in body order
+	// (Definition 2). Both the add path (positive-pinned) and the remove
+	// path (negated-pinned) produce identical keys for the same tuples.
+	ordered := append([]posStamp(nil), p.used...)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].idx < ordered[j-1].idx; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	dk := fmt.Sprintf("r%d", r.ID)
+	for _, u := range ordered {
+		dk += ";" + u.stamp.Key()
+	}
+	// Add/remove: a positive-pinned insert adds; a positive-pinned delete
+	// removes; a negated-pinned insert removes; a negated-pinned delete
+	// adds.
+	add := !rec.Del
+	if p.pinned < 0 {
+		add = rec.Del
+	}
+	return &candR{
+		cr: p.cr, Head: head, DerivKey: dk, Add: add, Update: rec.Tau,
+		negCheckedFromStart: negFromStart,
+	}, true
+}
+
+// routeCand sends a candidate toward its home node.
+func (rt *nodeRT) routeCand(c *candR) {
+	head := c.Head
+	if pl, ok := rt.e.placements[head.Pred]; ok {
+		home, ok2 := rt.e.nodeTerms[head.Args[pl.Arg].Key()]
+		if !ok2 {
+			return // head names an unknown node; drop
+		}
+		rm := &resultMsg{Cand: c, Home: home, HasHome: true,
+			Visited: map[nsim.NodeID]bool{rt.node.ID: true}}
+		hn := rt.e.nw.Node(home)
+		rm.TX, rm.TY = hn.X, hn.Y
+		rt.forwardResult(rm)
+		return
+	}
+	tx, ty := rt.e.hasher.Location(head.Key())
+	rm := &resultMsg{Cand: c, TX: tx, TY: ty,
+		Visited: map[nsim.NodeID]bool{rt.node.ID: true}}
+	rt.forwardResult(rm)
+}
+
+func (rt *nodeRT) forwardResult(rm *resultMsg) {
+	arrived := false
+	if rm.HasHome {
+		arrived = rm.Home == rt.node.ID
+	} else {
+		arrived = routing.AtTarget(rt.e.nw, rt.node.ID, rm.TX, rm.TY)
+	}
+	if arrived {
+		rt.bufferCand(rm.Cand)
+		return
+	}
+	next, ok := routing.NextHopGreedyAvoid(rt.e.nw, rt.node.ID, rm.TX, rm.TY, rm.Visited)
+	if !ok {
+		rt.bufferCand(rm.Cand) // stranded: act as home (best effort)
+		return
+	}
+	rm.Visited[next] = true
+	rt.node.Send(next, kindResult, rm, sizeOfTuple(rm.Cand.Head)+len(rm.Cand.DerivKey)+8)
+}
+
+func (rt *nodeRT) onResult(rm *resultMsg) {
+	rt.forwardResult(rm)
+}
+
+// bufferCand holds a candidate until its finalize deadline: candidates
+// apply in update-timestamp order (earlier updates get earlier
+// deadlines; due candidates drain sorted by the full stamp order), with
+// same-stage XY predicates staggered by priority — the "appropriate
+// delay" extensions of Section IV.
+func (rt *nodeRT) bufferCand(c *candR) {
+	deadline := rt.e.finalizeDeadline(c.Update.TS, c.Head.Pred)
+	delay := deadline - rt.node.LocalTime()
+	if delay < 1 {
+		delay = 1
+	}
+	rt.pendingCands = append(rt.pendingCands, pendingCand{c: c, at: rt.node.LocalTime() + delay})
+	rt.node.SetTimer(delay, timerFinalize, nil)
+}
+
+// drainFinalize applies every due candidate in total update-stamp order.
+func (rt *nodeRT) drainFinalize() {
+	now := rt.node.LocalTime()
+	var due []*candR
+	rest := rt.pendingCands[:0]
+	for _, pc := range rt.pendingCands {
+		if pc.at <= now {
+			due = append(due, pc.c)
+		} else {
+			rest = append(rest, pc)
+		}
+	}
+	rt.pendingCands = rest
+	sort.SliceStable(due, func(i, j int) bool {
+		if due[i].Update != due[j].Update {
+			return due[i].Update.Less(due[j].Update)
+		}
+		if due[i].DerivKey != due[j].DerivKey {
+			return due[i].DerivKey < due[j].DerivKey
+		}
+		// Adds before removes on the (impossible in practice) exact tie.
+		return due[i].Add && !due[j].Add
+	})
+	for _, c := range due {
+		rt.finalize(c)
+	}
+}
+
+// finalize applies a candidate's derivation delta at this home node.
+func (rt *nodeRT) finalize(c *candR) {
+	// Same-stage (XY) negation — and every negation of a local-mode rule
+	// — is verified here against the current live state.
+	if c.Add && c.cr != nil {
+		for k, ni := range c.cr.negIdx {
+			if c.cr.mode != localMode && !c.cr.negSameStage[k] {
+				continue // already filtered during the sweep by stamp order
+			}
+			lit := c.cr.rule.Body[ni]
+			if rt.liveNegMatch(lit, c) {
+				return
+			}
+		}
+	}
+	key := c.Head.Key()
+	set := rt.derivs[key]
+	if c.Add {
+		if set == nil {
+			set = make(map[string]bool)
+			rt.derivs[key] = set
+		}
+		was := len(set)
+		set[c.DerivKey] = true
+		if was == 0 {
+			rt.derivedLive[key] = c.Head
+			rt.derivedIDs[key] = rt.generate(c.Head, nil)
+		}
+		return
+	}
+	if set == nil || !set[c.DerivKey] {
+		return // unknown derivation: harmless no-op (Section IV-A)
+	}
+	delete(set, c.DerivKey)
+	if len(set) == 0 {
+		delete(rt.derivs, key)
+		if _, live := rt.derivedLive[key]; live {
+			delete(rt.derivedLive, key)
+			id := rt.derivedIDs[key]
+			delete(rt.derivedIDs, key)
+			rt.generate(c.Head, &id)
+		}
+	}
+}
+
+// liveNegMatch checks a negated subgoal against the node's current state:
+// replicas not marked deleted, plus derived tuples homed here.
+func (rt *nodeRT) liveNegMatch(lit ast.Literal, c *candR) bool {
+	// Instantiate the negated subgoal's arguments from the candidate's
+	// head: rebind via matching the head pattern. The candidate carries
+	// no substitution (it was resolved at emit time), so reconstruct by
+	// matching head args.
+	s, ok := unify.MatchArgs(c.cr.rule.Head.Args, c.Head.Args, unify.Subst{})
+	if !ok {
+		return false
+	}
+	for _, e := range rt.store.All(lit.PredKey()) {
+		if _, ok := unify.MatchArgs(lit.Args, e.Tuple.Args, s); ok {
+			return true
+		}
+	}
+	for _, t := range rt.derivedLive {
+		if t.Pred != lit.PredKey() {
+			continue
+		}
+		if _, ok := unify.MatchArgs(lit.Args, t.Args, s); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// --- local-mode and local-hash expansion ---
+
+// expandLocally saturates a local-mode partial at this node and routes
+// completed candidates to the head's placement node.
+func (rt *nodeRT) expandLocally(p *partialR, rec *updateRec) {
+	all := rt.saturate([]*partialR{p}, rec.Tau, -1)
+	for _, q := range all {
+		if !q.complete() {
+			continue
+		}
+		// Negation is deferred to finalize at the home (localMode).
+		if c, ok := rt.mkCand(q, rec, true); ok {
+			rt.routeCand(c)
+		}
+	}
+}
+
+// expandLocalHash handles schemes where all replicas are local
+// (naive-broadcast): expansion and stamp-ordered negation both local.
+func (rt *nodeRT) expandLocalHash(p *partialR, rec *updateRec) {
+	all := rt.saturate([]*partialR{p}, rec.Tau, -1)
+	for _, q := range all {
+		if !q.complete() {
+			continue
+		}
+		skip := -1
+		if q.pinned < 0 {
+			skip = rt.pinnedNegIdx(q, rec)
+		}
+		if rt.negMatchLocal(q.cr, q.subst, rec.Tau, skip) {
+			continue
+		}
+		if c, ok := rt.mkCand(q, rec, true); ok {
+			rt.routeCand(c)
+		}
+	}
+}
+
+// pinnedNegIdx recovers which negated subgoal the update pinned (the one
+// whose predicate matches the update and whose args match under subst).
+func (rt *nodeRT) pinnedNegIdx(p *partialR, rec *updateRec) int {
+	for _, ni := range p.cr.negIdx {
+		lit := p.cr.rule.Body[ni]
+		if lit.PredKey() != rec.Tuple.Pred {
+			continue
+		}
+		if _, ok := unify.MatchArgs(lit.Args, rec.Tuple.Args, p.subst); ok {
+			return ni
+		}
+	}
+	return -1
+}
+
+// serverJoin evaluates hash-mode rules entirely at the central server.
+func (rt *nodeRT) serverJoin(t eval.Tuple, id window.Stamp, tau window.Stamp, del bool) {
+	rec := &updateRec{Tuple: t, ID: id, Tau: tau, Del: del}
+	for _, tg := range rt.e.triggers[t.Pred] {
+		if tg.rule.mode != hashMode {
+			continue
+		}
+		p, ok := rt.seedPartial(tg, rec)
+		if !ok {
+			continue
+		}
+		rt.expandLocalHash(p, rec)
+	}
+}
+
+// --- sweeping join walkers ---
+
+// bandBroadcast sends to every neighbor inside the band.
+func (rt *nodeRT) bandBroadcast(kind string, payload interface{}, band *gpa.Band, size int) {
+	for _, nb := range rt.node.Neighbors() {
+		n := rt.e.nw.Node(nb)
+		if band.Contains(n.X, n.Y) {
+			rt.node.Send(nb, kind, payload, size)
+		}
+	}
+}
+
+// floodJoin broadcasts a join flood (local-storage scheme).
+func (rt *nodeRT) floodJoin(jm *joinMsg) {
+	rt.node.Broadcast(kindJoin, jm, rt.joinMsgSize(jm))
+}
+
+func (rt *nodeRT) joinMsgSize(jm *joinMsg) int {
+	n := sizeOfTuple(jm.Update) + 16
+	for _, p := range jm.Partials {
+		n += 8 + 6*len(p.used)
+	}
+	for _, c := range jm.Pending {
+		n += sizeOfTuple(c.Head) + len(c.DerivKey)
+	}
+	return n
+}
+
+// onJoin processes a join walker or flood arriving at this node.
+func (rt *nodeRT) onJoin(jm *joinMsg) {
+	rt.expire()
+	if jm.Flood {
+		key := "jf|" + jm.ID.Key() + fmt.Sprintf("|%v", jm.Del)
+		if rt.dedup.Check(key) {
+			return
+		}
+		rt.processJoinHere(jm)
+		switch {
+		case jm.Band != nil:
+			rt.bandBroadcast(kindJoin, jm, jm.Band, rt.joinMsgSize(jm))
+		case jm.FloodTTL != 0:
+			fwd := *jm
+			if fwd.FloodTTL > 0 {
+				fwd.FloodTTL--
+			}
+			if fwd.FloodTTL != 0 {
+				rt.floodJoin(&fwd)
+			}
+		default:
+			rt.floodJoin(jm)
+		}
+		return
+	}
+	leg := jm.Legs[jm.LegIdx]
+	if leg.Sweep {
+		rt.processJoinHere(jm)
+	}
+	rt.forwardJoin(jm)
+}
+
+// processJoinHere expands the walker's partials against the local store
+// and filters pending completes against local negated tuples.
+func (rt *nodeRT) processJoinHere(jm *joinMsg) {
+	rec := &updateRec{Tuple: jm.Update, ID: jm.ID, Tau: jm.Tau, Del: jm.Del}
+	if !jm.Verify {
+		onlyIdx := -1
+		if jm.PassRule != nil {
+			onlyIdx = rt.passSubgoal(jm)
+		}
+		before := len(jm.Partials)
+		jm.Partials = rt.saturate(jm.Partials, jm.Tau, onlyIdx)
+		_ = before
+		var still []*partialR
+		for _, p := range jm.Partials {
+			if !p.complete() {
+				still = append(still, p)
+				continue
+			}
+			skip := -1
+			if p.pinned < 0 {
+				skip = rt.pinnedNegIdx(p, rec)
+			}
+			negFromStart := p.negGroundAtSeed
+			if len(p.cr.negIdx) == 0 || (p.pinned < 0 && len(p.cr.negIdx) == 1) {
+				// No (remaining) negation to check across the region.
+				if !rt.negMatchLocal(p.cr, p.subst, jm.Tau, skip) {
+					if c, ok := rt.mkCand(p, rec, true); ok {
+						rt.routeCand(c)
+					}
+				}
+				continue
+			}
+			// Carry to the end of the sweep, filtering along the way.
+			if rt.negMatchLocal(p.cr, p.subst, jm.Tau, skip) {
+				continue
+			}
+			if c, ok := rt.mkCandPending(p, rec, negFromStart, skip); ok {
+				jm.Pending = append(jm.Pending, c)
+			}
+		}
+		jm.Partials = still
+	}
+	// Filter pending completes against local negated tuples.
+	var surv []*candR
+	for _, c := range jm.Pending {
+		if rt.pendingNegMatch(c, jm.Tau) {
+			continue
+		}
+		surv = append(surv, c)
+	}
+	jm.Pending = surv
+}
+
+// mkCandPending builds a candidate that still needs region-wide negation
+// checking; it retains the substitution for those checks.
+func (rt *nodeRT) mkCandPending(p *partialR, rec *updateRec, negFromStart bool, skipIdx int) (*candR, bool) {
+	c, ok := rt.mkCand(p, rec, negFromStart)
+	if !ok {
+		return nil, false
+	}
+	c.pendSubst = p.subst
+	c.pendSkip = skipIdx
+	return c, true
+}
+
+// pendingNegMatch checks a pending candidate's negated subgoals against
+// local visible tuples.
+func (rt *nodeRT) pendingNegMatch(c *candR, tau window.Stamp) bool {
+	if c.cr == nil {
+		return false
+	}
+	return rt.negMatchLocal(c.cr, c.pendSubst, tau, c.pendSkip)
+}
+
+// passSubgoal returns the body index the current multi-pass iteration
+// expands for the walker's rule.
+func (rt *nodeRT) passSubgoal(jm *joinMsg) int {
+	var remaining []int
+	for _, i := range jm.PassRule.posIdx {
+		if i != jm.PassPin {
+			remaining = append(remaining, i)
+		}
+	}
+	if len(remaining) == 0 {
+		return -1
+	}
+	if jm.Pass >= len(remaining) {
+		return remaining[len(remaining)-1]
+	}
+	return remaining[jm.Pass]
+}
+
+// forwardJoin advances a join walker along its legs; at the end of the
+// last leg it emits surviving pending candidates, launches a
+// verification pass for late-ground negations, or starts the next
+// multi-pass iteration.
+func (rt *nodeRT) forwardJoin(jm *joinMsg) {
+	leg := jm.Legs[jm.LegIdx]
+	if !routing.AtTarget(rt.e.nw, rt.node.ID, leg.TargetX, leg.TargetY) {
+		next, ok := routing.NextHopGreedyAvoid(rt.e.nw, rt.node.ID, leg.TargetX, leg.TargetY, jm.Visited)
+		if ok {
+			jm.Visited[next] = true
+			rt.node.Send(next, kindJoin, jm, rt.joinMsgSize(jm))
+			return
+		}
+		// Stranded: treat as end of leg.
+	}
+	if jm.LegIdx+1 < len(jm.Legs) {
+		jm.LegIdx++
+		jm.Visited = map[nsim.NodeID]bool{rt.node.ID: true}
+		if jm.Legs[jm.LegIdx].Sweep {
+			// The transition node is the first node of the sweep leg;
+			// process it here — onJoin only fires on arrivals.
+			rt.processJoinHere(jm)
+		}
+		rt.forwardJoin(jm)
+		return
+	}
+	rt.sweepFinished(jm)
+}
+
+// sweepFinished handles end-of-region logic.
+func (rt *nodeRT) sweepFinished(jm *joinMsg) {
+	if jm.FloodAfter {
+		// Centroid: the walker reached the region center; flood the
+		// region from here.
+		jm.FloodAfter = false
+		jm.Flood = true
+		rt.dedup.Check("jf|" + jm.ID.Key() + fmt.Sprintf("|%v", jm.Del))
+		rt.processJoinHere(jm)
+		if jm.FloodTTL != 0 {
+			fwd := *jm
+			if fwd.FloodTTL > 0 {
+				fwd.FloodTTL--
+			}
+			if fwd.FloodTTL != 0 {
+				rt.floodJoin(&fwd)
+			}
+		}
+		return
+	}
+	// Multi-pass: start the next iteration if subgoals remain. A
+	// positive pin consumes one subgoal; a negated pin consumes none.
+	if jm.PassRule != nil {
+		remaining := len(jm.PassRule.posIdx)
+		if jm.PassPin >= 0 {
+			remaining--
+		}
+		live := false
+		for _, p := range jm.Partials {
+			if !p.complete() {
+				live = true
+			}
+		}
+		if jm.Pass+1 < remaining && live {
+			nm := *jm
+			nm.Pass++
+			nm.LegIdx = 0
+			nm.Visited = map[nsim.NodeID]bool{rt.node.ID: true}
+			rt.forwardJoin(&nm)
+			return
+		}
+	}
+	// Emit survivors that were checked over the whole region; re-verify
+	// the rest with one more pass.
+	var needVerify []*candR
+	for _, c := range jm.Pending {
+		if jm.Verify || c.negCheckedFromStart {
+			rt.routeCand(c)
+		} else {
+			needVerify = append(needVerify, c)
+		}
+	}
+	jm.Pending = nil
+	if len(needVerify) > 0 {
+		vm := &joinMsg{
+			Update: jm.Update, ID: jm.ID, Tau: jm.Tau, Del: jm.Del,
+			Pending: needVerify, Verify: true,
+			Legs:    jm.Legs,
+			Visited: map[nsim.NodeID]bool{rt.node.ID: true},
+		}
+		vm.LegIdx = 0
+		rt.forwardJoin(vm)
+	}
+}
+
+// launchMultiPass starts a one-rule multi-pass walker.
+func (rt *nodeRT) launchMultiPass(p *partialR, rec *updateRec, plan gpa.Plan) {
+	jm := &joinMsg{
+		Update: rec.Tuple, ID: rec.ID, Tau: rec.Tau, Del: rec.Del,
+		Partials: []*partialR{p},
+		Legs:     plan.Legs,
+		Visited:  map[nsim.NodeID]bool{rt.node.ID: true},
+		PassRule: p.cr, PassPin: p.pinned,
+	}
+	rt.forwardJoin(jm)
+}
+
+// expire lazily reclaims replicas past their retention, at most once per
+// τc+1 ticks to keep the scan off the per-message fast path.
+func (rt *nodeRT) expire() {
+	now := int64(rt.node.LocalTime())
+	if now-rt.lastExpire <= int64(rt.e.cfg.TauC) {
+		return
+	}
+	rt.lastExpire = now
+	for pred, w := range rt.e.windows {
+		if w > 0 {
+			rt.store.ExpirePred(pred, now, rt.e.retention(pred))
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog/ast"
+)
+
+// checkXY decides whether the recursive component scc (which contains
+// negation) is XY-stratified in the generalized sense of Section IV-C:
+// each member predicate's table can be partitioned into sub-tables by the
+// value of one "stage" argument such that the dependency graph over
+// sub-tables is acyclic.
+//
+// The checker searches for a stage argument per predicate and verifies,
+// for every rule whose head is in the component, that each in-component
+// body literal refers to a stage that is provably <= the head's stage —
+// syntactically (same base variable with integer offsets, resolving
+// through = / is equalities) or via an explicit comparison subgoal in the
+// rule (the paper's logicH uses `(d+1) > d'` exactly this way). Body
+// literals at the *same* stage induce a precedence among the component's
+// predicates within a stage; that precedence must be acyclic.
+func checkXY(p *ast.Program, scc []string) (*XYWitness, error) {
+	in := make(map[string]bool, len(scc))
+	arity := make(map[string]int, len(scc))
+	for _, k := range scc {
+		in[k] = true
+		var a int
+		fmt.Sscanf(k[strings.LastIndex(k, "/")+1:], "%d", &a)
+		arity[k] = a
+	}
+	var rules []*ast.Rule
+	for _, r := range p.Rules {
+		if in[r.Head.PredKey()] {
+			rules = append(rules, r)
+		}
+	}
+
+	// Enumerate stage-argument assignments (bounded).
+	const maxCombos = 4096
+	combos := enumerateStageArgs(scc, arity, maxCombos)
+	var lastErr error
+	for _, combo := range combos {
+		order, err := validateStageCombo(rules, in, combo)
+		if err == nil {
+			return &XYWitness{StageArg: combo, SameStageOrder: order}, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no candidate stage arguments (zero-arity predicate in component?)")
+	}
+	return nil, lastErr
+}
+
+func enumerateStageArgs(scc []string, arity map[string]int, max int) []map[string]int {
+	combos := []map[string]int{{}}
+	for _, pred := range scc {
+		a := arity[pred]
+		if a == 0 {
+			return nil
+		}
+		var next []map[string]int
+		for _, c := range combos {
+			// Prefer the last argument first: stage arguments (depths,
+			// timestamps) conventionally come last.
+			for i := a - 1; i >= 0; i-- {
+				nc := make(map[string]int, len(c)+1)
+				for k, v := range c {
+					nc[k] = v
+				}
+				nc[pred] = i
+				next = append(next, nc)
+				if len(next) >= max {
+					break
+				}
+			}
+			if len(next) >= max {
+				break
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+// stageExpr is a normalized stage expression: Base variable plus integer
+// Offset, or a pure constant when Base == "".
+type stageExpr struct {
+	Base   string
+	Offset int64
+}
+
+func (e stageExpr) isConst() bool { return e.Base == "" }
+
+func (e stageExpr) String() string {
+	if e.isConst() {
+		return fmt.Sprintf("%d", e.Offset)
+	}
+	if e.Offset == 0 {
+		return e.Base
+	}
+	return fmt.Sprintf("%s%+d", e.Base, e.Offset)
+}
+
+// normalizeStage reduces t to Base+Offset form, resolving variables
+// through the rule's equality map (X -> expr for each `X = expr`).
+func normalizeStage(t ast.Term, eq map[string]ast.Term, visiting map[string]bool) (stageExpr, bool) {
+	switch t.Kind {
+	case ast.KindInt:
+		return stageExpr{Offset: t.Int}, true
+	case ast.KindVar:
+		if e, ok := eq[t.Str]; ok && !visiting[t.Str] {
+			visiting[t.Str] = true
+			se, ok2 := normalizeStage(e, eq, visiting)
+			delete(visiting, t.Str)
+			if ok2 {
+				return se, true
+			}
+		}
+		return stageExpr{Base: t.Str}, true
+	case ast.KindCompound:
+		if len(t.Args) == 2 && (t.Str == "+" || t.Str == "-") {
+			a, okA := normalizeStage(t.Args[0], eq, visiting)
+			b, okB := normalizeStage(t.Args[1], eq, visiting)
+			if !okA || !okB {
+				return stageExpr{}, false
+			}
+			switch {
+			case t.Str == "+" && b.isConst():
+				return stageExpr{Base: a.Base, Offset: a.Offset + b.Offset}, true
+			case t.Str == "+" && a.isConst():
+				return stageExpr{Base: b.Base, Offset: a.Offset + b.Offset}, true
+			case t.Str == "-" && b.isConst():
+				return stageExpr{Base: a.Base, Offset: a.Offset - b.Offset}, true
+			}
+		}
+	}
+	return stageExpr{}, false
+}
+
+// eqMapOf collects X -> expr bindings from the rule's = / is built-ins.
+func eqMapOf(r *ast.Rule) map[string]ast.Term {
+	eq := make(map[string]ast.Term)
+	for _, l := range r.Body {
+		if !l.Builtin || l.Negated || (l.Predicate != "=" && l.Predicate != "is") {
+			continue
+		}
+		if l.Args[0].Kind == ast.KindVar {
+			eq[l.Args[0].Str] = l.Args[1]
+		} else if l.Args[1].Kind == ast.KindVar {
+			eq[l.Args[1].Str] = l.Args[0]
+		}
+	}
+	return eq
+}
+
+// validateStageCombo checks all rules under a stage assignment and
+// returns a same-stage evaluation order on success.
+func validateStageCombo(rules []*ast.Rule, in map[string]bool, stageArg map[string]int) ([]string, error) {
+	// sameStage[b][h] = true: predicate b must be evaluated before h
+	// within a stage.
+	sameStage := make(map[string]map[string]bool)
+	addEdge := func(from, to string) {
+		if sameStage[from] == nil {
+			sameStage[from] = make(map[string]bool)
+		}
+		sameStage[from][to] = true
+	}
+	preds := make(map[string]bool)
+	for p := range stageArg {
+		preds[p] = true
+	}
+
+	for _, r := range rules {
+		eq := eqMapOf(r)
+		headKey := r.Head.PredKey()
+		hi := stageArg[headKey]
+		if hi >= len(r.Head.Args) {
+			return nil, fmt.Errorf("rule %d: stage argument out of range", r.ID)
+		}
+		hs, ok := normalizeStage(r.Head.Args[hi], eq, map[string]bool{})
+		if !ok {
+			return nil, fmt.Errorf("rule %d: head stage %s not linear", r.ID, r.Head.Args[hi])
+		}
+		for _, l := range r.Body {
+			if l.Builtin || !in[l.PredKey()] {
+				continue
+			}
+			bi := stageArg[l.PredKey()]
+			if bi >= len(l.Args) {
+				return nil, fmt.Errorf("rule %d: stage argument out of range for %s", r.ID, l.PredKey())
+			}
+			bs, ok := normalizeStage(l.Args[bi], eq, map[string]bool{})
+			if !ok {
+				return nil, fmt.Errorf("rule %d: body stage %s not linear", r.ID, l.Args[bi])
+			}
+			rel, ok := stageRelation(hs, bs, r, eq)
+			if !ok {
+				return nil, fmt.Errorf("rule %d: cannot relate body stage %s of %s to head stage %s",
+					r.ID, bs, l.PredKey(), hs)
+			}
+			switch {
+			case rel < 0: // body stage strictly below head stage: always fine
+			case rel == 0:
+				addEdge(l.PredKey(), headKey)
+			default:
+				return nil, fmt.Errorf("rule %d: body stage %s of %s exceeds head stage %s",
+					r.ID, bs, l.PredKey(), hs)
+			}
+		}
+	}
+
+	order, acyclic := topoSort(preds, sameStage)
+	if !acyclic {
+		return nil, fmt.Errorf("same-stage dependency cycle among component predicates")
+	}
+	return order, nil
+}
+
+// stageRelation determines sign(bs - hs) when provable: -1 (body below
+// head), 0 (same stage), +1 (above). Falls back to comparison subgoals in
+// the rule as witnesses (e.g. `D1 > Dp` proves Dp < D1).
+func stageRelation(hs, bs stageExpr, r *ast.Rule, eq map[string]ast.Term) (int, bool) {
+	if hs.Base == bs.Base { // includes the two-consts case
+		switch {
+		case bs.Offset < hs.Offset:
+			return -1, true
+		case bs.Offset > hs.Offset:
+			return 1, true
+		}
+		return 0, true
+	}
+	// Look for a comparison literal establishing bs < hs.
+	for _, l := range r.Body {
+		if !l.Builtin || l.Negated || len(l.Args) != 2 {
+			continue
+		}
+		var lo, hi ast.Term
+		switch l.Predicate {
+		case "<":
+			lo, hi = l.Args[0], l.Args[1]
+		case ">":
+			lo, hi = l.Args[1], l.Args[0]
+		default:
+			continue
+		}
+		loN, ok1 := normalizeStage(lo, eq, map[string]bool{})
+		hiN, ok2 := normalizeStage(hi, eq, map[string]bool{})
+		if !ok1 || !ok2 {
+			continue
+		}
+		// lo < hi; want bs <= lo and hi <= hs (same base, offset compare).
+		if loN.Base == bs.Base && bs.Offset <= loN.Offset &&
+			hiN.Base == hs.Base && hiN.Offset <= hs.Offset {
+			return -1, true
+		}
+	}
+	return 0, false
+}
+
+func topoSort(nodes map[string]bool, edges map[string]map[string]bool) ([]string, bool) {
+	indeg := make(map[string]int, len(nodes))
+	for n := range nodes {
+		indeg[n] = 0
+	}
+	for from, tos := range edges {
+		if !nodes[from] {
+			continue
+		}
+		for to := range tos {
+			if nodes[to] {
+				indeg[to]++
+			}
+		}
+	}
+	var queue []string
+	for n, d := range indeg {
+		if d == 0 {
+			queue = append(queue, n)
+		}
+	}
+	sort.Strings(queue)
+	var order []string
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		var newly []string
+		for to := range edges[n] {
+			if !nodes[to] {
+				continue
+			}
+			indeg[to]--
+			if indeg[to] == 0 {
+				newly = append(newly, to)
+			}
+		}
+		sort.Strings(newly)
+		queue = append(queue, newly...)
+	}
+	return order, len(order) == len(nodes)
+}

@@ -1,0 +1,175 @@
+package ast
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mkCovRule() *Rule {
+	// cov(L1, T) :- veh(enemy, L1, T), veh(friendly, L2, T), dist(L1,L2) <= 5.
+	return &Rule{
+		Head: Lit("cov", Var("L1"), Var("T")),
+		Body: []Literal{
+			Lit("veh", Symbol("enemy"), Var("L1"), Var("T")),
+			Lit("veh", Symbol("friendly"), Var("L2"), Var("T")),
+			BuiltinLit("<=", Compound("dist", Var("L1"), Var("L2")), Int64(5)),
+		},
+	}
+}
+
+func TestRuleBodyPartitioning(t *testing.T) {
+	r := mkCovRule()
+	r.Body = append(r.Body, NotLit("shadow", Var("L1")))
+	if got := len(r.PositiveBody()); got != 2 {
+		t.Errorf("PositiveBody len = %d", got)
+	}
+	if got := len(r.NegativeBody()); got != 1 {
+		t.Errorf("NegativeBody len = %d", got)
+	}
+	if got := len(r.Builtins()); got != 1 {
+		t.Errorf("Builtins len = %d", got)
+	}
+}
+
+func TestRuleVarsOrdered(t *testing.T) {
+	r := mkCovRule()
+	want := []string{"L1", "T", "L2"}
+	if got := r.Vars(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Vars = %v, want %v", got, want)
+	}
+}
+
+func TestRuleIsFact(t *testing.T) {
+	fact := &Rule{Head: Lit("g", Int64(1), Int64(2))}
+	if !fact.IsFact() {
+		t.Error("ground headed bodyless rule should be a fact")
+	}
+	openHead := &Rule{Head: Lit("g", Var("X"))}
+	if openHead.IsFact() {
+		t.Error("non-ground head is not a fact")
+	}
+	if mkCovRule().IsFact() {
+		t.Error("rule with body is not a fact")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := mkCovRule()
+	want := "cov(L1, T) :- veh(enemy, L1, T), veh(friendly, L2, T), dist(L1, L2) <= 5."
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestRuleStringWithAggregate(t *testing.T) {
+	r := &Rule{
+		Head:     Lit("short", Var("X"), Var("D")),
+		HeadAggs: []*Aggregate{nil, {Func: "min", Var: "D"}},
+		Body:     []Literal{Lit("path", Var("X"), Var("D"))},
+	}
+	want := "short(X, min<D>) :- path(X, D)."
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if !r.HasAggregates() {
+		t.Error("HasAggregates should be true")
+	}
+}
+
+func TestNegatedLiteralString(t *testing.T) {
+	l := NotLit("cov", Var("L"), Var("T"))
+	if got := l.String(); got != "NOT cov(L, T)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestZeroArityLiteralString(t *testing.T) {
+	l := Lit("alarm")
+	if got := l.String(); got != "alarm" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestProgramPredicateClassification(t *testing.T) {
+	p := NewProgram()
+	p.Base["veh/3"] = true
+	p.AddRule(mkCovRule())
+	uncov := &Rule{
+		Head: Lit("uncov", Var("L"), Var("T")),
+		Body: []Literal{
+			NotLit("cov", Var("L"), Var("T")),
+			Lit("veh", Symbol("enemy"), Var("L"), Var("T")),
+		},
+	}
+	p.AddRule(uncov)
+
+	if !p.IsBase("veh/3") {
+		t.Error("veh/3 declared base")
+	}
+	if p.IsBase("cov/2") {
+		t.Error("cov/2 is derived")
+	}
+	if !p.IsDerived("uncov/2") {
+		t.Error("uncov/2 is derived")
+	}
+	if p.IsDerived("veh/3") {
+		t.Error("veh/3 not derived")
+	}
+	derived := p.DerivedPredicates()
+	if !reflect.DeepEqual(derived, []string{"cov/2", "uncov/2"}) {
+		t.Errorf("DerivedPredicates = %v", derived)
+	}
+	if got := len(p.RulesFor("cov/2")); got != 1 {
+		t.Errorf("RulesFor(cov/2) = %d rules", got)
+	}
+}
+
+func TestProgramRuleIDsSequential(t *testing.T) {
+	p := NewProgram()
+	p.AddRule(mkCovRule())
+	p.AddRule(mkCovRule())
+	if p.Rules[0].ID != 0 || p.Rules[1].ID != 1 {
+		t.Errorf("rule IDs = %d, %d", p.Rules[0].ID, p.Rules[1].ID)
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p := NewProgram()
+	p.Base["g/2"] = true
+	p.Windows["g/2"] = 50
+	p.Queries = append(p.Queries, "cov/2")
+	p.AddRule(mkCovRule())
+	c := p.Clone()
+	if c.String() != p.String() {
+		t.Errorf("clone differs:\n%s\nvs\n%s", c.String(), p.String())
+	}
+	// Mutating the clone must not affect the original.
+	c.Rules[0].Body = c.Rules[0].Body[:1]
+	if len(p.Rules[0].Body) != 3 {
+		t.Error("clone shares body slice with original")
+	}
+	if c.Windows["g/2"] != 50 {
+		t.Error("window not cloned")
+	}
+}
+
+func TestRuleRenameVars(t *testing.T) {
+	r := mkCovRule()
+	nr := r.RenameVars(func(s string) string { return s + "'" })
+	if nr.Head.Args[0].Str != "L1'" {
+		t.Errorf("head var = %s", nr.Head.Args[0].Str)
+	}
+	if r.Head.Args[0].Str != "L1" {
+		t.Error("original rule mutated")
+	}
+}
+
+func TestFactsSelector(t *testing.T) {
+	p := NewProgram()
+	p.AddRule(&Rule{Head: Lit("g", Int64(1), Int64(2))})
+	p.AddRule(mkCovRule())
+	facts := p.Facts()
+	if len(facts) != 1 || facts[0].Head.Predicate != "g" {
+		t.Errorf("Facts = %v", facts)
+	}
+}

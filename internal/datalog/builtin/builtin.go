@@ -1,0 +1,316 @@
+// Package builtin implements the registry of built-in predicates and
+// functions of the deductive language. Built-ins are always evaluated
+// locally at a node (they never cause communication), per Section II-B of
+// the paper ("Embedding Arithmetic Computations in Built-in Predicates").
+//
+// The default registry contains comparisons, arithmetic, the spatial
+// helpers used by the paper's examples (dist, close, isParallel) and list
+// utilities. Applications register further procedural built-ins with
+// Register*.
+package builtin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/unify"
+)
+
+// ErrNotGround is returned when a built-in is applied to arguments that
+// still contain unbound variables. Evaluation strategies use it to defer
+// a built-in until later subgoals bind the variables.
+var ErrNotGround = errors.New("builtin: arguments not ground")
+
+// PredFunc is a built-in predicate over ground arguments.
+type PredFunc func(args []ast.Term) (bool, error)
+
+// FuncFunc is a built-in function over ground arguments, producing a term.
+type FuncFunc func(args []ast.Term) (ast.Term, error)
+
+// Registry maps built-in predicate and function names (keyed by
+// "name/arity") to their implementations.
+type Registry struct {
+	preds map[string]PredFunc
+	funcs map[string]FuncFunc
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{preds: make(map[string]PredFunc), funcs: make(map[string]FuncFunc)}
+}
+
+func key(name string, arity int) string { return fmt.Sprintf("%s/%d", name, arity) }
+
+// RegisterPred adds (or replaces) a built-in predicate.
+func (r *Registry) RegisterPred(name string, arity int, f PredFunc) {
+	r.preds[key(name, arity)] = f
+}
+
+// RegisterFunc adds (or replaces) a built-in function usable inside terms.
+func (r *Registry) RegisterFunc(name string, arity int, f FuncFunc) {
+	r.funcs[key(name, arity)] = f
+}
+
+// IsPred reports whether name/arity is a built-in predicate (including the
+// comparison operators).
+func (r *Registry) IsPred(name string, arity int) bool {
+	switch name {
+	case "<", "<=", ">", ">=", "=", "==", "!=", "is":
+		return arity == 2
+	}
+	_, ok := r.preds[key(name, arity)]
+	return ok
+}
+
+// IsFunc reports whether name/arity is a built-in function.
+func (r *Registry) IsFunc(name string, arity int) bool {
+	_, ok := r.funcs[key(name, arity)]
+	return ok
+}
+
+// EvalTerm functionally evaluates t under s: variables are substituted,
+// arithmetic operators and registered functions with ground arguments are
+// reduced to constants. Non-evaluable structure is left intact (data
+// constructors such as lists pass through).
+func (r *Registry) EvalTerm(t ast.Term, s unify.Subst) (ast.Term, error) {
+	t = s.Apply(t)
+	return r.reduce(t)
+}
+
+func (r *Registry) reduce(t ast.Term) (ast.Term, error) {
+	if t.Kind != ast.KindCompound {
+		return t, nil
+	}
+	args := make([]ast.Term, len(t.Args))
+	ground := true
+	for i, a := range t.Args {
+		ra, err := r.reduce(a)
+		if err != nil {
+			return t, err
+		}
+		args[i] = ra
+		if !ra.Ground() {
+			ground = false
+		}
+	}
+	out := ast.Compound(t.Str, args...)
+	if !ground {
+		return out, nil
+	}
+	if f, ok := arithOp(t.Str, len(args)); ok {
+		return f(args)
+	}
+	if f, ok := r.funcs[key(t.Str, len(args))]; ok {
+		return f(args)
+	}
+	return out, nil
+}
+
+// arithOp returns the evaluator for a core arithmetic functor.
+func arithOp(name string, arity int) (FuncFunc, bool) {
+	if arity == 1 && name == "-" {
+		return func(a []ast.Term) (ast.Term, error) {
+			if a[0].Kind == ast.KindInt {
+				return ast.Int64(-a[0].Int), nil
+			}
+			if a[0].Kind == ast.KindFloat {
+				return ast.Float64(-a[0].Float), nil
+			}
+			return ast.Term{}, fmt.Errorf("builtin: cannot negate %s", a[0])
+		}, true
+	}
+	if arity != 2 {
+		return nil, false
+	}
+	switch name {
+	case "+", "-", "*", "/", "mod":
+		op := name
+		return func(a []ast.Term) (ast.Term, error) { return applyArith(op, a[0], a[1]) }, true
+	}
+	return nil, false
+}
+
+func applyArith(op string, x, y ast.Term) (ast.Term, error) {
+	if x.Kind == ast.KindInt && y.Kind == ast.KindInt {
+		switch op {
+		case "+":
+			return ast.Int64(x.Int + y.Int), nil
+		case "-":
+			return ast.Int64(x.Int - y.Int), nil
+		case "*":
+			return ast.Int64(x.Int * y.Int), nil
+		case "/":
+			if y.Int == 0 {
+				return ast.Term{}, errors.New("builtin: integer division by zero")
+			}
+			return ast.Int64(x.Int / y.Int), nil
+		case "mod":
+			if y.Int == 0 {
+				return ast.Term{}, errors.New("builtin: mod by zero")
+			}
+			return ast.Int64(x.Int % y.Int), nil
+		}
+	}
+	xf, xok := x.Numeric()
+	yf, yok := y.Numeric()
+	if !xok || !yok {
+		return ast.Term{}, fmt.Errorf("builtin: non-numeric operands %s %s %s", x, op, y)
+	}
+	switch op {
+	case "+":
+		return ast.Float64(xf + yf), nil
+	case "-":
+		return ast.Float64(xf - yf), nil
+	case "*":
+		return ast.Float64(xf * yf), nil
+	case "/":
+		if yf == 0 {
+			return ast.Term{}, errors.New("builtin: division by zero")
+		}
+		return ast.Float64(xf / yf), nil
+	case "mod":
+		return ast.Float64(math.Mod(xf, yf)), nil
+	}
+	return ast.Term{}, fmt.Errorf("builtin: unknown operator %q", op)
+}
+
+// Eval evaluates the built-in literal l under substitution s. On success
+// it returns (true, extended substitution). `=`/`is` may bind an unbound
+// variable on either side; all other built-ins require ground arguments
+// after functional evaluation and return ErrNotGround otherwise. A negated
+// literal succeeds when the positive form fails.
+func (r *Registry) Eval(l ast.Literal, s unify.Subst) (bool, unify.Subst, error) {
+	ok, ns, err := r.evalPositive(l, s)
+	if err != nil {
+		return false, s, err
+	}
+	if l.Negated {
+		// Negated built-ins must not export bindings.
+		return !ok, s, nil
+	}
+	return ok, ns, nil
+}
+
+func (r *Registry) evalPositive(l ast.Literal, s unify.Subst) (bool, unify.Subst, error) {
+	switch l.Predicate {
+	case "=", "is":
+		return r.evalEq(l, s)
+	case "==":
+		lhs, err := r.EvalTerm(l.Args[0], s)
+		if err != nil {
+			return false, s, err
+		}
+		rhs, err := r.EvalTerm(l.Args[1], s)
+		if err != nil {
+			return false, s, err
+		}
+		if !lhs.Ground() || !rhs.Ground() {
+			return false, s, ErrNotGround
+		}
+		return numericAwareEqual(lhs, rhs), s, nil
+	case "!=":
+		lhs, err := r.EvalTerm(l.Args[0], s)
+		if err != nil {
+			return false, s, err
+		}
+		rhs, err := r.EvalTerm(l.Args[1], s)
+		if err != nil {
+			return false, s, err
+		}
+		if !lhs.Ground() || !rhs.Ground() {
+			return false, s, ErrNotGround
+		}
+		return !numericAwareEqual(lhs, rhs), s, nil
+	case "<", "<=", ">", ">=":
+		lhs, err := r.EvalTerm(l.Args[0], s)
+		if err != nil {
+			return false, s, err
+		}
+		rhs, err := r.EvalTerm(l.Args[1], s)
+		if err != nil {
+			return false, s, err
+		}
+		if !lhs.Ground() || !rhs.Ground() {
+			return false, s, ErrNotGround
+		}
+		c, err := compareGround(lhs, rhs)
+		if err != nil {
+			return false, s, err
+		}
+		switch l.Predicate {
+		case "<":
+			return c < 0, s, nil
+		case "<=":
+			return c <= 0, s, nil
+		case ">":
+			return c > 0, s, nil
+		case ">=":
+			return c >= 0, s, nil
+		}
+	}
+	f, ok := r.preds[l.PredKey()]
+	if !ok {
+		return false, s, fmt.Errorf("builtin: unknown predicate %s", l.PredKey())
+	}
+	args := make([]ast.Term, len(l.Args))
+	for i, a := range l.Args {
+		ra, err := r.EvalTerm(a, s)
+		if err != nil {
+			return false, s, err
+		}
+		if !ra.Ground() {
+			return false, s, ErrNotGround
+		}
+		args[i] = ra
+	}
+	res, err := f(args)
+	return res, s, err
+}
+
+// evalEq implements `X = expr` / `expr = X` / ground-ground comparison,
+// binding an unbound side when possible.
+func (r *Registry) evalEq(l ast.Literal, s unify.Subst) (bool, unify.Subst, error) {
+	lhs, err := r.EvalTerm(l.Args[0], s)
+	if err != nil {
+		return false, s, err
+	}
+	rhs, err := r.EvalTerm(l.Args[1], s)
+	if err != nil {
+		return false, s, err
+	}
+	switch {
+	case lhs.Ground() && rhs.Ground():
+		return numericAwareEqual(lhs, rhs), s, nil
+	default:
+		ns, ok := unify.Unify(lhs, rhs, s)
+		return ok, ns, nil
+	}
+}
+
+func numericAwareEqual(a, b ast.Term) bool {
+	if a.Equal(b) {
+		return true
+	}
+	af, aok := a.Numeric()
+	bf, bok := b.Numeric()
+	return aok && bok && af == bf
+}
+
+// compareGround totally orders two ground terms, comparing numerics by
+// value (so 2 < 2.5) and everything else structurally.
+func compareGround(a, b ast.Term) (int, error) {
+	af, aok := a.Numeric()
+	bf, bok := b.Numeric()
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return a.Compare(b), nil
+}

@@ -1,0 +1,387 @@
+// Package eval implements the centralized bottom-up evaluator for
+// deductive programs: semi-naive evaluation with stratified negation,
+// stage-ordered evaluation of XY-stratified components, aggregates, and
+// incremental view maintenance under insertions and deletions using the
+// three approaches of Section IV-A (set-of-derivations, counting,
+// rederivation).
+//
+// The distributed engine (internal/core) is validated against this
+// evaluator: on any timeline of base-fact updates, the engine's final
+// derived state must equal this evaluator's result over the surviving
+// base facts.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog/analysis"
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/builtin"
+)
+
+// Tuple is a ground fact of a predicate.
+type Tuple struct {
+	Pred string // "name/arity" key
+	Args []ast.Term
+}
+
+// NewTuple builds a tuple from a predicate name and ground arguments.
+func NewTuple(name string, args ...ast.Term) Tuple {
+	return Tuple{Pred: fmt.Sprintf("%s/%d", name, len(args)), Args: args}
+}
+
+// Key returns a canonical identity string for the tuple.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	b.WriteString(t.Pred)
+	b.WriteByte('|')
+	for i, a := range t.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a.Key())
+	}
+	return b.String()
+}
+
+// Name returns the bare predicate name (without arity suffix).
+func (t Tuple) Name() string {
+	if i := strings.LastIndex(t.Pred, "/"); i >= 0 {
+		return t.Pred[:i]
+	}
+	return t.Pred
+}
+
+// String renders the tuple in source syntax.
+func (t Tuple) String() string {
+	return fmt.Sprintf("%s(%s)", t.Name(), ast.FormatTerms(t.Args))
+}
+
+// Equal reports deep equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if t.Pred != u.Pred || len(t.Args) != len(u.Args) {
+		return false
+	}
+	for i := range t.Args {
+		if !t.Args[i].Equal(u.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Database is a set of tuples per predicate.
+type Database struct {
+	tables map[string]map[string]Tuple
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]map[string]Tuple)}
+}
+
+// Insert adds t; reports whether it was new.
+func (db *Database) Insert(t Tuple) bool {
+	tab := db.tables[t.Pred]
+	if tab == nil {
+		tab = make(map[string]Tuple)
+		db.tables[t.Pred] = tab
+	}
+	k := t.Key()
+	if _, ok := tab[k]; ok {
+		return false
+	}
+	tab[k] = t
+	return true
+}
+
+// Delete removes t; reports whether it was present.
+func (db *Database) Delete(t Tuple) bool {
+	tab := db.tables[t.Pred]
+	if tab == nil {
+		return false
+	}
+	k := t.Key()
+	if _, ok := tab[k]; !ok {
+		return false
+	}
+	delete(tab, k)
+	return true
+}
+
+// Contains reports membership.
+func (db *Database) Contains(t Tuple) bool {
+	tab := db.tables[t.Pred]
+	if tab == nil {
+		return false
+	}
+	_, ok := tab[t.Key()]
+	return ok
+}
+
+// Tuples returns the tuples of predicate key ("name/arity") in canonical
+// (sorted) order.
+func (db *Database) Tuples(pred string) []Tuple {
+	tab := db.tables[pred]
+	out := make([]Tuple, 0, len(tab))
+	for _, t := range tab {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Count returns the number of tuples of predicate key.
+func (db *Database) Count(pred string) int { return len(db.tables[pred]) }
+
+// Predicates returns all predicate keys with at least one tuple, sorted.
+func (db *Database) Predicates() []string {
+	var out []string
+	for k, tab := range db.tables {
+		if len(tab) > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the database (terms shared; they are immutable).
+func (db *Database) Clone() *Database {
+	n := NewDatabase()
+	for pred, tab := range db.tables {
+		nt := make(map[string]Tuple, len(tab))
+		for k, t := range tab {
+			nt[k] = t
+		}
+		n.tables[pred] = nt
+	}
+	return n
+}
+
+// TotalSize returns the total number of tuples.
+func (db *Database) TotalSize() int {
+	n := 0
+	for _, tab := range db.tables {
+		n += len(tab)
+	}
+	return n
+}
+
+// Options tunes the evaluator.
+type Options struct {
+	// Registry supplies built-ins; nil means builtin.Default().
+	Registry *builtin.Registry
+	// MaxRounds bounds fixpoint iteration (function symbols can diverge).
+	MaxRounds int
+	// MaxTermDepth bounds the nesting depth of derived terms.
+	MaxTermDepth int
+}
+
+func (o *Options) fill() {
+	if o.Registry == nil {
+		o.Registry = builtin.Default()
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 10000
+	}
+	if o.MaxTermDepth == 0 {
+		o.MaxTermDepth = 64
+	}
+}
+
+// Evaluator computes the model of an analyzed program.
+type Evaluator struct {
+	prog *ast.Program
+	res  *analysis.Result
+	opts Options
+
+	// JoinOps counts subgoal match attempts — the work metric used by the
+	// magic-sets experiment (E10).
+	JoinOps int64
+}
+
+// New analyzes and prepares a program for evaluation.
+func New(p *ast.Program, opts Options) (*Evaluator, error) {
+	opts.fill()
+	res, err := analysis.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{prog: p, res: res, opts: opts}, nil
+}
+
+// Analysis exposes the analysis result.
+func (e *Evaluator) Analysis() *analysis.Result { return e.res }
+
+// Run computes the full model over the given base facts (plus the facts
+// declared in the program) and returns the resulting database.
+func (e *Evaluator) Run(base []Tuple) (*Database, error) {
+	db := NewDatabase()
+	for _, t := range base {
+		db.Insert(t)
+	}
+	for _, f := range e.prog.Facts() {
+		db.Insert(Tuple{Pred: f.Head.PredKey(), Args: f.Head.Args})
+	}
+
+	// Group rule predicates by stratum; evaluate strata in order.
+	byStratum := make(map[int][]string)
+	for pred, s := range e.res.Strata {
+		if e.prog.IsDerived(pred) {
+			byStratum[s] = append(byStratum[s], pred)
+		}
+	}
+	for s := 0; s < e.res.NumStrata; s++ {
+		preds := byStratum[s]
+		sort.Strings(preds)
+		if len(preds) == 0 {
+			continue
+		}
+		if err := e.evalStratum(db, preds); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// evalStratum saturates the rules of the given predicates. Aggregates are
+// applied after the fixpoint of their stratum (they are non-recursive by
+// analysis).
+func (e *Evaluator) evalStratum(db *Database, preds []string) error {
+	inStratum := make(map[string]bool, len(preds))
+	for _, p := range preds {
+		inStratum[p] = true
+	}
+	var rules, aggRules []*ast.Rule
+	for _, r := range e.prog.Rules {
+		if len(r.Body) == 0 || !inStratum[r.Head.PredKey()] {
+			continue
+		}
+		if r.HasAggregates() {
+			aggRules = append(aggRules, r)
+		} else {
+			rules = append(rules, r)
+		}
+	}
+
+	// Same-stage ordering from XY witnesses (if any component of this
+	// stratum required one) — rules of earlier predicates run first in
+	// each round so negation sees a complete same-stage table. Rules are
+	// grouped by head predicate; a group's insertions are buffered and
+	// flushed only after the whole group ran, so one round advances one
+	// stage: a rule never observes its own round's output mid-evaluation
+	// (which would let a head predicate race ahead of the negated
+	// same-stage predicate that is supposed to gate it).
+	groups := e.ruleGroups(rules)
+
+	// delta: tuples new in the previous round, per predicate.
+	delta := make(map[string]map[string]Tuple)
+	// Round 0: apply every rule against the full db (base facts are the
+	// implicit initial delta).
+	for round := 0; ; round++ {
+		if round > e.opts.MaxRounds {
+			return fmt.Errorf("eval: fixpoint did not converge within %d rounds (non-terminating function symbols?)", e.opts.MaxRounds)
+		}
+		next := make(map[string]map[string]Tuple)
+		for _, group := range groups {
+			buffer := make(map[string]Tuple)
+			emit := func(t Tuple) error {
+				for _, a := range t.Args {
+					if a.Depth() > e.opts.MaxTermDepth {
+						return fmt.Errorf("eval: derived term exceeds depth bound %d: %s", e.opts.MaxTermDepth, t)
+					}
+				}
+				if !db.Contains(t) {
+					buffer[t.Key()] = t
+				}
+				return nil
+			}
+			for _, r := range group {
+				if round == 0 {
+					if err := e.applyRule(db, r, nil, -1, emit, next); err != nil {
+						return err
+					}
+					continue
+				}
+				// Semi-naive: one variant per positive subgoal restricted
+				// to the previous round's delta.
+				for _, i := range positiveIndices(r) {
+					key := r.Body[i].PredKey()
+					if len(delta[key]) == 0 {
+						continue
+					}
+					if err := e.applyRule(db, r, delta, i, emit, next); err != nil {
+						return err
+					}
+				}
+			}
+			for k, t := range buffer {
+				if db.Insert(t) {
+					if next[t.Pred] == nil {
+						next[t.Pred] = make(map[string]Tuple)
+					}
+					next[t.Pred][k] = t
+				}
+			}
+		}
+		if totalLen(next) == 0 {
+			break
+		}
+		delta = next
+	}
+
+	// Aggregates.
+	for _, r := range aggRules {
+		if err := e.applyAggregateRule(db, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ruleGroups partitions rules by head predicate, ordered so predicates
+// earlier in any XY same-stage order come first.
+func (e *Evaluator) ruleGroups(rules []*ast.Rule) [][]*ast.Rule {
+	prio := make(map[string]int)
+	for _, w := range e.res.XY {
+		for i, p := range w.SameStageOrder {
+			prio[p] = i + 1
+		}
+	}
+	out := make([]*ast.Rule, len(rules))
+	copy(out, rules)
+	sort.SliceStable(out, func(i, j int) bool {
+		return prio[out[i].Head.PredKey()] < prio[out[j].Head.PredKey()]
+	})
+	var groups [][]*ast.Rule
+	for _, r := range out {
+		k := r.Head.PredKey()
+		if n := len(groups); n > 0 && groups[n-1][0].Head.PredKey() == k {
+			groups[n-1] = append(groups[n-1], r)
+			continue
+		}
+		groups = append(groups, []*ast.Rule{r})
+	}
+	return groups
+}
+
+func positiveIndices(r *ast.Rule) []int {
+	var out []int
+	for i, l := range r.Body {
+		if !l.Negated && !l.Builtin {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func totalLen(m map[string]map[string]Tuple) int {
+	n := 0
+	for _, t := range m {
+		n += len(t)
+	}
+	return n
+}

@@ -1,0 +1,351 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/builtin"
+	"repro/internal/datalog/unify"
+)
+
+// Solution is one satisfying assignment of a rule body: the substitution
+// plus the positive body tuples used, in body order (the derivation of
+// Definition 2 lists exactly these plus the rule ID).
+type Solution struct {
+	Subst unify.Subst
+	Used  []Tuple
+}
+
+// applyRule computes the head tuples derivable by r. When deltaIdx >= 0,
+// the positive subgoal at that body index ranges over delta (semi-naive
+// restriction) and all others over db. next receives no direct writes;
+// emission goes through emit.
+func (e *Evaluator) applyRule(db *Database, r *ast.Rule, delta map[string]map[string]Tuple, deltaIdx int, emit func(Tuple) error, next map[string]map[string]Tuple) error {
+	sols, err := e.SolveBody(db, r, delta, deltaIdx)
+	if err != nil {
+		return err
+	}
+	for _, sol := range sols {
+		t, err := e.instantiateHead(r, sol.Subst)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// instantiateHead grounds the head of r under s, reducing arithmetic.
+func (e *Evaluator) instantiateHead(r *ast.Rule, s unify.Subst) (Tuple, error) {
+	args := make([]ast.Term, len(r.Head.Args))
+	for i, a := range r.Head.Args {
+		v, err := e.opts.Registry.EvalTerm(a, s)
+		if err != nil {
+			return Tuple{}, fmt.Errorf("eval: rule %d head: %w", r.ID, err)
+		}
+		if !v.Ground() {
+			return Tuple{}, fmt.Errorf("eval: rule %d produced non-ground head argument %s", r.ID, v)
+		}
+		args[i] = v
+	}
+	return Tuple{Pred: r.Head.PredKey(), Args: args}, nil
+}
+
+// SolveBody enumerates all solutions of r's body against db. When
+// deltaIdx >= 0, the positive relational subgoal at that body index
+// ranges over delta[pred] instead of db. Built-ins are evaluated as soon
+// as their arguments are bound; negated subgoals are checked once ground.
+func (e *Evaluator) SolveBody(db *Database, r *ast.Rule, delta map[string]map[string]Tuple, deltaIdx int) ([]Solution, error) {
+	var out []Solution
+	st := &solveState{ev: e, db: db, r: r, delta: delta, deltaIdx: deltaIdx, out: &out}
+	err := st.step(0, unify.Subst{}, nil, nil)
+	return out, err
+}
+
+type solveState struct {
+	ev       *Evaluator
+	db       *Database
+	r        *ast.Rule
+	delta    map[string]map[string]Tuple
+	deltaIdx int
+	out      *[]Solution
+}
+
+// step processes body literal i under substitution s with the given
+// deferred literals and used positive tuples.
+func (st *solveState) step(i int, s unify.Subst, deferred []ast.Literal, used []Tuple) error {
+	// Try to discharge any deferred literals that became ground.
+	var stillDeferred []ast.Literal
+	for _, d := range deferred {
+		ok, ns, err := st.tryLiteral(d, s)
+		switch {
+		case errors.Is(err, builtin.ErrNotGround) || errors.Is(err, errNotReady):
+			stillDeferred = append(stillDeferred, d)
+		case err != nil:
+			return err
+		case !ok:
+			return nil // dead branch
+		default:
+			s = ns
+		}
+	}
+	deferred = stillDeferred
+
+	if i == len(st.r.Body) {
+		return st.finish(s, deferred, used)
+	}
+
+	l := st.r.Body[i]
+	if l.Builtin {
+		ok, ns, err := st.ev.opts.Registry.Eval(l, s)
+		switch {
+		case errors.Is(err, builtin.ErrNotGround):
+			return st.step(i+1, s, append(deferred, l), used)
+		case err != nil:
+			return err
+		case !ok:
+			return nil
+		default:
+			return st.step(i+1, ns, deferred, used)
+		}
+	}
+	if l.Negated {
+		ok, ns, err := st.tryLiteral(l, s)
+		switch {
+		case errors.Is(err, errNotReady):
+			return st.step(i+1, s, append(deferred, l), used)
+		case err != nil:
+			return err
+		case !ok:
+			return nil
+		default:
+			return st.step(i+1, ns, deferred, used)
+		}
+	}
+
+	// Positive relational subgoal: branch over matching tuples.
+	var table map[string]Tuple
+	if i == st.deltaIdx {
+		table = st.delta[l.PredKey()]
+	} else {
+		table = st.db.tables[l.PredKey()]
+	}
+	// Deterministic iteration keeps evaluation reproducible.
+	keys := make([]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t := table[k]
+		st.ev.JoinOps++
+		ns, ok := unify.MatchArgs(l.Args, t.Args, s)
+		if !ok {
+			continue
+		}
+		if err := st.step(i+1, ns, deferred, append(used, t)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var errNotReady = errors.New("eval: literal not ready")
+
+// tryLiteral evaluates a builtin or negated literal if its arguments are
+// sufficiently bound; errNotReady defers it.
+func (st *solveState) tryLiteral(l ast.Literal, s unify.Subst) (bool, unify.Subst, error) {
+	if l.Builtin {
+		ok, ns, err := st.ev.opts.Registry.Eval(l, s)
+		if errors.Is(err, builtin.ErrNotGround) {
+			return false, s, errNotReady
+		}
+		return ok, ns, err
+	}
+	// Negated relational literal: requires ground arguments.
+	args := make([]ast.Term, len(l.Args))
+	for i, a := range l.Args {
+		v, err := st.ev.opts.Registry.EvalTerm(a, s)
+		if err != nil {
+			return false, s, err
+		}
+		if !v.Ground() {
+			return false, s, errNotReady
+		}
+		args[i] = v
+	}
+	st.ev.JoinOps++
+	present := st.db.Contains(Tuple{Pred: l.PredKey(), Args: args})
+	return !present, s, nil
+}
+
+// finish resolves remaining deferred literals (forcing = / is by
+// unification as a last resort) and records the solution.
+func (st *solveState) finish(s unify.Subst, deferred []ast.Literal, used []Tuple) error {
+	for progress := true; progress && len(deferred) > 0; {
+		progress = false
+		var rest []ast.Literal
+		for _, d := range deferred {
+			ok, ns, err := st.tryLiteral(d, s)
+			switch {
+			case errors.Is(err, errNotReady):
+				rest = append(rest, d)
+			case err != nil:
+				return err
+			case !ok:
+				return nil
+			default:
+				s = ns
+				progress = true
+			}
+		}
+		deferred = rest
+	}
+	if len(deferred) > 0 {
+		return fmt.Errorf("eval: rule %d: unresolvable subgoals remain (unsafe rule slipped through): %v",
+			st.r.ID, deferred)
+	}
+	cp := make([]Tuple, len(used))
+	copy(cp, used)
+	*st.out = append(*st.out, Solution{Subst: s, Used: cp})
+	return nil
+}
+
+// applyAggregateRule evaluates an aggregate-headed rule: body solutions
+// are grouped by the non-aggregate head arguments; each aggregate
+// argument folds the *multiset* of its variable's values over the
+// group's solutions (one contribution per distinct body-tuple
+// combination — the same semantics the TAG-style in-network collection
+// computes, where each owned tuple contributes exactly once).
+func (e *Evaluator) applyAggregateRule(db *Database, r *ast.Rule) error {
+	sols, err := e.SolveBody(db, r, nil, -1)
+	if err != nil {
+		return err
+	}
+	type group struct {
+		groupArgs []ast.Term
+		values    [][]ast.Term // per aggregate position: multiset of values
+	}
+	groups := make(map[string]*group)
+	aggPositions := []int{}
+	for i, a := range r.HeadAggs {
+		if a != nil {
+			aggPositions = append(aggPositions, i)
+		}
+	}
+	for _, sol := range sols {
+		gargs := make([]ast.Term, 0, len(r.Head.Args))
+		key := ""
+		for i, a := range r.Head.Args {
+			if r.HeadAggs[i] != nil {
+				continue
+			}
+			v, err := e.opts.Registry.EvalTerm(a, sol.Subst)
+			if err != nil {
+				return err
+			}
+			gargs = append(gargs, v)
+			key += v.Key() + "|"
+		}
+		g := groups[key]
+		if g == nil {
+			g = &group{groupArgs: gargs, values: make([][]ast.Term, len(aggPositions))}
+			groups[key] = g
+		}
+		for gi, pos := range aggPositions {
+			v, err := e.opts.Registry.EvalTerm(ast.Var(r.HeadAggs[pos].Var), sol.Subst)
+			if err != nil {
+				return err
+			}
+			g.values[gi] = append(g.values[gi], v)
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := groups[k]
+		args := make([]ast.Term, len(r.Head.Args))
+		gi, ai := 0, 0
+		for i := range r.Head.Args {
+			if r.HeadAggs[i] == nil {
+				args[i] = g.groupArgs[ai]
+				ai++
+				continue
+			}
+			v, err := aggregate(r.HeadAggs[i].Func, g.values[gi])
+			if err != nil {
+				return fmt.Errorf("eval: rule %d: %w", r.ID, err)
+			}
+			args[i] = v
+			gi++
+		}
+		db.Insert(Tuple{Pred: r.Head.PredKey(), Args: args})
+	}
+	return nil
+}
+
+// aggregate folds a multiset of values with the named aggregate function.
+func aggregate(fn string, list []ast.Term) (ast.Term, error) {
+	if fn == "count" {
+		return ast.Int64(int64(len(list))), nil
+	}
+	if len(list) == 0 {
+		return ast.Term{}, fmt.Errorf("aggregate %s over empty group", fn)
+	}
+	switch fn {
+	case "min", "max":
+		best := list[0]
+		bf, ok := best.Numeric()
+		if !ok {
+			// Fall back to structural order for non-numerics.
+			for _, v := range list[1:] {
+				c := v.Compare(best)
+				if (fn == "min" && c < 0) || (fn == "max" && c > 0) {
+					best = v
+				}
+			}
+			return best, nil
+		}
+		for _, v := range list[1:] {
+			vf, ok := v.Numeric()
+			if !ok {
+				return ast.Term{}, fmt.Errorf("aggregate %s: mixed numeric and non-numeric values", fn)
+			}
+			if (fn == "min" && vf < bf) || (fn == "max" && vf > bf) {
+				best, bf = v, vf
+			}
+		}
+		return best, nil
+	case "sum", "avg":
+		allInt := true
+		var fsum float64
+		var isum int64
+		for _, v := range list {
+			f, ok := v.Numeric()
+			if !ok {
+				return ast.Term{}, fmt.Errorf("aggregate %s: non-numeric value %s", fn, v)
+			}
+			fsum += f
+			if v.Kind == ast.KindInt {
+				isum += v.Int
+			} else {
+				allInt = false
+			}
+		}
+		if fn == "sum" {
+			if allInt {
+				return ast.Int64(isum), nil
+			}
+			return ast.Float64(fsum), nil
+		}
+		return ast.Float64(fsum / float64(len(list))), nil
+	}
+	return ast.Term{}, fmt.Errorf("unknown aggregate %q", fn)
+}

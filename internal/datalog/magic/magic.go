@@ -1,0 +1,267 @@
+// Package magic implements the magic-set transformation used by the
+// system architecture (Figure 2 of the paper) to optimize bottom-up
+// evaluation of a deductive program with respect to a query: only facts
+// relevant to the query's bound arguments are derived.
+//
+// The transformation adorns derived predicates with b/f (bound/free)
+// argument patterns using left-to-right sideways information passing,
+// introduces magic predicates carrying binding tuples, and seeds them
+// from the query constants. Predicates reached through negation are kept
+// unadorned (evaluated fully), which keeps the rewrite sound for
+// stratified programs.
+package magic
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datalog/ast"
+)
+
+// Transformed is the result of a magic-set rewrite.
+type Transformed struct {
+	// Program is the rewritten program (adorned + magic + passthrough
+	// rules). Base predicate declarations are carried over.
+	Program *ast.Program
+	// AnswerPred is the adorned predicate key holding the query answers.
+	AnswerPred string
+	// MagicSeed is the seed fact asserted for the query bindings.
+	MagicSeed ast.Literal
+}
+
+// Rewrite transforms p for the given query literal. Arguments of the
+// query that are ground become bound; variables stay free. The query
+// predicate must be derived (rewriting a base predicate is pointless).
+func Rewrite(p *ast.Program, query ast.Literal) (*Transformed, error) {
+	qKey := query.PredKey()
+	if !p.IsDerived(qKey) {
+		return nil, fmt.Errorf("magic: query predicate %s is not derived", qKey)
+	}
+	for _, r := range p.Rules {
+		if r.HasAggregates() {
+			return nil, fmt.Errorf("magic: aggregates are not supported (rule %d)", r.ID)
+		}
+	}
+	ad := adornmentOf(query)
+	t := &transformer{
+		src:     p,
+		out:     ast.NewProgram(),
+		done:    make(map[string]bool),
+		full:    make(map[string]bool),
+		answers: adornedName(query.Predicate, ad),
+	}
+	for k, v := range p.Base {
+		t.out.Base[k] = v
+	}
+	for k, v := range p.Windows {
+		t.out.Windows[k] = v
+	}
+	if err := t.adornPredicate(query.Predicate, len(query.Args), ad); err != nil {
+		return nil, err
+	}
+	// Seed the magic predicate with the query's bound constants.
+	var seedArgs []ast.Term
+	for i, a := range query.Args {
+		if ad[i] == 'b' {
+			seedArgs = append(seedArgs, a)
+		}
+	}
+	seed := ast.Lit(magicName(query.Predicate, ad), seedArgs...)
+	t.out.AddRule(&ast.Rule{Head: seed})
+	// Answer projection: the adorned predicate holds answers for every
+	// magic-reachable binding; select only the query's own binding.
+	ansName := "ans_" + query.Predicate
+	ansBody := ast.Literal{Predicate: adornedName(query.Predicate, ad), Args: query.Args}
+	t.out.AddRule(&ast.Rule{
+		Head: ast.Literal{Predicate: ansName, Args: query.Args},
+		Body: []ast.Literal{ansBody},
+	})
+	answerKey := fmt.Sprintf("%s/%d", ansName, len(query.Args))
+	t.out.Queries = append(t.out.Queries, answerKey)
+	return &Transformed{Program: t.out, AnswerPred: answerKey, MagicSeed: seed}, nil
+}
+
+// adornmentOf derives the b/f pattern from a query literal: ground
+// arguments are bound.
+func adornmentOf(q ast.Literal) string {
+	var b strings.Builder
+	for _, a := range q.Args {
+		if a.Ground() {
+			b.WriteByte('b')
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return b.String()
+}
+
+func adornedName(pred, ad string) string {
+	if ad == "" {
+		return pred
+	}
+	return pred + "_" + ad
+}
+
+func magicName(pred, ad string) string {
+	return "m_" + pred + "_" + ad
+}
+
+type transformer struct {
+	src     *ast.Program
+	out     *ast.Program
+	done    map[string]bool // adorned predicates already generated ("pred/arity/ad")
+	full    map[string]bool // predicates copied unadorned
+	answers string
+}
+
+// adornPredicate generates adorned and magic rules for pred with the
+// given adornment.
+func (t *transformer) adornPredicate(pred string, arity int, ad string) error {
+	key := fmt.Sprintf("%s/%d/%s", pred, arity, ad)
+	if t.done[key] {
+		return nil
+	}
+	t.done[key] = true
+	predKey := fmt.Sprintf("%s/%d", pred, arity)
+	rules := t.src.RulesFor(predKey)
+	if len(rules) == 0 {
+		return fmt.Errorf("magic: no rules for derived predicate %s", predKey)
+	}
+	for _, r := range rules {
+		if err := t.adornRule(r, ad); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adornRule rewrites one rule under a head adornment.
+func (t *transformer) adornRule(r *ast.Rule, ad string) error {
+	head := r.Head
+	// Bound variables: those in bound head argument positions.
+	bound := make(map[string]bool)
+	var magicArgs []ast.Term
+	for i, a := range head.Args {
+		if i < len(ad) && ad[i] == 'b' {
+			for _, v := range a.Vars(nil) {
+				bound[v] = true
+			}
+			magicArgs = append(magicArgs, a)
+		}
+	}
+	newHead := ast.Literal{Predicate: adornedName(head.Predicate, ad), Args: head.Args}
+	magicLit := ast.Lit(magicName(head.Predicate, ad), magicArgs...)
+
+	var newBody []ast.Literal
+	if len(ad) > 0 && strings.ContainsRune(ad, 'b') {
+		newBody = append(newBody, magicLit)
+	}
+	// prefix accumulates the subgoals preceding the current one (for
+	// magic-rule bodies): magic literal plus processed subgoals.
+	prefix := make([]ast.Literal, len(newBody))
+	copy(prefix, newBody)
+
+	for _, l := range r.Body {
+		if l.Builtin {
+			newBody = append(newBody, l)
+			prefix = append(prefix, l)
+			// = / is bind their variables for adornment purposes.
+			if !l.Negated && (l.Predicate == "=" || l.Predicate == "is") {
+				lv := l.Args[0].Vars(nil)
+				rv := l.Args[1].Vars(nil)
+				if allBound(lv, bound) {
+					markBound(rv, bound)
+				}
+				if allBound(rv, bound) {
+					markBound(lv, bound)
+				}
+			}
+			continue
+		}
+		if l.Negated {
+			// Negated subgoals are evaluated against the fully-computed
+			// original predicate.
+			if t.src.IsDerived(l.PredKey()) {
+				if err := t.copyFull(l.PredKey()); err != nil {
+					return err
+				}
+			}
+			newBody = append(newBody, l)
+			prefix = append(prefix, l)
+			continue
+		}
+		// Positive relational subgoal.
+		if !t.src.IsDerived(l.PredKey()) {
+			newBody = append(newBody, l)
+			prefix = append(prefix, l)
+			markBound(l.Vars(nil), bound)
+			continue
+		}
+		// Derived: adorn by current bindings.
+		var subAd strings.Builder
+		var subMagicArgs []ast.Term
+		for _, a := range l.Args {
+			if allBound(a.Vars(nil), bound) {
+				subAd.WriteByte('b')
+				subMagicArgs = append(subMagicArgs, a)
+			} else {
+				subAd.WriteByte('f')
+			}
+		}
+		sa := subAd.String()
+		if strings.ContainsRune(sa, 'b') {
+			// Magic rule: m_q_sa(boundArgs) :- prefix.
+			mr := &ast.Rule{
+				Head: ast.Lit(magicName(l.Predicate, sa), subMagicArgs...),
+				Body: append([]ast.Literal(nil), prefix...),
+			}
+			t.out.AddRule(mr)
+		}
+		al := ast.Literal{Predicate: adornedName(l.Predicate, sa), Args: l.Args}
+		newBody = append(newBody, al)
+		prefix = append(prefix, al)
+		markBound(l.Vars(nil), bound)
+		if err := t.adornPredicate(l.Predicate, len(l.Args), sa); err != nil {
+			return err
+		}
+	}
+	t.out.AddRule(&ast.Rule{Head: newHead, Body: newBody, Line: r.Line})
+	return nil
+}
+
+// copyFull copies pred's original rules (and transitively everything it
+// depends on) unadorned into the output.
+func (t *transformer) copyFull(predKey string) error {
+	if t.full[predKey] {
+		return nil
+	}
+	t.full[predKey] = true
+	for _, r := range t.src.RulesFor(predKey) {
+		body := make([]ast.Literal, len(r.Body))
+		copy(body, r.Body)
+		t.out.AddRule(&ast.Rule{Head: r.Head, Body: body, Line: r.Line})
+		for _, l := range r.Body {
+			if !l.Builtin && t.src.IsDerived(l.PredKey()) {
+				if err := t.copyFull(l.PredKey()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func allBound(vars []string, bound map[string]bool) bool {
+	for _, v := range vars {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func markBound(vars []string, bound map[string]bool) {
+	for _, v := range vars {
+		bound[v] = true
+	}
+}

@@ -1,0 +1,248 @@
+package magic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/eval"
+	"repro/internal/datalog/parser"
+)
+
+func mustProg(t testing.TB, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+const ancSrc = `
+anc(X, Y) :- par(X, Y).
+anc(X, Z) :- par(X, Y), anc(Y, Z).
+`
+
+// chainFacts builds par facts forming K disjoint chains of length N.
+func chainFacts(k, n int) []eval.Tuple {
+	var out []eval.Tuple
+	for c := 0; c < k; c++ {
+		for i := 0; i < n; i++ {
+			out = append(out, eval.NewTuple("par",
+				ast.Symbol(node(c, i)), ast.Symbol(node(c, i+1))))
+		}
+	}
+	return out
+}
+
+func node(chain, i int) string {
+	return string(rune('a'+chain)) + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestRewriteAncestorBf(t *testing.T) {
+	p := mustProg(t, ancSrc)
+	tr, err := Rewrite(p, ast.Lit("anc", ast.Symbol("a00"), ast.Var("X")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.AnswerPred != "ans_anc/2" {
+		t.Errorf("answer pred = %s", tr.AnswerPred)
+	}
+	src := tr.Program.String()
+	for _, want := range []string{"m_anc_bf", "anc_bf"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("transformed program missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestMagicEquivalenceAndPruning(t *testing.T) {
+	p := mustProg(t, ancSrc)
+	facts := chainFacts(6, 8) // 6 chains; query touches only one
+
+	// Full evaluation.
+	evFull, err := eval.New(p, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbFull, err := evFull.Run(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Magic evaluation for anc(a00, X).
+	tr, err := Rewrite(p, ast.Lit("anc", ast.Symbol("a00"), ast.Var("X")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evMagic, err := eval.New(tr.Program, eval.Options{})
+	if err != nil {
+		t.Fatalf("transformed program invalid: %v\n%s", err, tr.Program.String())
+	}
+	dbMagic, err := evMagic.Run(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same answers restricted to the query.
+	var want []eval.Tuple
+	for _, a := range dbFull.Tuples("anc/2") {
+		if a.Args[0].Equal(ast.Symbol("a00")) {
+			want = append(want, a)
+		}
+	}
+	got := dbMagic.Tuples(tr.AnswerPred)
+	if len(got) != len(want) {
+		t.Fatalf("magic answers = %d, want %d\ngot: %v", len(got), len(want), got)
+	}
+	for i := range got {
+		if !got[i].Args[0].Equal(want[i].Args[0]) || !got[i].Args[1].Equal(want[i].Args[1]) {
+			t.Errorf("answer %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	// The whole point: magic does asymptotically less work.
+	if evMagic.JoinOps >= evFull.JoinOps {
+		t.Errorf("magic join ops %d should be < full %d", evMagic.JoinOps, evFull.JoinOps)
+	}
+}
+
+func TestMagicFullyBoundQuery(t *testing.T) {
+	p := mustProg(t, ancSrc)
+	facts := chainFacts(3, 5)
+	tr, err := Rewrite(p, ast.Lit("anc", ast.Symbol("a00"), ast.Symbol("a03")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := eval.New(tr.Program, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ev.Run(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range db.Tuples(tr.AnswerPred) {
+		if a.Args[0].Equal(ast.Symbol("a00")) && a.Args[1].Equal(ast.Symbol("a03")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bound-bound query lost its answer: %v", db.Tuples(tr.AnswerPred))
+	}
+}
+
+func TestMagicAllFreeQueryIsIdentityShape(t *testing.T) {
+	p := mustProg(t, ancSrc)
+	facts := chainFacts(2, 3)
+	tr, err := Rewrite(p, ast.Lit("anc", ast.Var("X"), ast.Var("Y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := eval.New(tr.Program, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ev.Run(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evFull, _ := eval.New(p, eval.Options{})
+	dbFull, _ := evFull.Run(facts)
+	if db.Count(tr.AnswerPred) != dbFull.Count("anc/2") {
+		t.Errorf("free-free magic answers %d != full %d", db.Count(tr.AnswerPred), dbFull.Count("anc/2"))
+	}
+}
+
+func TestMagicWithNegatedSubgoal(t *testing.T) {
+	src := `
+blocked(X) :- obstacle(X).
+route(X, Y) :- link(X, Y), NOT blocked(Y).
+route(X, Z) :- link(X, Y), NOT blocked(Y), route(Y, Z).
+`
+	p := mustProg(t, src)
+	facts := []eval.Tuple{
+		eval.NewTuple("link", ast.Symbol("a"), ast.Symbol("b")),
+		eval.NewTuple("link", ast.Symbol("b"), ast.Symbol("c")),
+		eval.NewTuple("link", ast.Symbol("a"), ast.Symbol("d")),
+		eval.NewTuple("obstacle", ast.Symbol("d")),
+	}
+	tr, err := Rewrite(p, ast.Lit("route", ast.Symbol("a"), ast.Var("Y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := eval.New(tr.Program, eval.Options{})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tr.Program.String())
+	}
+	db, err := ev.Run(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := db.Tuples(tr.AnswerPred)
+	// a -> b, a -> c; d blocked.
+	if len(got) != 2 {
+		t.Errorf("routes = %v", got)
+	}
+	for _, g := range got {
+		if g.Args[1].Equal(ast.Symbol("d")) {
+			t.Error("blocked node reached")
+		}
+	}
+}
+
+func TestRewriteErrors(t *testing.T) {
+	p := mustProg(t, ancSrc)
+	if _, err := Rewrite(p, ast.Lit("par", ast.Symbol("a"), ast.Var("X"))); err == nil {
+		t.Error("rewriting a base predicate should fail")
+	}
+	agg := mustProg(t, `s(min<D>) :- p(D).
+top(X) :- s(X).`)
+	if _, err := Rewrite(agg, ast.Lit("top", ast.Var("X"))); err == nil {
+		t.Error("aggregates should be rejected")
+	}
+}
+
+func TestSameGenerationMagic(t *testing.T) {
+	// The classic same-generation program: magic sets shine here.
+	src := `
+sg(X, X) :- person(X).
+sg(X, Y) :- par(X, Xp), sg(Xp, Yp), par(Y, Yp).
+`
+	p := mustProg(t, src)
+	var facts []eval.Tuple
+	// A binary tree of depth 4: person(i), par(child, parent).
+	for i := 1; i < 32; i++ {
+		facts = append(facts, eval.NewTuple("person", ast.Int64(int64(i))))
+		if i > 1 {
+			facts = append(facts, eval.NewTuple("par", ast.Int64(int64(i)), ast.Int64(int64(i/2))))
+		}
+	}
+	tr, err := Rewrite(p, ast.Lit("sg", ast.Int64(16), ast.Var("Y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evMagic, err := eval.New(tr.Program, eval.Options{})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tr.Program.String())
+	}
+	dbMagic, err := evMagic.Run(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evFull, _ := eval.New(p, eval.Options{})
+	dbFull, _ := evFull.Run(facts)
+	var want int
+	for _, s := range dbFull.Tuples("sg/2") {
+		if s.Args[0].Equal(ast.Int64(16)) {
+			want++
+		}
+	}
+	if got := dbMagic.Count(tr.AnswerPred); got != want {
+		t.Errorf("sg answers = %d, want %d", got, want)
+	}
+	if evMagic.JoinOps >= evFull.JoinOps {
+		t.Errorf("magic join ops %d should beat full %d", evMagic.JoinOps, evFull.JoinOps)
+	}
+}

@@ -1,0 +1,332 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datalog/ast"
+)
+
+func TestParseCoverageProgram(t *testing.T) {
+	src := `
+% Example 1 of the paper: uncovered enemy vehicles.
+.base veh/3.
+.window veh/3 100.
+.query uncov/2.
+
+cov(L1, T) :- veh(enemy, L1, T), veh(friendly, L2, T), dist(L1, L2) <= 5.
+uncov(L, T) :- NOT cov(L, T), veh(enemy, L, T).
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	if !p.Base["veh/3"] {
+		t.Error("missing .base veh/3")
+	}
+	if p.Windows["veh/3"] != 100 {
+		t.Errorf("window = %d", p.Windows["veh/3"])
+	}
+	if len(p.Queries) != 1 || p.Queries[0] != "uncov/2" {
+		t.Errorf("queries = %v", p.Queries)
+	}
+	cov := p.Rules[0]
+	if cov.Head.Predicate != "cov" || len(cov.Body) != 3 {
+		t.Fatalf("cov rule = %v", cov)
+	}
+	if !cov.Body[2].Builtin || cov.Body[2].Predicate != "<=" {
+		t.Errorf("third subgoal should be builtin <=: %v", cov.Body[2])
+	}
+	if d := cov.Body[2].Args[0]; d.Kind != ast.KindCompound || d.Str != "dist" {
+		t.Errorf("lhs of <= should be dist term: %v", d)
+	}
+	uncov := p.Rules[1]
+	if !uncov.Body[0].Negated || uncov.Body[0].Predicate != "cov" {
+		t.Errorf("first subgoal should be NOT cov: %v", uncov.Body[0])
+	}
+}
+
+func TestParseShortestPathTree(t *testing.T) {
+	// Example 3 (logicH), transcribed.
+	src := `
+.base g/2.
+h(a, a, 0).
+h(a, X, 1) :- g(a, X).
+hp(Y, D1) :- h(_, Y, Dp), D1 = D + 1, D1 > Dp, h(_, X, D), g(X, Y).
+h(X, Y, D1) :- g(X, Y), h(_, X, D), D1 = D + 1, NOT hp(Y, D1).
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 4 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	if !p.Rules[0].IsFact() {
+		t.Error("h(a,a,0) should be a fact")
+	}
+	// Anonymous variables must be renamed apart within a rule.
+	hp := p.Rules[2]
+	v1 := hp.Body[0].Args[0]
+	v2 := hp.Body[3].Args[0]
+	if v1.Kind != ast.KindVar || v2.Kind != ast.KindVar {
+		t.Fatalf("_ should parse to variables: %v %v", v1, v2)
+	}
+	if v1.Str == v2.Str {
+		t.Error("two anonymous variables share a name")
+	}
+	if !v1.IsAnonymous() || !v2.IsAnonymous() {
+		t.Error("anonymous flags lost")
+	}
+	last := p.Rules[3]
+	if !last.Body[3].Negated {
+		t.Errorf("NOT hp(...) not negated: %v", last.Body[3])
+	}
+}
+
+func TestParseTrajectoriesWithLists(t *testing.T) {
+	// Example 2 with list syntax.
+	src := `
+.base report/1.
+notStart(R2) :- report(R1), report(R2), close(R1, R2).
+traj([R1, R2]) :- report(R1), report(R2), close(R1, R2), NOT notStart(R1).
+traj([R2, R1 | X]) :- traj([R1 | X]), report(R2), close(R1, R2).
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	if !p.Rules[0].Body[2].Builtin {
+		t.Error("close/2 should classify as builtin")
+	}
+	growHead := p.Rules[2].Head.Args[0]
+	if growHead.Kind != ast.KindCompound || growHead.Str != ast.ListFunctor {
+		t.Errorf("head arg should be a list cell: %v", growHead)
+	}
+	if got := growHead.String(); got != "[R2, R1 | X]" {
+		t.Errorf("list head = %q", got)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	src := `short(X, min<D>) :- path(X, D).
+cnt(count<X>) :- node(X).`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rules[0]
+	if !r.HasAggregates() {
+		t.Fatal("aggregate missing")
+	}
+	if r.HeadAggs[0] != nil {
+		t.Error("first arg is not an aggregate")
+	}
+	if a := r.HeadAggs[1]; a == nil || a.Func != "min" || a.Var != "D" {
+		t.Errorf("agg = %+v", a)
+	}
+	c := p.Rules[1]
+	if a := c.HeadAggs[0]; a == nil || a.Func != "count" {
+		t.Errorf("count agg = %+v", a)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	r, err := ParseRule(`p(X) :- q(A, B, C), X = A + B * C - 1.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := r.Body[1].Args[1]
+	// A + B*C - 1 = -(+(A, *(B, C)), 1)
+	if got := rhs.Key(); got != ast.Compound("-", ast.Compound("+", ast.Var("A"), ast.Compound("*", ast.Var("B"), ast.Var("C"))), ast.Int64(1)).Key() {
+		t.Errorf("precedence parse = %v", rhs)
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	r, err := ParseRule(`p(X) :- X = (1 + 2) * 3.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := r.Body[0].Args[1]
+	want := ast.Compound("*", ast.Compound("+", ast.Int64(1), ast.Int64(2)), ast.Int64(3))
+	if !rhs.Equal(want) {
+		t.Errorf("parse = %v, want %v", rhs, want)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	tm, err := ParseTerm("f(-3, -2.5, -X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Args[0].Int != -3 {
+		t.Errorf("arg0 = %v", tm.Args[0])
+	}
+	if tm.Args[1].Float != -2.5 {
+		t.Errorf("arg1 = %v", tm.Args[1])
+	}
+	if tm.Args[2].Str != "-" || tm.Args[2].Args[0].Str != "X" {
+		t.Errorf("arg2 = %v", tm.Args[2])
+	}
+}
+
+func TestParseStringsAndEscapes(t *testing.T) {
+	tm, err := ParseTerm(`f("hello\nworld", "q\"q")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Args[0].Str != "hello\nworld" {
+		t.Errorf("arg0 = %q", tm.Args[0].Str)
+	}
+	if tm.Args[1].Str != `q"q` {
+		t.Errorf("arg1 = %q", tm.Args[1].Str)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+% percent comment
+// slash comment
+/* block
+   comment */
+p(1).
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 {
+		t.Errorf("rules = %d", len(p.Rules))
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	tm, err := ParseTerm("f(2.5, 1e3, 2.5e-2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Args[0].Float != 2.5 || tm.Args[1].Float != 1000 || tm.Args[2].Float != 0.025 {
+		t.Errorf("floats = %v", tm.Args)
+	}
+}
+
+func TestParseEmptyAndOpenLists(t *testing.T) {
+	tm, err := ParseTerm("[]")
+	if err != nil || tm.Str != ast.NilSymbol {
+		t.Errorf("[] = %v, %v", tm, err)
+	}
+	tm, err = ParseTerm("[H | T]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Str != ast.ListFunctor || tm.Args[1].Str != "T" {
+		t.Errorf("[H|T] = %v", tm)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`p(1`,                        // unterminated
+		`p(1) :- .`,                  // empty body literal
+		`p(1) q(2).`,                 // missing :-
+		`p(X) :- X + 1.`,             // bare arithmetic as literal
+		`p(X) :- [1,2].`,             // list as literal
+		`.nosuch p/1.`,               // unknown directive
+		`p("unterminated).`,          // bad string
+		`< (1, 2).`,                  // operator as head
+		`p(X) :- q(X), NOT X < Y Z.`, // trailing garbage
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestBuiltinHeadRejected(t *testing.T) {
+	_, err := Parse(`close(1, 2) :- p(1).`)
+	if err == nil || !strings.Contains(err.Error(), "built-in") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	src := `
+.base veh/3.
+cov(L1, T) :- veh(enemy, L1, T), veh(friendly, L2, T), dist(L1, L2) <= 5.
+uncov(L, T) :- NOT cov(L, T), veh(enemy, L, T).
+traj([R2, R1 | X]) :- traj([R1 | X]), report(R2), close(R1, R2).
+short(X, min<D>) :- path(X, D).
+`
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(p1.String())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nprinted:\n%s", err, p1.String())
+	}
+	if p1.String() != p2.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", p1.String(), p2.String())
+	}
+}
+
+func TestParseZeroArityPredicate(t *testing.T) {
+	p, err := Parse(`alarm :- temp(X), X > 90.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Head.Predicate != "alarm" || len(p.Rules[0].Head.Args) != 0 {
+		t.Errorf("head = %v", p.Rules[0].Head)
+	}
+}
+
+func TestParseIsOperator(t *testing.T) {
+	r, err := ParseRule(`p(Y) :- q(X), Y is X * 2.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Body[1].Predicate != "is" || !r.Body[1].Builtin {
+		t.Errorf("is literal = %v", r.Body[1])
+	}
+}
+
+func TestParseTildeNegation(t *testing.T) {
+	r, err := ParseRule(`p(X) :- q(X), ~ r(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Body[1].Negated {
+		t.Errorf("~ should negate: %v", r.Body[1])
+	}
+}
+
+func TestCustomBuiltinClassifier(t *testing.T) {
+	opts := Options{IsBuiltin: func(name string, arity int) bool {
+		return name == "special" && arity == 1
+	}}
+	p, err := ParseWith(`p(X) :- special(X), close(X, X).`, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Rules[0].Body[0].Builtin {
+		t.Error("special/1 should be builtin under custom classifier")
+	}
+	if p.Rules[0].Body[1].Builtin {
+		t.Error("close/2 should not be builtin under custom classifier")
+	}
+}
+
+func TestLineNumbersInErrors(t *testing.T) {
+	_, err := Parse("p(1).\nq(2.\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line 2 mention", err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package unify implements substitutions, unification and one-way term
+// matching over the term language of package ast. Join conditions in the
+// distributed engine reduce to term matching plus built-in evaluation, per
+// Section III-A ("Function Symbols and Spatial Constraints") of the paper.
+package unify
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/datalog/ast"
+)
+
+// Subst is an immutable-by-convention substitution from variable names to
+// terms. The zero value is an empty substitution ready to use; Bind
+// returns extended copies so parent substitutions stay valid (needed when
+// a join branches over multiple matching tuples).
+type Subst struct {
+	m *node
+}
+
+// node is a persistent association-list node; lookups walk the chain.
+// For the small substitutions that arise in rule evaluation (a handful of
+// variables) this is faster and far less garbage than copying maps.
+type node struct {
+	name string
+	term ast.Term
+	next *node
+}
+
+// Lookup returns the binding of name and whether it exists.
+func (s Subst) Lookup(name string) (ast.Term, bool) {
+	for n := s.m; n != nil; n = n.next {
+		if n.name == name {
+			return n.term, true
+		}
+	}
+	return ast.Term{}, false
+}
+
+// Bind returns s extended with name -> t. It does not check for an
+// existing binding; callers should Lookup first when that matters.
+func (s Subst) Bind(name string, t ast.Term) Subst {
+	return Subst{m: &node{name: name, term: t, next: s.m}}
+}
+
+// Len returns the number of bound (possibly shadowed) entries.
+func (s Subst) Len() int {
+	n := 0
+	seen := map[string]bool{}
+	for p := s.m; p != nil; p = p.next {
+		if !seen[p.name] {
+			seen[p.name] = true
+			n++
+		}
+	}
+	return n
+}
+
+// Names returns the bound variable names, sorted.
+func (s Subst) Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	for p := s.m; p != nil; p = p.next {
+		if !seen[p.name] {
+			seen[p.name] = true
+			out = append(out, p.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apply replaces every variable bound in s by its (recursively applied)
+// binding. Unbound variables remain.
+func (s Subst) Apply(t ast.Term) ast.Term {
+	switch t.Kind {
+	case ast.KindVar:
+		if b, ok := s.Lookup(t.Str); ok {
+			// Bindings may themselves contain variables bound later
+			// (e.g. chained unification); resolve recursively.
+			if b.Kind == ast.KindVar && b.Str == t.Str {
+				return b
+			}
+			return s.Apply(b)
+		}
+		return t
+	case ast.KindCompound:
+		args := make([]ast.Term, len(t.Args))
+		changed := false
+		for i, a := range t.Args {
+			args[i] = s.Apply(a)
+			if !args[i].Equal(a) {
+				changed = true
+			}
+		}
+		if !changed {
+			return t
+		}
+		return ast.Compound(t.Str, args...)
+	default:
+		return t
+	}
+}
+
+// ApplyLiteral applies s to every argument of l.
+func (s Subst) ApplyLiteral(l ast.Literal) ast.Literal {
+	args := make([]ast.Term, len(l.Args))
+	for i, a := range l.Args {
+		args[i] = s.Apply(a)
+	}
+	return ast.Literal{Predicate: l.Predicate, Args: args, Negated: l.Negated, Builtin: l.Builtin}
+}
+
+// String renders the substitution as {X=1, Y=f(2)}.
+func (s Subst) String() string {
+	names := s.Names()
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		t, _ := s.Lookup(n)
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Unify unifies t and u under s, returning the extended substitution.
+// Standard Robinson unification with occurs-check (function symbols make
+// the occurs-check matter: X = f(X) must fail).
+func Unify(t, u ast.Term, s Subst) (Subst, bool) {
+	t = walk(t, s)
+	u = walk(u, s)
+	switch {
+	case t.Kind == ast.KindVar && u.Kind == ast.KindVar && t.Str == u.Str:
+		return s, true
+	case t.Kind == ast.KindVar:
+		if occurs(t.Str, u, s) {
+			return s, false
+		}
+		return s.Bind(t.Str, u), true
+	case u.Kind == ast.KindVar:
+		if occurs(u.Str, t, s) {
+			return s, false
+		}
+		return s.Bind(u.Str, t), true
+	case t.Kind == ast.KindCompound && u.Kind == ast.KindCompound:
+		if t.Str != u.Str || len(t.Args) != len(u.Args) {
+			return s, false
+		}
+		for i := range t.Args {
+			var ok bool
+			s, ok = Unify(t.Args[i], u.Args[i], s)
+			if !ok {
+				return s, false
+			}
+		}
+		return s, true
+	default:
+		if t.Equal(u) {
+			return s, true
+		}
+		return s, false
+	}
+}
+
+// walk resolves a variable to its binding (one level deep per step) until
+// reaching a non-variable or unbound variable.
+func walk(t ast.Term, s Subst) ast.Term {
+	for t.Kind == ast.KindVar {
+		b, ok := s.Lookup(t.Str)
+		if !ok {
+			return t
+		}
+		if b.Kind == ast.KindVar && b.Str == t.Str {
+			return t
+		}
+		t = b
+	}
+	return t
+}
+
+func occurs(name string, t ast.Term, s Subst) bool {
+	t = walk(t, s)
+	switch t.Kind {
+	case ast.KindVar:
+		return t.Str == name
+	case ast.KindCompound:
+		for _, a := range t.Args {
+			if occurs(name, a, s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Match performs one-way matching: pattern may contain variables, value
+// must be ground. This is the "term-matching operator" used to evaluate
+// join conditions locally at each node (Section IV-C). Returns the
+// extended substitution.
+func Match(pattern, value ast.Term, s Subst) (Subst, bool) {
+	switch pattern.Kind {
+	case ast.KindVar:
+		if b, ok := s.Lookup(pattern.Str); ok {
+			if b.Equal(value) {
+				return s, true
+			}
+			// The existing binding may itself contain variables (from
+			// a partially-instantiated partial result); unify then.
+			return Unify(b, value, s)
+		}
+		return s.Bind(pattern.Str, value), true
+	case ast.KindCompound:
+		if value.Kind != ast.KindCompound || pattern.Str != value.Str ||
+			len(pattern.Args) != len(value.Args) {
+			return s, false
+		}
+		for i := range pattern.Args {
+			var ok bool
+			s, ok = Match(pattern.Args[i], value.Args[i], s)
+			if !ok {
+				return s, false
+			}
+		}
+		return s, true
+	default:
+		if pattern.Equal(value) {
+			return s, true
+		}
+		return s, false
+	}
+}
+
+// MatchArgs matches a slice of patterns against a slice of ground values.
+func MatchArgs(patterns, values []ast.Term, s Subst) (Subst, bool) {
+	if len(patterns) != len(values) {
+		return s, false
+	}
+	for i := range patterns {
+		var ok bool
+		s, ok = Match(patterns[i], values[i], s)
+		if !ok {
+			return s, false
+		}
+	}
+	return s, true
+}

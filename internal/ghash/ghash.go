@@ -1,0 +1,81 @@
+// Package ghash implements geographic hashing of tuples: a tuple key is
+// hashed to a location inside the deployment area, and the node nearest
+// that location becomes the tuple's home. Derived tuples hashed this way
+// turn every derived table into a data stream with deterministic
+// duplicate elimination, per Section III-B of the paper ("Hashing Derived
+// Tuples; Derived Data Streams").
+package ghash
+
+import (
+	"hash/fnv"
+
+	"repro/internal/nsim"
+)
+
+// Hasher maps string keys to locations within a bounding box.
+type Hasher struct {
+	minX, minY, width, height float64
+}
+
+// New builds a hasher over the given bounding box.
+func New(minX, minY, maxX, maxY float64) *Hasher {
+	w := maxX - minX
+	h := maxY - minY
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	return &Hasher{minX: minX, minY: minY, width: w, height: h}
+}
+
+// ForNetwork builds a hasher spanning the network's node positions.
+func ForNetwork(nw *nsim.Network) *Hasher {
+	minX, minY := 1e18, 1e18
+	maxX, maxY := -1e18, -1e18
+	for _, n := range nw.Nodes() {
+		if n.X < minX {
+			minX = n.X
+		}
+		if n.Y < minY {
+			minY = n.Y
+		}
+		if n.X > maxX {
+			maxX = n.X
+		}
+		if n.Y > maxY {
+			maxY = n.Y
+		}
+	}
+	return New(minX, minY, maxX, maxY)
+}
+
+// Location hashes key to a point in the box. The two coordinates use
+// independent halves of a 64-bit FNV-1a hash.
+func (h *Hasher) Location(key string) (x, y float64) {
+	f := fnv.New64a()
+	f.Write([]byte(key))
+	v := mix(f.Sum64())
+	hx := float64(uint32(v>>32)) / float64(1<<32)
+	hy := float64(uint32(v)) / float64(1<<32)
+	return h.minX + hx*h.width, h.minY + hy*h.height
+}
+
+// mix applies a splitmix64-style finalizer: FNV-1a alone disperses its
+// high-order bits poorly over short similar keys, which would pile
+// derived tuples onto a few home nodes.
+func mix(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// Home returns the live node nearest the hashed location of key.
+func (h *Hasher) Home(nw *nsim.Network, key string) *nsim.Node {
+	x, y := h.Location(key)
+	return nw.NearestNode(x, y)
+}

@@ -1,0 +1,86 @@
+package ghash
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/nsim"
+	"repro/internal/topo"
+)
+
+func TestLocationWithinBounds(t *testing.T) {
+	h := New(0, 0, 9, 9)
+	for i := 0; i < 500; i++ {
+		x, y := h.Location(fmt.Sprintf("key-%d", i))
+		if x < 0 || x > 9 || y < 0 || y > 9 {
+			t.Fatalf("location (%f, %f) out of bounds", x, y)
+		}
+	}
+}
+
+func TestLocationDeterministic(t *testing.T) {
+	h := New(0, 0, 5, 5)
+	x1, y1 := h.Location("abc")
+	x2, y2 := h.Location("abc")
+	if x1 != x2 || y1 != y2 {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestLocationSpread(t *testing.T) {
+	// Keys must spread across quadrants — a degenerate hash would pile
+	// all derived tuples onto one node.
+	h := New(0, 0, 1, 1)
+	quad := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		x, y := h.Location(fmt.Sprintf("tuple|%d", i))
+		q := 0
+		if x > 0.5 {
+			q++
+		}
+		if y > 0.5 {
+			q += 2
+		}
+		quad[q]++
+	}
+	for q := 0; q < 4; q++ {
+		if quad[q] < 150 {
+			t.Errorf("quadrant %d has only %d/1000 keys", q, quad[q])
+		}
+	}
+}
+
+func TestHomeIsNearestNode(t *testing.T) {
+	nw := topo.Grid(4, nsim.Config{})
+	nw.Finalize()
+	h := ForNetwork(nw)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		home := h.Home(nw, key)
+		x, y := h.Location(key)
+		want := nw.NearestNode(x, y)
+		if home.ID != want.ID {
+			t.Errorf("home(%s) = %d, want %d", key, home.ID, want.ID)
+		}
+	}
+}
+
+func TestForNetworkBounds(t *testing.T) {
+	nw := topo.Grid(3, nsim.Config{})
+	h := ForNetwork(nw)
+	for i := 0; i < 100; i++ {
+		x, y := h.Location(fmt.Sprintf("%d", i))
+		if x < 0 || x > 2 || y < 0 || y > 2 {
+			t.Fatalf("location outside grid: (%f, %f)", x, y)
+		}
+	}
+}
+
+func TestDegenerateBox(t *testing.T) {
+	// A single-row network has zero height; hashing must still work.
+	h := New(0, 0, 10, 0)
+	_, y := h.Location("x")
+	if y < 0 || y > 1 {
+		t.Errorf("degenerate box y = %f", y)
+	}
+}

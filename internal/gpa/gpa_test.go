@@ -1,0 +1,127 @@
+package gpa
+
+import (
+	"testing"
+
+	"repro/internal/nsim"
+	"repro/internal/topo"
+)
+
+func planner(t *testing.T, m int, s Scheme) (*Planner, *nsim.Network) {
+	t.Helper()
+	nw := topo.Grid(m, nsim.Config{})
+	nw.Finalize()
+	return NewPlanner(nw, s), nw
+}
+
+func TestPerpendicularPlans(t *testing.T) {
+	p, nw := planner(t, 6, Perpendicular)
+	n := nw.Node(topo.GridID(6, 2, 3))
+	st := p.Storage(n)
+	if st.Flood || st.Local || len(st.Legs) != 2 {
+		t.Fatalf("storage plan = %+v", st)
+	}
+	// Both storage legs stay on the node's row and sweep.
+	for _, leg := range st.Legs {
+		if leg.TargetY != n.Y || !leg.Sweep {
+			t.Errorf("storage leg = %+v", leg)
+		}
+	}
+	if st.Legs[0].TargetX != 0 || st.Legs[1].TargetX != 5 {
+		t.Errorf("storage legs should span the row: %+v", st.Legs)
+	}
+	jn := p.Join(n)
+	if len(jn.Legs) != 2 {
+		t.Fatalf("join plan = %+v", jn)
+	}
+	if jn.Legs[0].Sweep || !jn.Legs[1].Sweep {
+		t.Error("join plan should seek then sweep")
+	}
+	if jn.Legs[0].TargetX != n.X || jn.Legs[1].TargetX != n.X {
+		t.Error("join legs should stay on the column")
+	}
+	if jn.Legs[0].TargetY != 0 || jn.Legs[1].TargetY != 5 {
+		t.Errorf("join legs should span the column: %+v", jn.Legs)
+	}
+}
+
+// The GPA invariant: every storage region (row) intersects every
+// join-computation region (column) — on the grid, at exactly one node.
+func TestRegionsIntersect(t *testing.T) {
+	p, nw := planner(t, 5, Perpendicular)
+	for _, a := range nw.Nodes() {
+		st := p.Storage(a)
+		for _, b := range nw.Nodes() {
+			jn := p.Join(b)
+			// Row of a: y = a.Y, x in [legs0.X, legs1.X]. Column of b:
+			// x = b.X, y in [legs0.Y, legs1.Y].
+			rowY := a.Y
+			colX := b.X
+			if colX >= st.Legs[0].TargetX && colX <= st.Legs[1].TargetX &&
+				rowY >= jn.Legs[0].TargetY && rowY <= jn.Legs[1].TargetY {
+				continue // intersection at (colX, rowY)
+			}
+			t.Fatalf("row of %v and column of %v do not intersect", a.ID, b.ID)
+		}
+	}
+}
+
+func TestSpatialClipping(t *testing.T) {
+	p, nw := planner(t, 9, Perpendicular)
+	p.SpatialRadius = 2
+	n := nw.Node(topo.GridID(9, 4, 4))
+	st := p.Storage(n)
+	if st.Legs[0].TargetX != 2 || st.Legs[1].TargetX != 6 {
+		t.Errorf("clipped storage legs = %+v", st.Legs)
+	}
+	jn := p.Join(n)
+	if jn.Legs[0].TargetY != 2 || jn.Legs[1].TargetY != 6 {
+		t.Errorf("clipped join legs = %+v", jn.Legs)
+	}
+	// Clipping clamps to the bounding box at the border.
+	corner := nw.Node(topo.GridID(9, 0, 0))
+	st = p.Storage(corner)
+	if st.Legs[0].TargetX != 0 || st.Legs[1].TargetX != 2 {
+		t.Errorf("corner storage legs = %+v", st.Legs)
+	}
+}
+
+func TestDegenerateSchemes(t *testing.T) {
+	pNB, nw := planner(t, 4, NaiveBroadcast)
+	n := nw.Node(0)
+	if !pNB.Storage(n).Flood {
+		t.Error("naive-broadcast storage should flood")
+	}
+	if !pNB.Join(n).Local {
+		t.Error("naive-broadcast join should be local")
+	}
+	pLS, _ := planner(t, 4, LocalStorage)
+	if !pLS.Storage(n).Local {
+		t.Error("local-storage storage should be local")
+	}
+	if !pLS.Join(n).Flood {
+		t.Error("local-storage join should flood")
+	}
+	pC, _ := planner(t, 4, Centralized)
+	if got := pC.Storage(n); got.Flood || got.Local {
+		t.Errorf("centralized storage should route: %+v", got)
+	}
+	if !pC.Join(n).Local {
+		t.Error("centralized join is local at the server")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	names := map[Scheme]string{
+		Perpendicular:  "perpendicular",
+		NaiveBroadcast: "naive-broadcast",
+		LocalStorage:   "local-storage",
+		Centralized:    "centralized",
+		Scheme(99):     "unknown",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d -> %q, want %q", s, s.String(), want)
+		}
+	}
+}

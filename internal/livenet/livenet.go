@@ -1,0 +1,252 @@
+// Package livenet is the hardware-testbed substitute: a real-time
+// network runtime in which every sensor node is a goroutine and every
+// radio link a delayed, lossy channel hop. Unlike the deterministic
+// discrete-event simulator (internal/nsim), livenet exercises protocol
+// logic under true asynchrony — the Go scheduler interleaves nodes
+// arbitrarily, exactly the property the paper's small physical testbed
+// demonstrated beyond TOSSIM.
+package livenet
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeID identifies a node.
+type NodeID int
+
+// Message is one link-level transmission.
+type Message struct {
+	Src, Dst NodeID
+	Kind     string
+	Payload  interface{}
+	Size     int
+}
+
+// Handler is the application on each node. Receive runs on the node's
+// own goroutine; handlers never share memory across nodes except through
+// messages.
+type Handler interface {
+	Init(n *Node)
+	Receive(n *Node, m Message)
+}
+
+// Config describes the real-time radio model.
+type Config struct {
+	Range    float64       // radio range; default 1.0
+	MinDelay time.Duration // per-hop latency bounds
+	MaxDelay time.Duration
+	LossRate float64
+	Seed     int64
+}
+
+func (c *Config) fill() {
+	if c.Range == 0 {
+		c.Range = 1.0
+	}
+	if c.MinDelay == 0 {
+		c.MinDelay = 200 * time.Microsecond
+	}
+	if c.MaxDelay < c.MinDelay {
+		c.MaxDelay = c.MinDelay * 4
+	}
+}
+
+// Node is one live sensor node.
+type Node struct {
+	ID   NodeID
+	X, Y float64
+
+	net       *Network
+	inbox     chan Message
+	neighbors []NodeID
+	handler   Handler
+
+	Sent     int64 // atomic
+	Received int64 // atomic
+}
+
+// Neighbors returns the node's radio neighborhood.
+func (n *Node) Neighbors() []NodeID { return n.neighbors }
+
+// Send transmits to a direct neighbor with real delay and loss; it never
+// blocks the caller beyond a channel handoff to the delivery goroutine.
+func (n *Node) Send(dst NodeID, kind string, payload interface{}, size int) {
+	ok := false
+	for _, nb := range n.neighbors {
+		if nb == dst {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		panic("livenet: send to non-neighbor")
+	}
+	atomic.AddInt64(&n.Sent, 1)
+	atomic.AddInt64(&n.net.TotalSent, 1)
+	atomic.AddInt64(&n.net.TotalBytes, int64(size))
+	n.net.deliver(Message{Src: n.ID, Dst: dst, Kind: kind, Payload: payload, Size: size})
+}
+
+// Broadcast transmits to every neighbor.
+func (n *Node) Broadcast(kind string, payload interface{}, size int) {
+	for _, nb := range n.neighbors {
+		n.Send(nb, kind, payload, size)
+	}
+}
+
+// After schedules f on the node's goroutine after d (a node-local timer).
+func (n *Node) After(d time.Duration, f func()) {
+	n.net.wg.Add(1)
+	go func() {
+		defer n.net.wg.Done()
+		select {
+		case <-time.After(d):
+			select {
+			case n.inbox <- Message{Kind: "__timer", Payload: f, Dst: n.ID}:
+			case <-n.net.done:
+			}
+		case <-n.net.done:
+		}
+	}()
+}
+
+// Network is a live goroutine-per-node network.
+type Network struct {
+	cfg   Config
+	nodes []*Node
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	randMu sync.Mutex
+	rng    *rand.Rand
+
+	TotalSent  int64 // atomic
+	TotalBytes int64 // atomic
+}
+
+// New creates an empty live network.
+func New(cfg Config) *Network {
+	cfg.fill()
+	return &Network{cfg: cfg, done: make(chan struct{}), rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// AddNode places a node; call before Start.
+func (nw *Network) AddNode(x, y float64, h Handler) *Node {
+	n := &Node{ID: NodeID(len(nw.nodes)), X: x, Y: y, net: nw,
+		inbox: make(chan Message, 1024), handler: h}
+	nw.nodes = append(nw.nodes, n)
+	return n
+}
+
+// Nodes lists all nodes.
+func (nw *Network) Nodes() []*Node { return nw.nodes }
+
+// Node returns a node by ID.
+func (nw *Network) Node(id NodeID) *Node { return nw.nodes[id] }
+
+// Start computes neighborhoods, spawns node goroutines and runs Init on
+// each node (on its own goroutine).
+func (nw *Network) Start() {
+	r2 := nw.cfg.Range * nw.cfg.Range
+	for _, a := range nw.nodes {
+		for _, b := range nw.nodes {
+			if a.ID == b.ID {
+				continue
+			}
+			dx, dy := a.X-b.X, a.Y-b.Y
+			if dx*dx+dy*dy <= r2+1e-9 {
+				a.neighbors = append(a.neighbors, b.ID)
+			}
+		}
+	}
+	for _, n := range nw.nodes {
+		n := n
+		nw.wg.Add(1)
+		go func() {
+			defer nw.wg.Done()
+			if n.handler != nil {
+				n.handler.Init(n)
+			}
+			for {
+				select {
+				case m := <-n.inbox:
+					if m.Kind == "__timer" {
+						m.Payload.(func())()
+						continue
+					}
+					atomic.AddInt64(&n.Received, 1)
+					if n.handler != nil {
+						n.handler.Receive(n, m)
+					}
+				case <-nw.done:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// deliver simulates the radio hop: a goroutine sleeps the link delay and
+// drops the message with the configured probability.
+func (nw *Network) deliver(m Message) {
+	nw.randMu.Lock()
+	drop := nw.cfg.LossRate > 0 && nw.rng.Float64() < nw.cfg.LossRate
+	d := nw.cfg.MinDelay
+	if nw.cfg.MaxDelay > nw.cfg.MinDelay {
+		d += time.Duration(nw.rng.Int63n(int64(nw.cfg.MaxDelay - nw.cfg.MinDelay)))
+	}
+	nw.randMu.Unlock()
+	if drop {
+		return
+	}
+	nw.wg.Add(1)
+	go func() {
+		defer nw.wg.Done()
+		select {
+		case <-time.After(d):
+			select {
+			case nw.nodes[m.Dst].inbox <- m:
+			case <-nw.done:
+			}
+		case <-nw.done:
+		}
+	}()
+}
+
+// Quiesce waits until no message has been sent for the given settle
+// window (bounded by timeout) — convergence detection for protocols that
+// terminate by silence.
+func (nw *Network) Quiesce(settle, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	last := atomic.LoadInt64(&nw.TotalSent)
+	lastChange := time.Now()
+	for time.Now().Before(deadline) {
+		time.Sleep(settle / 4)
+		cur := atomic.LoadInt64(&nw.TotalSent)
+		if cur != last {
+			last = cur
+			lastChange = time.Now()
+			continue
+		}
+		if time.Since(lastChange) >= settle {
+			return true
+		}
+	}
+	return false
+}
+
+// Stop terminates all node goroutines and in-flight deliveries.
+func (nw *Network) Stop() {
+	close(nw.done)
+	nw.wg.Wait()
+}
+
+// Dist returns the distance between two nodes.
+func (nw *Network) Dist(a, b NodeID) float64 {
+	na, nb := nw.nodes[a], nw.nodes[b]
+	return math.Hypot(na.X-nb.X, na.Y-nb.Y)
+}

@@ -1,0 +1,197 @@
+package livenet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sptApp is the distributed Bellman-Ford SPT running live. Nodes
+// re-advertise their depth a few times after settling, which rides out
+// message loss (each advertisement is redundant across grid paths).
+type sptApp struct {
+	root     NodeID
+	readvert int // extra advertisements per improvement
+
+	mu     sync.Mutex
+	depth  map[NodeID]int
+	parent map[NodeID]NodeID
+}
+
+type sptMsg struct {
+	Depth  int
+	Sender NodeID
+}
+
+func (a *sptApp) Init(n *Node) {
+	if n.ID == a.root {
+		a.mu.Lock()
+		a.depth[n.ID] = 0
+		a.parent[n.ID] = n.ID
+		a.mu.Unlock()
+		a.advertise(n, 0)
+	}
+}
+
+func (a *sptApp) advertise(n *Node, d int) {
+	n.Broadcast("spt", sptMsg{Depth: d, Sender: n.ID}, 6)
+	for i := 1; i <= a.readvert; i++ {
+		n.After(time.Duration(i)*15*time.Millisecond, func() {
+			a.mu.Lock()
+			cur := a.depth[n.ID]
+			a.mu.Unlock()
+			n.Broadcast("spt", sptMsg{Depth: cur, Sender: n.ID}, 6)
+		})
+	}
+}
+
+func (a *sptApp) Receive(n *Node, m Message) {
+	msg := m.Payload.(sptMsg)
+	nd := msg.Depth + 1
+	a.mu.Lock()
+	cur, ok := a.depth[n.ID]
+	improved := !ok || nd < cur
+	if improved {
+		a.depth[n.ID] = nd
+		a.parent[n.ID] = msg.Sender
+	}
+	a.mu.Unlock()
+	if improved {
+		a.advertise(n, nd)
+	}
+}
+
+func gridNet(m int, cfg Config, h Handler) *Network {
+	nw := New(cfg)
+	for q := 0; q < m; q++ {
+		for p := 0; p < m; p++ {
+			nw.AddNode(float64(p), float64(q), h)
+		}
+	}
+	return nw
+}
+
+func TestLiveSPTConverges(t *testing.T) {
+	m := 5
+	app := &sptApp{root: 0, depth: map[NodeID]int{}, parent: map[NodeID]NodeID{}}
+	nw := gridNet(m, Config{Seed: 1}, app)
+	nw.Start()
+	if !nw.Quiesce(50*time.Millisecond, 5*time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	nw.Stop()
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	for q := 0; q < m; q++ {
+		for p := 0; p < m; p++ {
+			id := NodeID(q*m + p)
+			if app.depth[id] != p+q {
+				t.Errorf("depth(%d,%d) = %d, want %d", p, q, app.depth[id], p+q)
+			}
+		}
+	}
+}
+
+func TestLiveSPTUnderLoss(t *testing.T) {
+	// With rebroadcast-on-improvement the protocol tolerates loss as
+	// long as some copy gets through; at 20% loss on a small grid every
+	// node should still settle (messages are redundant across paths).
+	m := 4
+	app := &sptApp{root: 0, readvert: 4, depth: map[NodeID]int{}, parent: map[NodeID]NodeID{}}
+	nw := gridNet(m, Config{Seed: 2, LossRate: 0.2}, app)
+	nw.Start()
+	nw.Quiesce(100*time.Millisecond, 5*time.Second)
+	nw.Stop()
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	reached := 0
+	for id, d := range app.depth {
+		if d >= 0 {
+			reached++
+		}
+		_ = id
+	}
+	if reached < m*m-2 {
+		t.Errorf("only %d/%d nodes settled under loss", reached, m*m)
+	}
+}
+
+// counterApp counts messages per node for the accounting test.
+type counterApp struct {
+	got int64
+}
+
+func (c *counterApp) Init(n *Node) {}
+func (c *counterApp) Receive(n *Node, m Message) {
+	atomic.AddInt64(&c.got, 1)
+}
+
+func TestSendDeliversWithDelay(t *testing.T) {
+	app := &counterApp{}
+	nw := New(Config{Seed: 3, MinDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	a := nw.AddNode(0, 0, app)
+	nw.AddNode(1, 0, app)
+	nw.Start()
+	start := time.Now()
+	a.Send(1, "x", nil, 4)
+	for atomic.LoadInt64(&app.got) == 0 && time.Since(start) < time.Second {
+		time.Sleep(time.Millisecond)
+	}
+	el := time.Since(start)
+	nw.Stop()
+	if atomic.LoadInt64(&app.got) != 1 {
+		t.Fatal("message not delivered")
+	}
+	if el < time.Millisecond {
+		t.Errorf("delivered too fast: %v", el)
+	}
+	if nw.TotalSent != 1 || nw.TotalBytes != 4 {
+		t.Errorf("accounting: sent=%d bytes=%d", nw.TotalSent, nw.TotalBytes)
+	}
+}
+
+func TestSendToNonNeighborPanics(t *testing.T) {
+	nw := New(Config{})
+	a := nw.AddNode(0, 0, &counterApp{})
+	nw.AddNode(9, 9, &counterApp{})
+	nw.Start()
+	defer nw.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	a.Send(1, "x", nil, 1)
+}
+
+func TestTimers(t *testing.T) {
+	app := &counterApp{}
+	nw := New(Config{})
+	n := nw.AddNode(0, 0, app)
+	nw.Start()
+	fired := make(chan struct{})
+	n.After(2*time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Error("timer did not fire")
+	}
+	nw.Stop()
+}
+
+func TestTotalLoss(t *testing.T) {
+	app := &counterApp{}
+	nw := New(Config{Seed: 4, LossRate: 1.0})
+	a := nw.AddNode(0, 0, app)
+	nw.AddNode(1, 0, app)
+	nw.Start()
+	for i := 0; i < 50; i++ {
+		a.Send(1, "x", nil, 1)
+	}
+	time.Sleep(20 * time.Millisecond)
+	nw.Stop()
+	if atomic.LoadInt64(&app.got) != 0 {
+		t.Errorf("messages delivered at 100%% loss: %d", app.got)
+	}
+}

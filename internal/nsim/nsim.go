@@ -1,0 +1,410 @@
+// Package nsim is a deterministic discrete-event simulator for multi-hop
+// radio sensor networks — the stand-in for TOSSIM in the paper's
+// evaluation. It models the properties the paper's correctness theorems
+// rest on and nothing more exotic: unit-disk radio links, bounded
+// per-hop message delays, Bernoulli message loss, per-node local clocks
+// with bounded skew (τc), and per-node/per-message accounting for the
+// communication-cost experiments.
+//
+// Time is a virtual int64 tick count. All randomness flows from a single
+// seeded source, so every run is reproducible.
+package nsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// NodeID identifies a node within a network.
+type NodeID int
+
+// Time is virtual simulation time in ticks.
+type Time int64
+
+// Message is one link-level radio transmission.
+type Message struct {
+	Src, Dst NodeID
+	Kind     string // application-defined discriminator
+	Payload  interface{}
+	Size     int // accounted bytes (headers included by convention)
+}
+
+// Handler is the application running on every node (the compiled user
+// program plus system layers, per Figure 2).
+type Handler interface {
+	// Init runs once after the network is finalized.
+	Init(n *Node)
+	// Receive handles a delivered message.
+	Receive(n *Node, m *Message)
+	// Timer handles an expired timer set with SetTimer.
+	Timer(n *Node, key string, data interface{})
+}
+
+// Config describes the radio and timing model.
+type Config struct {
+	Range    float64 // radio range (unit disk); default 1.0
+	MinDelay Time    // per-hop delivery delay lower bound; default 1
+	MaxDelay Time    // upper bound; default 4
+	LossRate float64 // per-transmission loss probability
+	MaxSkew  Time    // τc: max difference between two local clocks
+	Seed     int64   // randomness seed
+	// Retries models link-layer ARQ (acknowledge-and-retransmit, as
+	// TinyOS link stacks provide): a transmission is re-attempted up to
+	// Retries extra times until one copy survives the loss process.
+	// Every attempt is accounted as a sent message.
+	Retries int
+
+	// Energy model (abstract units; 0 disables). Each transmission costs
+	// TxCostBase + TxCostByte·size at the sender and RxCostBase +
+	// RxCostByte·size at the receiver; a node whose budget depletes goes
+	// Down — the radio dominates mote energy, so computation is free.
+	EnergyBudget float64
+	TxCostBase   float64
+	TxCostByte   float64
+	RxCostBase   float64
+	RxCostByte   float64
+}
+
+func (c *Config) fill() {
+	if c.Range == 0 {
+		c.Range = 1.0
+	}
+	if c.MinDelay == 0 {
+		c.MinDelay = 1
+	}
+	if c.MaxDelay < c.MinDelay {
+		c.MaxDelay = c.MinDelay + 3
+	}
+}
+
+// Node is one sensor node.
+type Node struct {
+	ID   NodeID
+	X, Y float64
+	App  Handler
+
+	net       *Network
+	skew      Time
+	neighbors []NodeID
+
+	// Per-node counters.
+	Sent     int64
+	Received int64
+	BytesOut int64
+	BytesIn  int64
+	Down     bool // failed nodes neither send nor receive
+
+	// Energy holds the remaining budget when the energy model is on.
+	Energy float64
+}
+
+// LocalTime returns the node's local clock: global time plus fixed skew.
+func (n *Node) LocalTime() Time { return n.net.now + n.skew }
+
+// Now returns the global simulation time (not observable by real motes;
+// provided for instrumentation).
+func (n *Node) Now() Time { return n.net.now }
+
+// Neighbors returns the IDs of nodes within radio range, sorted.
+func (n *Node) Neighbors() []NodeID { return n.neighbors }
+
+// Network returns the owning network (for topology-level helpers).
+func (n *Node) Network() *Network { return n.net }
+
+// Send transmits a message to a direct neighbor. Sending to a node out
+// of radio range is a programming error and panics (the routing layer
+// must only ever hand us neighbors).
+func (n *Node) Send(dst NodeID, kind string, payload interface{}, size int) {
+	if n.Down {
+		return
+	}
+	if !n.isNeighbor(dst) {
+		panic(fmt.Sprintf("nsim: node %d sending to non-neighbor %d", n.ID, dst))
+	}
+	n.net.transmit(n, dst, kind, payload, size)
+}
+
+// Broadcast transmits to every neighbor (one accounted transmission per
+// neighbor: the simulator models per-link cost, which upper-bounds a
+// physical broadcast and keeps cost comparisons conservative).
+func (n *Node) Broadcast(kind string, payload interface{}, size int) {
+	if n.Down {
+		return
+	}
+	for _, d := range n.neighbors {
+		n.net.transmit(n, d, kind, payload, size)
+	}
+}
+
+// SetTimer schedules a Timer callback after delay ticks.
+func (n *Node) SetTimer(delay Time, key string, data interface{}) {
+	if delay < 0 {
+		delay = 0
+	}
+	nw := n.net
+	nw.schedule(nw.now+delay, func() {
+		if n.Down {
+			return
+		}
+		n.App.Timer(n, key, data)
+	})
+}
+
+func (n *Node) isNeighbor(id NodeID) bool {
+	for _, d := range n.neighbors {
+		if d == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Network is the simulated network.
+type Network struct {
+	cfg   Config
+	nodes []*Node
+	now   Time
+	rng   *rand.Rand
+	queue eventQueue
+	seq   int64
+
+	// Global counters.
+	TotalSent    int64
+	TotalBytes   int64
+	TotalDropped int64
+	KindCounts   map[string]int64
+	KindBytes    map[string]int64
+	finalized    bool
+
+	// Energy-model outcomes.
+	Deaths         int64
+	FirstDeath     Time // 0 until a node dies
+	FirstDeathNode NodeID
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	cfg.fill()
+	return &Network{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		KindCounts: make(map[string]int64),
+		KindBytes:  make(map[string]int64),
+	}
+}
+
+// Config returns the network's configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// AddNode places a node at (x, y). Must be called before Finalize.
+func (nw *Network) AddNode(x, y float64) *Node {
+	if nw.finalized {
+		panic("nsim: AddNode after Finalize")
+	}
+	n := &Node{ID: NodeID(len(nw.nodes)), X: x, Y: y, net: nw}
+	nw.nodes = append(nw.nodes, n)
+	return n
+}
+
+// Nodes returns all nodes in ID order.
+func (nw *Network) Nodes() []*Node { return nw.nodes }
+
+// Node returns the node with the given ID.
+func (nw *Network) Node(id NodeID) *Node { return nw.nodes[id] }
+
+// Len returns the number of nodes.
+func (nw *Network) Len() int { return len(nw.nodes) }
+
+// Now returns the current simulation time.
+func (nw *Network) Now() Time { return nw.now }
+
+// Finalize computes neighbor lists and clock skews and calls Init on
+// every node's handler (in ID order).
+func (nw *Network) Finalize() {
+	if nw.finalized {
+		return
+	}
+	nw.finalized = true
+	r2 := nw.cfg.Range * nw.cfg.Range
+	for _, a := range nw.nodes {
+		for _, b := range nw.nodes {
+			if a.ID == b.ID {
+				continue
+			}
+			dx, dy := a.X-b.X, a.Y-b.Y
+			if dx*dx+dy*dy <= r2+1e-9 {
+				a.neighbors = append(a.neighbors, b.ID)
+			}
+		}
+		if nw.cfg.MaxSkew > 0 {
+			a.skew = Time(nw.rng.Int63n(int64(nw.cfg.MaxSkew)+1)) - nw.cfg.MaxSkew/2
+		}
+		a.Energy = nw.cfg.EnergyBudget
+	}
+	for _, n := range nw.nodes {
+		if n.App != nil {
+			n.App.Init(n)
+		}
+	}
+}
+
+// transmit accounts and schedules delivery of one link transmission,
+// re-attempting up to cfg.Retries times under loss (link-layer ARQ).
+func (nw *Network) transmit(src *Node, dst NodeID, kind string, payload interface{}, size int) {
+	delivered := false
+	for attempt := 0; attempt <= nw.cfg.Retries; attempt++ {
+		src.Sent++
+		src.BytesOut += int64(size)
+		nw.TotalSent++
+		nw.TotalBytes += int64(size)
+		nw.KindCounts[kind]++
+		nw.KindBytes[kind] += int64(size)
+		if nw.cfg.EnergyBudget > 0 {
+			src.Energy -= nw.cfg.TxCostBase + nw.cfg.TxCostByte*float64(size)
+			if src.Energy <= 0 && !src.Down {
+				src.Down = true
+				nw.Deaths++
+				if nw.FirstDeath == 0 {
+					nw.FirstDeath = nw.now
+					nw.FirstDeathNode = src.ID
+				}
+			}
+		}
+		if nw.cfg.LossRate > 0 && nw.rng.Float64() < nw.cfg.LossRate {
+			nw.TotalDropped++
+			continue
+		}
+		delivered = true
+		break
+	}
+	if !delivered {
+		return
+	}
+	delay := nw.cfg.MinDelay
+	if nw.cfg.MaxDelay > nw.cfg.MinDelay {
+		delay += Time(nw.rng.Int63n(int64(nw.cfg.MaxDelay - nw.cfg.MinDelay + 1)))
+	}
+	m := &Message{Src: src.ID, Dst: dst, Kind: kind, Payload: payload, Size: size}
+	nw.schedule(nw.now+delay, func() {
+		d := nw.nodes[dst]
+		if d.Down || d.App == nil {
+			return
+		}
+		d.Received++
+		d.BytesIn += int64(size)
+		if nw.cfg.EnergyBudget > 0 {
+			d.Energy -= nw.cfg.RxCostBase + nw.cfg.RxCostByte*float64(size)
+			if d.Energy <= 0 && !d.Down {
+				d.Down = true
+				nw.Deaths++
+				if nw.FirstDeath == 0 {
+					nw.FirstDeath = nw.now
+					nw.FirstDeathNode = d.ID
+				}
+			}
+		}
+		d.App.Receive(d, m)
+	})
+}
+
+// ScheduleAt runs f at absolute time t (external fact injection, fault
+// injection, measurement probes).
+func (nw *Network) ScheduleAt(t Time, f func()) {
+	if t < nw.now {
+		t = nw.now
+	}
+	nw.schedule(t, f)
+}
+
+func (nw *Network) schedule(t Time, f func()) {
+	nw.seq++
+	heap.Push(&nw.queue, &event{at: t, seq: nw.seq, fn: f})
+}
+
+// Run processes events until the queue empties or time exceeds `until`
+// (0 means no limit). It returns the final simulation time.
+func (nw *Network) Run(until Time) Time {
+	if !nw.finalized {
+		nw.Finalize()
+	}
+	for nw.queue.Len() > 0 {
+		ev := nw.queue[0]
+		if until > 0 && ev.at > until {
+			nw.now = until
+			return nw.now
+		}
+		heap.Pop(&nw.queue)
+		if ev.at > nw.now {
+			nw.now = ev.at
+		}
+		ev.fn()
+	}
+	return nw.now
+}
+
+// Pending reports the number of queued events.
+func (nw *Network) Pending() int { return nw.queue.Len() }
+
+// MaxNodeLoad returns the maximum (sent + received) over all nodes — the
+// hotspot metric of experiment E2.
+func (nw *Network) MaxNodeLoad() int64 {
+	var max int64
+	for _, n := range nw.nodes {
+		if l := n.Sent + n.Received; l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Dist returns the Euclidean distance between two nodes.
+func (nw *Network) Dist(a, b NodeID) float64 {
+	na, nb := nw.nodes[a], nw.nodes[b]
+	return math.Hypot(na.X-nb.X, na.Y-nb.Y)
+}
+
+// NearestNode returns the live node closest to (x, y).
+func (nw *Network) NearestNode(x, y float64) *Node {
+	var best *Node
+	bestD := math.Inf(1)
+	for _, n := range nw.nodes {
+		if n.Down {
+			continue
+		}
+		d := math.Hypot(n.X-x, n.Y-y)
+		if d < bestD {
+			best, bestD = n, d
+		}
+	}
+	return best
+}
+
+// event queue (min-heap ordered by time, then insertion sequence for
+// determinism).
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,125 @@
+// Package routing provides the forwarding primitives the distributed
+// engine builds on: greedy geographic unicast (exact row/column routing
+// on grids falls out as a special case), detour-tolerant greedy routing
+// for random topologies, sweep paths used by the Generalized
+// Perpendicular Approach's storage and join-computation regions, and a
+// duplicate-suppression cache for flooding.
+package routing
+
+import (
+	"math"
+
+	"repro/internal/nsim"
+)
+
+// NextHopGreedy returns the neighbor of `from` strictly closest to the
+// target location, provided it improves on `from`'s own distance. ok is
+// false at a local minimum (void), which cannot happen on a connected
+// grid but can on random topologies — callers fall back to
+// NextHopGreedyAvoid.
+func NextHopGreedy(nw *nsim.Network, from nsim.NodeID, tx, ty float64) (nsim.NodeID, bool) {
+	self := nw.Node(from)
+	selfD := dist(self.X, self.Y, tx, ty)
+	best := from
+	bestD := selfD
+	for _, nb := range self.Neighbors() {
+		n := nw.Node(nb)
+		if n.Down {
+			continue
+		}
+		d := dist(n.X, n.Y, tx, ty)
+		if d < bestD-1e-12 {
+			best, bestD = nb, d
+		}
+	}
+	return best, best != from
+}
+
+// NextHopGreedyAvoid picks the neighbor closest to the target among
+// those not already visited, even if it does not strictly improve — a
+// lightweight detour strategy that, combined with the visited set carried
+// in the message, escapes small voids in random geometric graphs.
+func NextHopGreedyAvoid(nw *nsim.Network, from nsim.NodeID, tx, ty float64, visited map[nsim.NodeID]bool) (nsim.NodeID, bool) {
+	self := nw.Node(from)
+	best := from
+	bestD := math.Inf(1)
+	for _, nb := range self.Neighbors() {
+		n := nw.Node(nb)
+		if n.Down || visited[nb] {
+			continue
+		}
+		d := dist(n.X, n.Y, tx, ty)
+		if d < bestD {
+			best, bestD = nb, d
+		}
+	}
+	return best, best != from
+}
+
+// GreedyPath enumerates the greedy route from `from` to the node nearest
+// (tx, ty), using the avoid strategy, bounded by maxHops. Used by tests
+// and by region precomputation.
+func GreedyPath(nw *nsim.Network, from nsim.NodeID, tx, ty float64, maxHops int) []nsim.NodeID {
+	path := []nsim.NodeID{from}
+	visited := map[nsim.NodeID]bool{from: true}
+	cur := from
+	target := nw.NearestNode(tx, ty)
+	for hops := 0; hops < maxHops; hops++ {
+		if target != nil && cur == target.ID {
+			return path
+		}
+		next, ok := NextHopGreedyAvoid(nw, cur, tx, ty, visited)
+		if !ok {
+			return path
+		}
+		visited[next] = true
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// AtTarget reports whether node id is the closest live node to (tx, ty) —
+// the termination test for geographic unicast.
+func AtTarget(nw *nsim.Network, id nsim.NodeID, tx, ty float64) bool {
+	n := nw.NearestNode(tx, ty)
+	return n != nil && n.ID == id
+}
+
+func dist(x1, y1, x2, y2 float64) float64 {
+	return math.Hypot(x1-x2, y1-y2)
+}
+
+// Dedup suppresses duplicate flooded messages by ID. The zero value is
+// ready to use.
+type Dedup struct {
+	seen map[string]bool
+}
+
+// Check records id and reports whether it was seen before.
+func (d *Dedup) Check(id string) bool {
+	if d.seen == nil {
+		d.seen = make(map[string]bool)
+	}
+	if d.seen[id] {
+		return true
+	}
+	d.seen[id] = true
+	return false
+}
+
+// Len returns the number of distinct IDs seen.
+func (d *Dedup) Len() int { return len(d.seen) }
+
+// Bounds returns the bounding box of the network's node positions.
+func Bounds(nw *nsim.Network) (minX, minY, maxX, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, n := range nw.Nodes() {
+		minX = math.Min(minX, n.X)
+		minY = math.Min(minY, n.Y)
+		maxX = math.Max(maxX, n.X)
+		maxY = math.Max(maxY, n.Y)
+	}
+	return
+}

@@ -1,0 +1,210 @@
+// Package window implements the replica store each node keeps per data
+// stream: tuples carry generation timestamps (tuple IDs per Definition 2)
+// and deletion timestamps, sliding windows are time-based, and visibility
+// follows the simultaneous-update discipline of Theorem 3 — during the
+// join-computation of an update with stamp τ, a replica is visible iff
+// its generation stamp precedes τ, lies within the window range of τ, and
+// it carries no deletion stamp preceding τ.
+package window
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datalog/eval"
+)
+
+// Stamp totally orders updates across the network: local timestamp first,
+// then source node, then a per-node sequence number. The paper assumes
+// timestamps suffice; the node/seq components break exact ties so that
+// "process updates in timestamp order" is well defined.
+type Stamp struct {
+	TS   int64 // local clock at the source when generated
+	Node int   // source node ID
+	Seq  int64 // per-node sequence number
+}
+
+// Less is the total order on stamps.
+func (s Stamp) Less(o Stamp) bool {
+	if s.TS != o.TS {
+		return s.TS < o.TS
+	}
+	if s.Node != o.Node {
+		return s.Node < o.Node
+	}
+	return s.Seq < o.Seq
+}
+
+// Key renders the stamp as a compact unique string (the tuple ID of
+// Definition 2).
+func (s Stamp) Key() string {
+	return fmt.Sprintf("%d.%d.%d", s.Node, s.TS, s.Seq)
+}
+
+// Entry is one stored replica.
+type Entry struct {
+	Tuple eval.Tuple
+	ID    Stamp
+	// Del is the deletion stamp; Deleted reports whether it is set. Per
+	// Section IV-B, deletion does not remove the replica — it records the
+	// deletion stamp so in-flight joins of earlier updates still see the
+	// tuple; the replica is reclaimed by expiry.
+	Del     Stamp
+	Deleted bool
+}
+
+// VisibleAt reports whether the entry participates in the join
+// computation of an update with stamp τ under window range w (w == 0
+// means unbounded).
+func (e *Entry) VisibleAt(tau Stamp, w int64) bool {
+	if !e.ID.Less(tau) {
+		return false
+	}
+	if w > 0 && tau.TS-e.ID.TS >= w {
+		return false
+	}
+	if e.Deleted && e.Del.Less(tau) {
+		return false
+	}
+	return true
+}
+
+// Store holds the replicas of many predicates at one node.
+type Store struct {
+	preds map[string]map[string]*Entry // predKey -> stampKey -> entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{preds: make(map[string]map[string]*Entry)}
+}
+
+// Insert stores a replica; duplicates (same stamp) are idempotent.
+// Reports whether the entry was new.
+func (s *Store) Insert(t eval.Tuple, id Stamp) bool {
+	tab := s.preds[t.Pred]
+	if tab == nil {
+		tab = make(map[string]*Entry)
+		s.preds[t.Pred] = tab
+	}
+	k := id.Key()
+	if _, ok := tab[k]; ok {
+		return false
+	}
+	tab[k] = &Entry{Tuple: t, ID: id}
+	return true
+}
+
+// MarkDeleted records a deletion stamp on the replica with the given ID.
+// Unknown IDs are remembered as tombstones so a deletion arriving before
+// its insertion (message reordering) still wins.
+func (s *Store) MarkDeleted(predKey string, id Stamp, del Stamp) {
+	tab := s.preds[predKey]
+	if tab == nil {
+		tab = make(map[string]*Entry)
+		s.preds[predKey] = tab
+	}
+	k := id.Key()
+	e, ok := tab[k]
+	if !ok {
+		e = &Entry{ID: id, Tuple: eval.Tuple{Pred: predKey}}
+		tab[k] = e
+	}
+	if !e.Deleted || del.Less(e.Del) {
+		e.Deleted = true
+		e.Del = del
+	}
+}
+
+// Visible returns the entries of predKey visible at τ under window w, in
+// deterministic (stamp) order. Tombstone-only entries never match.
+func (s *Store) Visible(predKey string, tau Stamp, w int64) []*Entry {
+	tab := s.preds[predKey]
+	if len(tab) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(tab))
+	for k := range tab {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []*Entry
+	for _, k := range keys {
+		e := tab[k]
+		if e.Tuple.Args == nil && e.Deleted {
+			continue // tombstone without payload
+		}
+		if e.VisibleAt(tau, w) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// All returns every live (non-deleted, non-tombstone) entry of predKey.
+func (s *Store) All(predKey string) []*Entry {
+	tab := s.preds[predKey]
+	keys := make([]string, 0, len(tab))
+	for k := range tab {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []*Entry
+	for _, k := range keys {
+		e := tab[k]
+		if e.Deleted || (e.Tuple.Args == nil && e.Tuple.Pred != "") {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Expire removes entries whose retention ended: generation stamp older
+// than nowLocal - retention, and for deleted entries, deletion stamp also
+// past retention. retention == 0 disables expiry. Returns entries removed.
+func (s *Store) Expire(nowLocal int64, retention int64) int {
+	if retention <= 0 {
+		return 0
+	}
+	n := 0
+	for _, tab := range s.preds {
+		for k, e := range tab {
+			if nowLocal-e.ID.TS > retention {
+				delete(tab, k)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ExpirePred removes entries of one predicate past their retention.
+func (s *Store) ExpirePred(predKey string, nowLocal int64, retention int64) int {
+	if retention <= 0 {
+		return 0
+	}
+	tab := s.preds[predKey]
+	n := 0
+	for k, e := range tab {
+		if nowLocal-e.ID.TS > retention {
+			delete(tab, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Count returns the number of stored entries for predKey (including
+// deletion-marked replicas awaiting expiry).
+func (s *Store) Count(predKey string) int { return len(s.preds[predKey]) }
+
+// TotalCount returns all stored entries — the per-node memory metric of
+// experiment E9.
+func (s *Store) TotalCount() int {
+	n := 0
+	for _, tab := range s.preds {
+		n += len(tab)
+	}
+	return n
+}

@@ -1,0 +1,330 @@
+// Package snlog is a deductive framework for programming sensor
+// networks — a from-scratch reproduction of "Deductive Framework for
+// Programming Sensor Networks" (ICDE 2009).
+//
+// Applications are written as logic programs (Datalog extended with
+// function symbols, restricted negation and built-ins). The framework
+// compiles a program into per-node code that evaluates it inside a
+// multi-hop sensor network, bottom-up, incrementally and asynchronously,
+// joining distributed data streams with the (Generalized) Perpendicular
+// Approach and maintaining results under insertions and deletions with
+// derivation sets.
+//
+// Quick start:
+//
+//	cluster, _ := snlog.DeployGrid(8, `
+//	    .base temp/2.
+//	    alert(N, T) :- temp(N, T), T > 90.
+//	    .query alert/2.
+//	`, snlog.Options{})
+//	cluster.Inject(12, snlog.NewTuple("temp", snlog.Sym("n12"), snlog.Int(95)))
+//	cluster.Run()
+//	fmt.Println(cluster.Results("alert/2"))
+//
+// The package front-ends the full stack: parser (internal/datalog/parser),
+// static analysis incl. XY-stratification (internal/datalog/analysis),
+// magic sets (internal/datalog/magic), the centralized reference
+// evaluator (internal/datalog/eval), and the distributed engine over the
+// discrete-event radio simulator (internal/core, internal/nsim).
+package snlog
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datalog/analysis"
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/builtin"
+	"repro/internal/datalog/eval"
+	"repro/internal/datalog/magic"
+	"repro/internal/datalog/parser"
+	"repro/internal/gpa"
+	"repro/internal/nsim"
+	"repro/internal/topo"
+)
+
+// Re-exported core types.
+type (
+	// Program is a parsed deductive program.
+	Program = ast.Program
+	// Term is a logic term (constant, variable or compound).
+	Term = ast.Term
+	// Tuple is a ground fact.
+	Tuple = eval.Tuple
+	// Database is a set of tuples per predicate.
+	Database = eval.Database
+	// Analysis is the result of static program analysis.
+	Analysis = analysis.Result
+	// Registry holds built-in predicates and functions.
+	Registry = builtin.Registry
+)
+
+// Scheme selects the in-network join strategy.
+type Scheme = gpa.Scheme
+
+// Available join schemes.
+const (
+	Perpendicular  = gpa.Perpendicular
+	NaiveBroadcast = gpa.NaiveBroadcast
+	LocalStorage   = gpa.LocalStorage
+	Centralized    = gpa.Centralized
+	Centroid       = gpa.Centroid
+)
+
+// Term constructors.
+var (
+	// Int builds an integer constant.
+	Int = ast.Int64
+	// Flt builds a floating-point constant.
+	Flt = ast.Float64
+	// Sym builds a symbolic constant.
+	Sym = ast.Symbol
+	// Str builds a string constant.
+	Str = ast.String_
+	// Var builds a variable.
+	Var = ast.Var
+	// Cmp builds a compound term f(args...).
+	Cmp = ast.Compound
+	// List builds a proper list.
+	List = ast.List
+)
+
+// Incremental maintenance (centralized): the three approaches of
+// Section IV-A, re-exported for applications that maintain views off-network.
+type (
+	// Maintainer incrementally maintains derived predicates under
+	// insertions and deletions.
+	Maintainer = eval.Maintainer
+	// MaintMode selects the maintenance approach.
+	MaintMode = eval.Mode
+	// ProofTree witnesses how a derived tuple follows from base facts.
+	ProofTree = eval.ProofTree
+)
+
+// Maintenance approaches.
+const (
+	SetOfDerivations = eval.SetOfDerivations
+	Counting         = eval.Counting
+	Rederivation     = eval.Rederivation
+)
+
+// NewMaintainer builds an incremental view maintainer for a program.
+func NewMaintainer(src string, mode MaintMode) (*Maintainer, error) {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return eval.NewMaintainer(p, mode, eval.Options{})
+}
+
+// NewTuple builds a ground fact.
+func NewTuple(pred string, args ...Term) Tuple { return eval.NewTuple(pred, args...) }
+
+// Parse parses a deductive program.
+func Parse(src string) (*Program, error) { return parser.Parse(src) }
+
+// Check parses and statically analyzes a program: safety, stratification
+// and XY-stratification.
+func Check(src string) (*Analysis, error) {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Analyze(p)
+}
+
+// Eval runs the centralized reference evaluator over the program plus
+// the given base facts.
+func Eval(src string, facts []Tuple) (*Database, error) {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := eval.New(p, eval.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return ev.Run(facts)
+}
+
+// MagicRewrite applies the magic-set transformation for a query literal
+// such as "anc(a, X)" and returns the rewritten program source and the
+// answer predicate key.
+func MagicRewrite(src, query string) (string, string, error) {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return "", "", err
+	}
+	qr, err := parser.ParseRule(query + ".")
+	if err != nil {
+		return "", "", fmt.Errorf("snlog: bad query literal: %w", err)
+	}
+	tr, err := magic.Rewrite(p, qr.Head)
+	if err != nil {
+		return "", "", err
+	}
+	return tr.Program.String(), tr.AnswerPred, nil
+}
+
+// Options configures a deployment.
+type Options struct {
+	// Scheme is the GPA join scheme (default Perpendicular).
+	Scheme Scheme
+	// Server is the sink node for the Centralized scheme.
+	Server int
+	// MultiPass selects the multiple-pass join-computation scheme.
+	MultiPass bool
+	// SpatialRadius scopes storage/join regions (0 = unbounded).
+	SpatialRadius float64
+	// BandWidth generalizes PA rows/columns to geographic bands on
+	// arbitrary topologies; DeployRandom defaults it to 1.5x the radio
+	// range when unset.
+	BandWidth float64
+	// LossRate is the per-transmission message loss probability.
+	LossRate float64
+	// MaxSkew bounds the clock skew between any two nodes (τc).
+	MaxSkew int64
+	// Seed drives all randomness (delays, loss, skew).
+	Seed int64
+	// DefaultWindow is the sliding-window range for undeclared streams.
+	DefaultWindow int64
+	// Registry overrides the built-in registry.
+	Registry *Registry
+}
+
+// Cluster is a deployed program: a simulated network running the
+// compiled per-node code.
+type Cluster struct {
+	Engine  *core.Engine
+	Network *nsim.Network
+}
+
+// DeployGrid compiles src onto an m×m grid network (the paper's
+// evaluation topology).
+func DeployGrid(m int, src string, opt Options) (*Cluster, error) {
+	nw := topo.Grid(m, nsim.Config{
+		Seed:     opt.Seed,
+		LossRate: opt.LossRate,
+		MaxSkew:  nsim.Time(opt.MaxSkew),
+	})
+	return deploy(nw, src, opt)
+}
+
+// DeployRandom compiles src onto n nodes placed uniformly at random in a
+// side×side square with the given radio range (retrying until connected).
+func DeployRandom(n int, side, radioRange float64, src string, opt Options) (*Cluster, error) {
+	nw, err := topo.RandomGeometric(n, side, radioRange, opt.Seed+1, nsim.Config{
+		Seed:     opt.Seed,
+		LossRate: opt.LossRate,
+		MaxSkew:  nsim.Time(opt.MaxSkew),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opt.BandWidth == 0 && opt.Scheme == Perpendicular {
+		opt.BandWidth = 1.5 * radioRange
+	}
+	return deploy(nw, src, opt)
+}
+
+func deploy(nw *nsim.Network, src string, opt Options) (*Cluster, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.New(nw, prog, core.Config{
+		Scheme:        opt.Scheme,
+		Server:        nsim.NodeID(opt.Server),
+		MultiPass:     opt.MultiPass,
+		SpatialRadius: opt.SpatialRadius,
+		BandWidth:     opt.BandWidth,
+		DefaultWindow: opt.DefaultWindow,
+		Registry:      opt.Registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nw.Finalize()
+	eng.Start()
+	return &Cluster{Engine: eng, Network: nw}, nil
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return c.Network.Len() }
+
+// Inject generates a base fact at a node, now.
+func (c *Cluster) Inject(node int, t Tuple) {
+	c.Engine.Inject(nsim.NodeID(node), t)
+}
+
+// InjectAt generates a base fact at a node at an absolute virtual time.
+func (c *Cluster) InjectAt(at int64, node int, t Tuple) {
+	c.Engine.InjectAt(nsim.Time(at), nsim.NodeID(node), t)
+}
+
+// DeleteAt deletes a previously injected base fact at its source node.
+func (c *Cluster) DeleteAt(at int64, node int, t Tuple) {
+	c.Engine.InjectDeleteAt(nsim.Time(at), nsim.NodeID(node), t)
+}
+
+// Run processes the network to quiescence and returns the virtual end
+// time.
+func (c *Cluster) Run() int64 { return int64(c.Network.Run(0)) }
+
+// RunUntil processes events up to the given virtual time.
+func (c *Cluster) RunUntil(t int64) int64 { return int64(c.Network.Run(nsim.Time(t))) }
+
+// Results returns the live derived tuples of a predicate ("name/arity").
+func (c *Cluster) Results(pred string) []Tuple { return c.Engine.Derived(pred) }
+
+// CollectAggregate schedules a TAG-style in-network collection epoch for
+// an aggregate rule's head predicate, rooted at the sink node. The
+// result is readable with AggregateResult after Run.
+func (c *Cluster) CollectAggregate(at int64, pred string, sink int) error {
+	return c.Engine.CollectAggregateAt(nsim.Time(at), pred, nsim.NodeID(sink))
+}
+
+// AggregateResult returns the tuples produced by the last completed
+// collection epoch of an aggregate predicate.
+func (c *Cluster) AggregateResult(pred string) []Tuple {
+	return c.Engine.AggregateResult(pred)
+}
+
+// ResultDB snapshots all derived predicates.
+func (c *Cluster) ResultDB() *Database { return c.Engine.DerivedDB() }
+
+// Stats summarizes communication and memory costs.
+type Stats struct {
+	Messages    int64
+	Bytes       int64
+	Dropped     int64
+	MaxNodeLoad int64
+	ByKind      map[string]int64
+	MaxMemory   int
+	AvgMemory   float64
+}
+
+// Stats reads the cluster's accumulated cost counters.
+func (c *Cluster) Stats() Stats {
+	maxMem, avgMem := c.Engine.MaxMemoryTuples()
+	byKind := make(map[string]int64, len(c.Network.KindCounts))
+	for k, v := range c.Network.KindCounts {
+		byKind[k] = v
+	}
+	return Stats{
+		Messages:    c.Network.TotalSent,
+		Bytes:       c.Network.TotalBytes,
+		Dropped:     c.Network.TotalDropped,
+		MaxNodeLoad: c.Network.MaxNodeLoad(),
+		ByKind:      byKind,
+		MaxMemory:   maxMem,
+		AvgMemory:   avgMem,
+	}
+}
+
+// GridID returns the node ID at grid coordinates (p, q) of an m×m grid.
+func GridID(m, p, q int) int { return int(topo.GridID(m, p, q)) }
+
+// NodeSym returns the default symbolic name of node id (used by
+// placement-based programs such as the shortest-path tree).
+func NodeSym(id int) Term { return ast.Symbol(fmt.Sprintf("n%d", id)) }

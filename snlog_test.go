@@ -1,0 +1,287 @@
+package snlog
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestParseAndCheck(t *testing.T) {
+	res, err := Check(`
+.base veh/3.
+cov(L, T) :- veh(enemy, L, T), veh(friendly, L2, T), dist(L, L2) <= 5.
+uncov(L, T) :- NOT cov(L, T), veh(enemy, L, T).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stratified {
+		t.Error("program should be stratified")
+	}
+}
+
+func TestCheckRejectsUnsafe(t *testing.T) {
+	if _, err := Check(`p(X) :- q(Y).`); err == nil {
+		t.Error("unsafe program accepted")
+	}
+}
+
+func TestEvalFacade(t *testing.T) {
+	db, err := Eval(`
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`, []Tuple{
+		NewTuple("edge", Sym("a"), Sym("b")),
+		NewTuple("edge", Sym("b"), Sym("c")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("path/2") != 3 {
+		t.Errorf("path = %v", db.Tuples("path/2"))
+	}
+}
+
+func TestMagicRewriteFacade(t *testing.T) {
+	out, ans, err := MagicRewrite(`
+anc(X, Y) :- par(X, Y).
+anc(X, Z) :- par(X, Y), anc(Y, Z).
+`, "anc(a, X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "m_anc_bf") {
+		t.Errorf("rewritten program missing magic predicate:\n%s", out)
+	}
+	if ans != "ans_anc/2" {
+		t.Errorf("answer pred = %s", ans)
+	}
+}
+
+func TestDeployGridAlert(t *testing.T) {
+	c, err := DeployGrid(6, `
+.base temp/2.
+alert(N, T) :- temp(N, T), T > 90.
+.query alert/2.
+`, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Inject(12, NewTuple("temp", Sym("n12"), Int(95)))
+	c.Inject(20, NewTuple("temp", Sym("n20"), Int(50)))
+	c.Run()
+	alerts := c.Results("alert/2")
+	if len(alerts) != 1 || alerts[0].Args[1].Int != 95 {
+		t.Errorf("alerts = %v", alerts)
+	}
+	st := c.Stats()
+	if st.Messages == 0 || st.Bytes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDeployRandomTopology(t *testing.T) {
+	c, err := DeployRandom(40, 8, 2.6, `
+.base ra/2.
+.base rb/2.
+out(X, Z) :- ra(X, Y), rb(Y, Z).
+`, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.InjectAt(0, 3, NewTuple("ra", Int(1), Int(2)))
+	c.InjectAt(5, 29, NewTuple("rb", Int(2), Int(3)))
+	c.Run()
+	if n := len(c.Results("out/2")); n != 1 {
+		t.Errorf("out = %v", c.Results("out/2"))
+	}
+}
+
+func TestDeployDeletion(t *testing.T) {
+	c, err := DeployGrid(5, `
+.base s/1.
+d(X) :- s(X).
+`, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := NewTuple("s", Int(7))
+	c.InjectAt(0, 4, tup)
+	c.DeleteAt(4000, 4, tup)
+	c.Run()
+	if n := len(c.Results("d/1")); n != 0 {
+		t.Errorf("d should be retracted: %v", c.Results("d/1"))
+	}
+}
+
+func TestDeployGridSPTViaAPI(t *testing.T) {
+	m := 4
+	src := `
+.base g/2.
+.store g/2 at 0 hops 1.
+.store j/2 at 0 hops 1.
+.store jp/2 at 0.
+j(n0, 0).
+jp(Y, D1) :- j(Y, Dp), D1 = D + 1, D1 > Dp, j(X, D), g(X, Y).
+j(Y, D1) :- g(X, Y), j(X, D), D1 = D + 1, NOT jp(Y, D1).
+.query j/2.
+`
+	c, err := DeployGrid(m, src, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges are known locally at each node.
+	for _, n := range c.Network.Nodes() {
+		for _, nb := range n.Neighbors() {
+			c.InjectAt(0, int(n.ID), NewTuple("g", NodeSym(int(n.ID)), NodeSym(int(nb))))
+		}
+	}
+	c.Run()
+	j := c.Results("j/2")
+	if len(j) != m*m {
+		t.Fatalf("j = %v", j)
+	}
+	for _, tup := range j {
+		var id int
+		fmt.Sscanf(tup.Args[0].Str, "n%d", &id)
+		p, q := id%m, id/m
+		if tup.Args[1].Int != int64(p+q) {
+			t.Errorf("depth(%s) = %d, want %d", tup.Args[0].Str, tup.Args[1].Int, p+q)
+		}
+	}
+}
+
+func TestStatsByKind(t *testing.T) {
+	c, err := DeployGrid(5, `
+.base ra/2.
+.base rb/2.
+out(X, Z) :- ra(X, Y), rb(Y, Z).
+`, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.InjectAt(0, 2, NewTuple("ra", Int(1), Int(2)))
+	c.InjectAt(5, 17, NewTuple("rb", Int(2), Int(3)))
+	c.Run()
+	st := c.Stats()
+	if st.ByKind["store"] == 0 || st.ByKind["join"] == 0 {
+		t.Errorf("by-kind stats = %v", st.ByKind)
+	}
+	if st.MaxMemory == 0 {
+		t.Error("memory stats missing")
+	}
+}
+
+func TestGridIDHelper(t *testing.T) {
+	if GridID(5, 2, 3) != 17 {
+		t.Errorf("GridID = %d", GridID(5, 2, 3))
+	}
+}
+
+func TestRunUntilPartialProgress(t *testing.T) {
+	c, err := DeployGrid(5, `
+.base s/1.
+d(X) :- s(X).
+`, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.InjectAt(0, 3, NewTuple("s", Int(1)))
+	// Before the storage delay elapses, nothing is derived.
+	c.RunUntil(5)
+	if len(c.Results("d/1")) != 0 {
+		t.Error("derived too early")
+	}
+	c.Run()
+	if len(c.Results("d/1")) != 1 {
+		t.Error("not derived after full run")
+	}
+}
+
+func ExampleDeployGrid() {
+	cluster, _ := DeployGrid(6, `
+.base temp/2.
+alert(N, T) :- temp(N, T), T > 90.
+.query alert/2.
+`, Options{Seed: 1})
+	cluster.Inject(12, NewTuple("temp", Sym("n12"), Int(95)))
+	cluster.Run()
+	for _, a := range cluster.Results("alert/2") {
+		fmt.Println(a)
+	}
+	// Output:
+	// alert(n12, 95)
+}
+
+func TestMaintainerFacade(t *testing.T) {
+	m, err := NewMaintainer(`
+cov(L) :- veh(enemy, L), veh(friendly, L).
+uncov(L) :- NOT cov(L), veh(enemy, L).
+`, SetOfDerivations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Insert(NewTuple("veh", Sym("enemy"), Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if m.DB().Count("uncov/1") != 1 {
+		t.Errorf("uncov = %v", m.DB().Tuples("uncov/1"))
+	}
+	tree, err := m.ProofTree(NewTuple("uncov", Int(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.IsLeaf() {
+		t.Error("derived tuple should have children")
+	}
+	if _, err := NewMaintainer(`broken(`, Counting); err == nil {
+		t.Error("parse error should surface")
+	}
+}
+
+func TestFacadeErrorPaths(t *testing.T) {
+	if _, err := Parse(`p(`); err == nil {
+		t.Error("Parse should surface syntax errors")
+	}
+	if _, err := Eval(`p(X) :- q(Y).`, nil); err == nil {
+		t.Error("Eval should surface unsafe programs")
+	}
+	if _, _, err := MagicRewrite(`anc(X,Y) :- par(X,Y).`, "not a literal ("); err == nil {
+		t.Error("MagicRewrite should reject bad query literals")
+	}
+	if _, _, err := MagicRewrite(`anc(X,Y) :- par(X,Y).`, "par(a, X)"); err == nil {
+		t.Error("MagicRewrite should reject base-predicate queries")
+	}
+	if _, err := DeployGrid(4, `p(`, Options{}); err != nil {
+		_ = err
+	} else {
+		t.Error("DeployGrid should surface parse errors")
+	}
+	if _, err := DeployRandom(20, 100, 0.1, `d(X) :- s(X).`, Options{}); err == nil {
+		t.Error("DeployRandom should surface disconnected placements")
+	}
+}
+
+func TestClusterAggregateFacade(t *testing.T) {
+	c, err := DeployGrid(5, `
+.base reading/2.
+coldest(min<T>) :- reading(N, T).
+`, Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		c.InjectAt(int64(i*3), i*5, NewTuple("reading", NodeSym(i*5), Int(int64(50+i))))
+	}
+	if err := c.CollectAggregate(2000, "coldest/1", 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	got := c.AggregateResult("coldest/1")
+	if len(got) != 1 || got[0].Args[0].Int != 50 {
+		t.Errorf("coldest = %v", got)
+	}
+	if err := c.CollectAggregate(0, "missing/1", 0); err == nil {
+		t.Error("unknown aggregate should error")
+	}
+}

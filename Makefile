@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race bench joinbench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# livenet is goroutine-per-node and the window/eval index structures are
+# shared per node runtime; prove them race-free on every verify.
+race:
+	$(GO) test -race ./internal/livenet/... ./internal/core/...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Regenerate the headline indexed-vs-naive join metrics.
+joinbench:
+	$(GO) run ./cmd/snbench -joinjson BENCH_join.json
+
+verify: build test vet race

@@ -10,6 +10,8 @@ package snlog
 import (
 	"testing"
 
+	"repro/internal/datalog/eval"
+	"repro/internal/datalog/parser"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
@@ -172,14 +174,14 @@ path(X, Z) :- path(X, Y), edge(Y, Z).
 	}
 }
 
-func BenchmarkDistributedJoinGrid10(b *testing.B) {
+func benchDistributedJoinGrid10(b *testing.B, naive bool) {
 	src := `
 .base ra/2.
 .base rb/2.
 out(X, Z) :- ra(X, Y), rb(Y, Z).
 `
 	for i := 0; i < b.N; i++ {
-		c, err := DeployGrid(10, src, Options{Seed: int64(i)})
+		c, err := DeployGrid(10, src, Options{Seed: int64(i), NaiveJoin: naive})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -193,3 +195,48 @@ out(X, Z) :- ra(X, Y), rb(Y, Z).
 		}
 	}
 }
+
+func BenchmarkDistributedJoinGrid10(b *testing.B) { benchDistributedJoinGrid10(b, false) }
+
+// BenchmarkDistributedJoinGrid10Naive retains the pre-index full-scan
+// window stores for A/B comparison; message counts must match the
+// indexed run exactly (TestStoreIndexEquivalence pins this).
+func BenchmarkDistributedJoinGrid10Naive(b *testing.B) { benchDistributedJoinGrid10(b, true) }
+
+// benchJoin exercises the centralized join machinery on the 60-node
+// transitive-closure workload with and without argument-position
+// indexes. Results are byte-identical across modes (TestIndexedEquivalence);
+// only the lookup strategy differs.
+func benchJoin(b *testing.B, naive bool) {
+	src := `
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`
+	p, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var facts []Tuple
+	for i := int64(0); i < 60; i++ {
+		facts = append(facts, NewTuple("edge", Int(i), Int(i+1)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := eval.New(p, eval.Options{NaiveJoin: naive})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db, err := ev.Run(facts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if db.Count("path/2") != 60*61/2 {
+			b.Fatal("wrong result")
+		}
+	}
+}
+
+func BenchmarkJoinIndexed(b *testing.B) { benchJoin(b, false) }
+
+func BenchmarkJoinNaive(b *testing.B) { benchJoin(b, true) }

@@ -7,9 +7,11 @@
 //	snbench            # run everything
 //	snbench -only E5   # run one experiment
 //	snbench -quick     # smaller parameters (CI-sized)
+//	snbench -joinjson BENCH_join.json   # indexed-vs-naive join A/B
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +25,30 @@ import (
 func main() {
 	only := flag.String("only", "", "run only this experiment (E1..E12)")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
+	joinJSON := flag.String("joinjson", "", "write the indexed-vs-naive join benchmark to this JSON file and exit")
 	flag.Parse()
+
+	if *joinJSON != "" {
+		reps := 10
+		if *quick {
+			reps = 3
+		}
+		res := experiments.JoinBench(reps)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*joinJSON, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("join A/B: centralized %.2fms indexed vs %.2fms naive (%.2fx), distributed %.2fms vs %.2fms, %d msgs both\n",
+			res.CentralizedIndexedMs, res.CentralizedNaiveMs, res.CentralizedSpeedup,
+			res.DistributedIndexedMs, res.DistributedNaiveMs, res.DistributedMessages)
+		return
+	}
 
 	type exp struct {
 		id  string

@@ -83,8 +83,8 @@ func execute(out io.Writer, m *eval.Maintainer, line string) bool {
 		fmt.Fprintln(out, "  + fact(args).      assert\n  - fact(args).      retract\n  ? pred/arity       list tuples\n  ?                  list all derived\n  proof fact(args).  proof tree\n  stats              counters\n  quit               exit")
 	case line == "stats":
 		st := m.Stats()
-		fmt.Fprintf(out, "  join ops: %d, derivations held: %d, cascade steps: %d\n",
-			st.JoinOps, st.DerivationsHeld, st.CascadeSteps)
+		fmt.Fprintf(out, "  join ops: %d, scan ops: %d, derivations held: %d, cascade steps: %d\n",
+			st.JoinOps, st.ScanOps, st.DerivationsHeld, st.CascadeSteps)
 	case line == "?":
 		for _, pred := range m.DB().Predicates() {
 			fmt.Fprintf(out, "  %% %s\n", pred)

@@ -65,6 +65,10 @@ type Config struct {
 	DefaultWindow int64
 	// Registry supplies built-ins (nil = builtin.Default()).
 	Registry *builtin.Registry
+	// NaiveJoin disables the window stores' argument-position indexes
+	// (full visible-scan lookups). Retained for A/B determinism checks
+	// and benchmarks; results and message counts are identical.
+	NaiveJoin bool
 	// NodeTerm names a node as a term for placement-based storage; the
 	// default is the symbol n<id>.
 	NodeTerm func(n *nsim.Node) ast.Term

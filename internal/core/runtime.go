@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/datalog/ast"
 	"repro/internal/datalog/builtin"
@@ -147,6 +148,46 @@ type nodeRT struct {
 	// deadlines; they drain in update-stamp order so ties on the
 	// deadline tick cannot apply a removal before the add it targets.
 	pendingCands []pendingCand
+
+	// Store-probe scratch, reused across subgoal expansions. Safe because
+	// each node runtime is driven by one simulator event at a time and no
+	// probe result outlives the loop that consumes it. The fixed arrays
+	// are the initial backing so a node's first probes do not allocate;
+	// the slices regrow on the heap only past those sizes.
+	colBuf []int
+	keyBuf []byte
+	tmpBuf []byte
+	entBuf []*window.Entry
+	colArr [8]int
+	keyArr [64]byte
+	tmpArr [48]byte
+	entArr [16]*window.Entry
+}
+
+// visibleMatch probes the node's store for the visible entries matching
+// lit's bound argument positions under subst, reusing the runtime's
+// scratch buffers. In naive mode it retains the pre-index discipline:
+// the full insertion-order visible scan, with the bound-position key
+// never computed. The returned slice is valid until the next call.
+func (rt *nodeRT) visibleMatch(lit ast.Literal, subst unify.Subst, tau window.Stamp) []*window.Entry {
+	w := rt.e.windows[lit.PredKey()]
+	if rt.store.Naive {
+		return rt.store.Visible(lit.PredKey(), tau, w)
+	}
+	if rt.colBuf == nil {
+		rt.colBuf = rt.colArr[:0]
+		rt.keyBuf = rt.keyArr[:0]
+		rt.tmpBuf = rt.tmpArr[:0]
+		rt.entBuf = rt.entArr[:0]
+	}
+	if rt.store.SmallTable(lit.PredKey()) {
+		// The probe would scan anyway; don't pay for the key.
+		rt.entBuf = rt.store.VisibleMatch(lit.PredKey(), tau, w, nil, nil, rt.entBuf[:0])
+		return rt.entBuf
+	}
+	rt.colBuf, rt.keyBuf, rt.tmpBuf = eval.AppendBoundCols(rt.colBuf, rt.keyBuf, rt.tmpBuf, lit.Args, subst)
+	rt.entBuf = rt.store.VisibleMatch(lit.PredKey(), tau, w, rt.colBuf, rt.keyBuf, rt.entBuf[:0])
+	return rt.entBuf
 }
 
 // pendingCand is a buffered candidate with its deadline.
@@ -156,10 +197,12 @@ type pendingCand struct {
 }
 
 func newNodeRT(e *Engine, n *nsim.Node) *nodeRT {
+	st := window.NewStore()
+	st.Naive = e.cfg.NaiveJoin
 	return &nodeRT{
 		e:           e,
 		node:        n,
-		store:       window.NewStore(),
+		store:       st,
 		derivs:      make(map[string]map[string]bool),
 		derivedLive: make(map[string]eval.Tuple),
 		derivedIDs:  make(map[string]window.Stamp),
@@ -549,8 +592,7 @@ func (rt *nodeRT) extend(p *partialR, tau window.Stamp, onlyIdx int, out *[]*par
 			continue
 		}
 		lit := p.cr.rule.Body[i]
-		w := rt.e.windows[lit.PredKey()]
-		for _, e := range rt.store.Visible(lit.PredKey(), tau, w) {
+		for _, e := range rt.visibleMatch(lit, p.subst, tau) {
 			ns, ok := unify.MatchArgs(lit.Args, e.Tuple.Args, p.subst)
 			if !ok {
 				continue
@@ -595,16 +637,26 @@ func (rt *nodeRT) saturate(partials []*partialR, tau window.Stamp, onlyIdx int) 
 // key canonically identifies a partial (rule, pinned position, used
 // tuples) for deduplication within a sweep.
 func (p *partialR) key() string {
-	k := fmt.Sprintf("r%d|p%d", p.cr.rule.ID, p.pinned)
+	var arr [96]byte
+	b := arr[:0]
+	b = append(b, 'r')
+	b = strconv.AppendInt(b, int64(p.cr.rule.ID), 10)
+	b = append(b, '|', 'p')
+	b = strconv.AppendInt(b, int64(p.pinned), 10)
 	ids := make([]string, 0, len(p.used))
+	var tmp [40]byte
 	for _, u := range p.used {
-		ids = append(ids, fmt.Sprintf("%d:%s", u.idx, u.stamp.Key()))
+		t := strconv.AppendInt(tmp[:0], int64(u.idx), 10)
+		t = append(t, ':')
+		t = u.stamp.AppendKey(t)
+		ids = append(ids, string(t))
 	}
 	sortStrings(ids)
 	for _, s := range ids {
-		k += "|" + s
+		b = append(b, '|')
+		b = append(b, s...)
 	}
-	return k
+	return string(b)
 }
 
 func sortStrings(s []string) {
@@ -640,8 +692,7 @@ func (rt *nodeRT) negMatchLocal(cr *compiledRule, subst unify.Subst, tau window.
 			continue // same-stage negation is checked at finalize time
 		}
 		lit := cr.rule.Body[ni]
-		w := rt.e.windows[lit.PredKey()]
-		for _, e := range rt.store.Visible(lit.PredKey(), tau, w) {
+		for _, e := range rt.visibleMatch(lit, subst, tau) {
 			if _, ok := unify.MatchArgs(lit.Args, e.Tuple.Args, subst); ok {
 				return true
 			}

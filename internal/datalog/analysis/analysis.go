@@ -33,6 +33,10 @@ type Result struct {
 	// XYStratified reports that every recursive-with-negation component
 	// admitted an XY witness (implied true for stratified programs).
 	XYStratified bool
+	// SIP maps rule ID to the static sideways-information-passing rank
+	// of each body literal (see sip.go); the evaluator uses it as the
+	// final tie-breaker when ordering subgoals by selectivity.
+	SIP map[int][]int
 }
 
 // XYWitness records why a recursive component with negation is
@@ -95,6 +99,8 @@ func Analyze(p *ast.Program) (*Result, error) {
 		}
 		res.Strata, res.NumStrata = g.strata(sccs)
 	}
+
+	computeSIP(p, res)
 
 	// Aggregates over recursive predicates are not supported (they would
 	// need well-founded or monotonic-aggregate machinery).

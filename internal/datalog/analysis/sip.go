@@ -1,0 +1,77 @@
+package analysis
+
+// Sideways information passing: a static subgoal ordering per rule. The
+// evaluator's join loop picks, at each step, the positive subgoal with
+// the most argument positions already bound by the substitution; ties
+// are broken by table size at runtime and then by this static rank,
+// which prefers literals whose variables are bound by earlier choices.
+//
+// The ordering is advisory — reordering subgoals never changes the set
+// of solutions (body literals are a conjunction, negation and built-ins
+// are still evaluated only once ground via the deferral machinery) — so
+// the pass never fails.
+
+import "repro/internal/datalog/ast"
+
+// computeSIP fills res.SIP with a static rank slice per rule ID:
+// rank[i] is the position of body literal i in the greedy
+// bound-variable order (positive literals only; builtins and negated
+// literals keep rank 0 — they are scheduled by the deferral machinery,
+// not the scan order).
+func computeSIP(p *ast.Program, res *Result) {
+	res.SIP = make(map[int][]int)
+	for _, r := range p.Rules {
+		if len(r.Body) == 0 {
+			continue
+		}
+		res.SIP[r.ID] = sipRanks(r)
+	}
+}
+
+// sipRanks greedily orders the positive body literals of r: repeatedly
+// pick the literal with the most arguments fully bound (constants, or
+// variables bound by previously picked literals), lowest body index on
+// ties, then mark its variables bound.
+func sipRanks(r *ast.Rule) []int {
+	rank := make([]int, len(r.Body))
+	bound := make(map[string]bool)
+	var remaining []int
+	for i, l := range r.Body {
+		if !l.Negated && !l.Builtin {
+			remaining = append(remaining, i)
+		}
+	}
+	for next := 0; len(remaining) > 0; next++ {
+		best, bestScore, bestAt := -1, -1, -1
+		for ri, i := range remaining {
+			score := 0
+			for _, a := range r.Body[i].Args {
+				if allBound(a, bound) {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore, bestAt = i, score, ri
+			}
+		}
+		rank[best] = next
+		for _, v := range r.Body[best].Vars(nil) {
+			bound[v] = true
+		}
+		remaining = append(remaining[:bestAt], remaining[bestAt+1:]...)
+	}
+	return rank
+}
+
+func allBound(t ast.Term, bound map[string]bool) bool {
+	for _, v := range t.Vars(nil) {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// SIPRank returns the static subgoal ranks for a rule, or nil when the
+// rule has no positive body literals.
+func (res *Result) SIPRank(ruleID int) []int { return res.SIP[ruleID] }

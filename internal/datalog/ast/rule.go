@@ -2,6 +2,7 @@ package ast
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -34,8 +35,10 @@ func BuiltinLit(pred string, args ...Term) Literal {
 func (l Literal) Arity() int { return len(l.Args) }
 
 // PredKey returns the "name/arity" key identifying the predicate.
+// Built by concatenation, not fmt — the evaluator's inner loop asks for
+// these keys constantly.
 func (l Literal) PredKey() string {
-	return fmt.Sprintf("%s/%d", l.Predicate, len(l.Args))
+	return l.Predicate + "/" + strconv.Itoa(len(l.Args))
 }
 
 // Vars appends all variable names occurring in l to dst.

@@ -267,40 +267,41 @@ func (t Term) Size() int {
 // Key returns a canonical string encoding of t, injective over ground
 // terms, suitable for map keys and hashing. Variables encode by name.
 func (t Term) Key() string {
-	var b strings.Builder
-	t.appendKey(&b)
-	return b.String()
+	return string(t.AppendKey(nil))
 }
 
-func (t Term) appendKey(b *strings.Builder) {
+// AppendKey appends t's canonical key encoding to b and returns the
+// extended slice, letting hot paths reuse a scratch buffer.
+func (t Term) AppendKey(b []byte) []byte {
 	switch t.Kind {
 	case KindInt:
-		b.WriteByte('i')
-		b.WriteString(strconv.FormatInt(t.Int, 10))
+		b = append(b, 'i')
+		b = strconv.AppendInt(b, t.Int, 10)
 	case KindFloat:
-		b.WriteByte('f')
-		b.WriteString(strconv.FormatFloat(t.Float, 'g', -1, 64))
+		b = append(b, 'f')
+		b = strconv.AppendFloat(b, t.Float, 'g', -1, 64)
 	case KindString:
-		b.WriteByte('s')
-		b.WriteString(strconv.Quote(t.Str))
+		b = append(b, 's')
+		b = strconv.AppendQuote(b, t.Str)
 	case KindSymbol:
-		b.WriteByte('a')
-		b.WriteString(strconv.Quote(t.Str))
+		b = append(b, 'a')
+		b = strconv.AppendQuote(b, t.Str)
 	case KindVar:
-		b.WriteByte('v')
-		b.WriteString(t.Str)
+		b = append(b, 'v')
+		b = append(b, t.Str...)
 	case KindCompound:
-		b.WriteByte('c')
-		b.WriteString(strconv.Quote(t.Str))
-		b.WriteByte('(')
+		b = append(b, 'c')
+		b = strconv.AppendQuote(b, t.Str)
+		b = append(b, '(')
 		for i, a := range t.Args {
 			if i > 0 {
-				b.WriteByte(',')
+				b = append(b, ',')
 			}
-			a.appendKey(b)
+			b = a.AppendKey(b)
 		}
-		b.WriteByte(')')
+		b = append(b, ')')
 	}
+	return b
 }
 
 // String renders t in source syntax. Lists render as [a, b, c] or [H|T].

@@ -19,31 +19,54 @@ import (
 	"repro/internal/datalog/analysis"
 	"repro/internal/datalog/ast"
 	"repro/internal/datalog/builtin"
+	"repro/internal/datalog/unify"
 )
 
 // Tuple is a ground fact of a predicate.
 type Tuple struct {
 	Pred string // "name/arity" key
 	Args []ast.Term
+
+	// key caches the canonical identity string; "" means not yet
+	// computed. The encoding is fixed: routing (consistent hashing of
+	// tuple keys) and derivation identities depend on it byte-for-byte.
+	key string
 }
 
 // NewTuple builds a tuple from a predicate name and ground arguments.
 func NewTuple(name string, args ...ast.Term) Tuple {
-	return Tuple{Pred: fmt.Sprintf("%s/%d", name, len(args)), Args: args}
+	return Tuple{Pred: fmt.Sprintf("%s/%d", name, len(args)), Args: args}.Keyed()
 }
 
 // Key returns a canonical identity string for the tuple.
 func (t Tuple) Key() string {
-	var b strings.Builder
-	b.WriteString(t.Pred)
-	b.WriteByte('|')
+	if t.key != "" {
+		return t.key
+	}
+	return t.computeKey()
+}
+
+// Keyed returns t with its key cached, computing it if needed. Storage
+// layers call this once on the way in so every later identity check is a
+// field read.
+func (t Tuple) Keyed() Tuple {
+	if t.key == "" {
+		t.key = t.computeKey()
+	}
+	return t
+}
+
+func (t Tuple) computeKey() string {
+	b := make([]byte, 0, 2*len(t.Pred)+16)
+	b = append(b, t.Pred...)
+	b = append(b, '|')
 	for i, a := range t.Args {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		b.WriteString(a.Key())
+		b = a.AppendKey(b)
 	}
-	return b.String()
+	return string(b)
 }
 
 // Name returns the bare predicate name (without arity suffix).
@@ -72,29 +95,36 @@ func (t Tuple) Equal(u Tuple) bool {
 	return true
 }
 
-// Database is a set of tuples per predicate.
+// Database is a set of tuples per predicate, stored in insertion order
+// with lazily built hash indexes on argument positions (see storage.go).
 type Database struct {
-	tables map[string]map[string]Tuple
+	tables map[string]*table
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
-	return &Database{tables: make(map[string]map[string]Tuple)}
+	return &Database{tables: make(map[string]*table)}
 }
 
 // Insert adds t; reports whether it was new.
 func (db *Database) Insert(t Tuple) bool {
 	tab := db.tables[t.Pred]
 	if tab == nil {
-		tab = make(map[string]Tuple)
+		tab = newTable()
 		db.tables[t.Pred] = tab
 	}
-	k := t.Key()
-	if _, ok := tab[k]; ok {
-		return false
+	return tab.insert(t.Keyed())
+}
+
+// InsertNew adds t, which the caller guarantees is absent (the fixpoint
+// flush re-adds only tuples checked against db at derivation time).
+func (db *Database) InsertNew(t Tuple) {
+	tab := db.tables[t.Pred]
+	if tab == nil {
+		tab = newTable()
+		db.tables[t.Pred] = tab
 	}
-	tab[k] = t
-	return true
+	tab.insertNew(t.Keyed())
 }
 
 // Delete removes t; reports whether it was present.
@@ -103,12 +133,7 @@ func (db *Database) Delete(t Tuple) bool {
 	if tab == nil {
 		return false
 	}
-	k := t.Key()
-	if _, ok := tab[k]; !ok {
-		return false
-	}
-	delete(tab, k)
-	return true
+	return tab.delete(t.Key())
 }
 
 // Contains reports membership.
@@ -117,7 +142,17 @@ func (db *Database) Contains(t Tuple) bool {
 	if tab == nil {
 		return false
 	}
-	_, ok := tab[t.Key()]
+	_, ok := tab.pos[t.Key()]
+	return ok
+}
+
+// ContainsKey reports membership by cached tuple key.
+func (db *Database) ContainsKey(pred, key string) bool {
+	tab := db.tables[pred]
+	if tab == nil {
+		return false
+	}
+	_, ok := tab.pos[key]
 	return ok
 }
 
@@ -125,22 +160,33 @@ func (db *Database) Contains(t Tuple) bool {
 // (sorted) order.
 func (db *Database) Tuples(pred string) []Tuple {
 	tab := db.tables[pred]
-	out := make([]Tuple, 0, len(tab))
-	for _, t := range tab {
-		out = append(out, t)
+	if tab == nil {
+		return nil
+	}
+	out := make([]Tuple, 0, tab.live())
+	for _, sl := range tab.slots {
+		if !sl.dead {
+			out = append(out, sl.t)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out
 }
 
 // Count returns the number of tuples of predicate key.
-func (db *Database) Count(pred string) int { return len(db.tables[pred]) }
+func (db *Database) Count(pred string) int {
+	tab := db.tables[pred]
+	if tab == nil {
+		return 0
+	}
+	return tab.live()
+}
 
 // Predicates returns all predicate keys with at least one tuple, sorted.
 func (db *Database) Predicates() []string {
 	var out []string
 	for k, tab := range db.tables {
-		if len(tab) > 0 {
+		if tab.live() > 0 {
 			out = append(out, k)
 		}
 	}
@@ -149,12 +195,16 @@ func (db *Database) Predicates() []string {
 }
 
 // Clone deep-copies the database (terms shared; they are immutable).
+// Live tuples keep their relative insertion order; indexes are not
+// copied (they rebuild lazily).
 func (db *Database) Clone() *Database {
 	n := NewDatabase()
 	for pred, tab := range db.tables {
-		nt := make(map[string]Tuple, len(tab))
-		for k, t := range tab {
-			nt[k] = t
+		nt := newTable()
+		for _, sl := range tab.slots {
+			if !sl.dead {
+				nt.insertNew(sl.t)
+			}
 		}
 		n.tables[pred] = nt
 	}
@@ -165,7 +215,7 @@ func (db *Database) Clone() *Database {
 func (db *Database) TotalSize() int {
 	n := 0
 	for _, tab := range db.tables {
-		n += len(tab)
+		n += tab.live()
 	}
 	return n
 }
@@ -178,6 +228,14 @@ type Options struct {
 	MaxRounds int
 	// MaxTermDepth bounds the nesting depth of derived terms.
 	MaxTermDepth int
+	// NaiveJoin disables argument-position indexes and subgoal
+	// reordering, retaining the pre-index discipline: body-position
+	// subgoal order with full scans that re-sort the predicate table on
+	// every expansion. Kept for A/B equivalence tests and benchmarks;
+	// results and derivation sets are byte-identical either way
+	// (aggregate folds always scan in insertion order in both modes, so
+	// non-commutative-in-float fold order cannot diverge).
+	NaiveJoin bool
 }
 
 func (o *Options) fill() {
@@ -198,9 +256,111 @@ type Evaluator struct {
 	res  *analysis.Result
 	opts Options
 
-	// JoinOps counts subgoal match attempts — the work metric used by the
+	// JoinOps counts join work: successful positive-subgoal matches plus
+	// negated-subgoal containment probes — the work metric used by the
 	// magic-sets experiment (E10).
 	JoinOps int64
+	// ScanOps counts tuples examined while expanding positive subgoals —
+	// the scan width that argument-position indexes shrink. A full table
+	// scan costs its size; an index probe costs only the bucket size.
+	ScanOps int64
+
+	// keyCache holds per-rule predicate keys; PredKey allocates and the
+	// join inner loop asks for these on every expansion.
+	keyCache map[int]*ruleKeys
+	// argScratch/keyScratch back applyRule's head instantiation so
+	// duplicate derivations allocate nothing; arena backs its bindings.
+	argScratch []ast.Term
+	keyScratch []byte
+	arena      *unify.Arena
+	// buf is the reusable per-group emission buffer; rounds reset it
+	// instead of growing a fresh map each time.
+	buf *TupleSet
+	// solver/usedBuf are the reusable body-solving state and DFS path
+	// buffer (see streamBodyIn).
+	solver  *solveState
+	usedBuf []posTuple
+	// termChunk/keyChunk bulk-allocate the argument slices and identity
+	// keys of derived tuples: each new tuple carves a capped sub-slice /
+	// substring out of shared backing, so the per-tuple allocation cost
+	// is amortized over whole chunks. Derived data lives as long as the
+	// evaluator either way, so the coarser lifetime loses nothing.
+	termChunk []ast.Term
+	keyChunk  strings.Builder
+	// freeSets/spareSetMap recycle the per-round delta sets and their
+	// map once a round retires them.
+	freeSets    []*TupleSet
+	spareSetMap map[string]*TupleSet
+}
+
+// getSet returns an empty TupleSet, reusing a retired one when possible.
+func (e *Evaluator) getSet() *TupleSet {
+	if n := len(e.freeSets); n > 0 {
+		s := e.freeSets[n-1]
+		e.freeSets = e.freeSets[:n-1]
+		return s
+	}
+	return NewTupleSet()
+}
+
+// chunkTerms copies args into the shared term chunk and returns a
+// full-slice-capped view (later carves cannot touch it).
+func (e *Evaluator) chunkTerms(args []ast.Term) []ast.Term {
+	if len(args) == 0 {
+		return nil
+	}
+	if cap(e.termChunk)-len(e.termChunk) < len(args) {
+		n := 1024
+		if len(args) > n {
+			n = len(args)
+		}
+		e.termChunk = make([]ast.Term, 0, n)
+	}
+	start := len(e.termChunk)
+	e.termChunk = append(e.termChunk, args...)
+	return e.termChunk[start:len(e.termChunk):len(e.termChunk)]
+}
+
+// internKey copies kb into the shared key backing and returns it as a
+// string. strings.Builder grows by reallocating, so substrings handed
+// out earlier keep pointing at the retired backing and stay immutable.
+func (e *Evaluator) internKey(kb []byte) string {
+	start := e.keyChunk.Len()
+	e.keyChunk.Write(kb)
+	return e.keyChunk.String()[start:]
+}
+
+// roundBuffer returns the shared emission buffer, emptied.
+func (e *Evaluator) roundBuffer() *TupleSet {
+	if e.buf == nil {
+		e.buf = NewTupleSet()
+	}
+	e.buf.Reset()
+	return e.buf
+}
+
+// ruleKeys caches the head and body predicate keys of one rule, plus its
+// positive body indices.
+type ruleKeys struct {
+	head     string
+	body     []string
+	positive []int
+}
+
+func (e *Evaluator) keysOf(r *ast.Rule) *ruleKeys {
+	if ks, ok := e.keyCache[r.ID]; ok {
+		return ks
+	}
+	ks := &ruleKeys{head: r.Head.PredKey(), body: make([]string, len(r.Body))}
+	for i, l := range r.Body {
+		ks.body[i] = l.PredKey()
+	}
+	ks.positive = positiveIndices(r)
+	if e.keyCache == nil {
+		e.keyCache = make(map[int]*ruleKeys)
+	}
+	e.keyCache[r.ID] = ks
+	return ks
 }
 
 // New analyzes and prepares a program for evaluation.
@@ -277,59 +437,71 @@ func (e *Evaluator) evalStratum(db *Database, preds []string) error {
 	// same-stage predicate that is supposed to gate it).
 	groups := e.ruleGroups(rules)
 
-	// delta: tuples new in the previous round, per predicate.
-	delta := make(map[string]map[string]Tuple)
+	// delta: tuples new in the previous round, per predicate, in
+	// insertion order (deterministic semi-naive expansion order).
+	delta := make(map[string]*TupleSet)
 	// Round 0: apply every rule against the full db (base facts are the
 	// implicit initial delta).
 	for round := 0; ; round++ {
 		if round > e.opts.MaxRounds {
 			return fmt.Errorf("eval: fixpoint did not converge within %d rounds (non-terminating function symbols?)", e.opts.MaxRounds)
 		}
-		next := make(map[string]map[string]Tuple)
+		next := e.spareSetMap
+		if next == nil {
+			next = make(map[string]*TupleSet)
+		}
+		e.spareSetMap = nil
+		grew := false
 		for _, group := range groups {
-			buffer := make(map[string]Tuple)
+			// applyRule emits only keyed, depth-checked tuples absent from
+			// db, so the buffer's job is in-round dedup in emission order.
+			buffer := e.roundBuffer()
 			emit := func(t Tuple) error {
-				for _, a := range t.Args {
-					if a.Depth() > e.opts.MaxTermDepth {
-						return fmt.Errorf("eval: derived term exceeds depth bound %d: %s", e.opts.MaxTermDepth, t)
-					}
-				}
-				if !db.Contains(t) {
-					buffer[t.Key()] = t
-				}
+				buffer.Add(t)
 				return nil
 			}
 			for _, r := range group {
 				if round == 0 {
-					if err := e.applyRule(db, r, nil, -1, emit, next); err != nil {
+					if err := e.applyRule(db, r, nil, -1, emit); err != nil {
 						return err
 					}
 					continue
 				}
 				// Semi-naive: one variant per positive subgoal restricted
 				// to the previous round's delta.
-				for _, i := range positiveIndices(r) {
-					key := r.Body[i].PredKey()
-					if len(delta[key]) == 0 {
+				ks := e.keysOf(r)
+				for _, i := range ks.positive {
+					key := ks.body[i]
+					if delta[key].Len() == 0 {
 						continue
 					}
-					if err := e.applyRule(db, r, delta, i, emit, next); err != nil {
+					if err := e.applyRule(db, r, delta, i, emit); err != nil {
 						return err
 					}
 				}
 			}
-			for k, t := range buffer {
-				if db.Insert(t) {
-					if next[t.Pred] == nil {
-						next[t.Pred] = make(map[string]Tuple)
-					}
-					next[t.Pred][k] = t
+			// Buffered tuples were checked against db when derived and
+			// deduped by the buffer; groups partition rules by head
+			// predicate, so no other group inserted them meanwhile.
+			for _, t := range buffer.Items() {
+				db.InsertNew(t)
+				if next[t.Pred] == nil {
+					next[t.Pred] = e.getSet()
 				}
+				next[t.Pred].AddUnchecked(t)
+				grew = true
 			}
 		}
-		if totalLen(next) == 0 {
+		if !grew {
 			break
 		}
+		// The outgoing delta's sets and map are dead; recycle them.
+		for _, s := range delta {
+			s.Reset()
+			e.freeSets = append(e.freeSets, s)
+		}
+		clear(delta)
+		e.spareSetMap = delta
 		delta = next
 	}
 
@@ -376,12 +548,4 @@ func positiveIndices(r *ast.Rule) []int {
 		}
 	}
 	return out
-}
-
-func totalLen(m map[string]map[string]Tuple) int {
-	n := 0
-	for _, t := range m {
-		n += len(t)
-	}
-	return n
 }

@@ -2,7 +2,6 @@ package eval
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/datalog/analysis"
 	"repro/internal/datalog/ast"
@@ -68,7 +67,8 @@ type Change struct {
 
 // MaintStats reports the work done by a Maintainer, for experiment E6.
 type MaintStats struct {
-	JoinOps         int64 // subgoal match attempts
+	JoinOps         int64 // successful matches + negated probes
+	ScanOps         int64 // tuples examined while expanding subgoals
 	DerivationsHeld int   // derivation records currently stored
 	Rederivations   int64 // rederivation probes (DRed only)
 	CascadeSteps    int64
@@ -143,6 +143,7 @@ func (m *Maintainer) DB() *Database { return m.db }
 func (m *Maintainer) Stats() MaintStats {
 	s := m.stats
 	s.JoinOps = m.ev.JoinOps
+	s.ScanOps = m.ev.ScanOps
 	n := 0
 	for _, set := range m.derivations {
 		n += len(set)
@@ -663,32 +664,58 @@ func (st *pinnedSolver) step(i int, s unify.Subst, deferred []ast.Literal, used 
 			return st.step(i+1, ns, deferred, used)
 		}
 	}
-	table := st.db.tables[l.PredKey()]
-	keys := make([]string, 0, len(table)+1)
-	for k := range table {
-		keys = append(keys, k)
-	}
-	if inc, ok := st.include[i]; ok {
-		if _, present := table[inc.Key()]; !present {
-			keys = append(keys, inc.Key())
-		}
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		if st.exclude[i] == k {
-			continue
-		}
-		t, ok := table[k]
+	// Positive subgoal: iterate the table in insertion order (index
+	// probe when argument positions are bound), honoring the per-index
+	// table adjustments. The include tuple — present at derivation time
+	// but absent from the current table — is examined last.
+	tab := st.db.tables[l.PredKey()]
+	excl := st.exclude[i]
+	scan := func(t Tuple) error {
+		st.ev.ScanOps++
+		ns, ok := unify.MatchArgs(l.Args, t.Args, s)
 		if !ok {
-			t = st.include[i]
+			return nil
 		}
 		st.ev.JoinOps++
-		ns, ok2 := unify.MatchArgs(l.Args, t.Args, s)
-		if !ok2 {
-			continue
+		return st.step(i+1, ns, deferred, append(used, posTuple{pos: i, t: t}))
+	}
+	if tab != nil {
+		probed := false
+		if !st.ev.opts.NaiveJoin {
+			if cols, key := BoundCols(l.Args, s); len(cols) > 0 {
+				it := tab.index(cols).probeString(key)
+				for si, ok := it.nextSlot(); ok; si, ok = it.nextSlot() {
+					sl := tab.slots[si]
+					if sl.dead || sl.t.Key() == excl {
+						continue
+					}
+					if err := scan(sl.t); err != nil {
+						return err
+					}
+				}
+				probed = true
+			}
 		}
-		if err := st.step(i+1, ns, deferred, append(used, posTuple{pos: i, t: t})); err != nil {
-			return err
+		if !probed {
+			for _, sl := range tab.slots {
+				if sl.dead || sl.t.Key() == excl {
+					continue
+				}
+				if err := scan(sl.t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if inc, ok := st.include[i]; ok {
+		present := false
+		if tab != nil {
+			_, present = tab.pos[inc.Key()]
+		}
+		if !present && inc.Key() != excl {
+			if err := scan(inc.Keyed()); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -719,13 +746,6 @@ func (st *pinnedSolver) finish(s unify.Subst, deferred []ast.Literal, used []pos
 	if len(deferred) > 0 {
 		return fmt.Errorf("eval: rule %d: unresolvable subgoals remain: %v", st.r.ID, deferred)
 	}
-	ordered := make([]posTuple, len(used))
-	copy(ordered, used)
-	sort.Slice(ordered, func(a, b int) bool { return ordered[a].pos < ordered[b].pos })
-	tuples := make([]Tuple, len(ordered))
-	for i, u := range ordered {
-		tuples[i] = u.t
-	}
-	*st.out = append(*st.out, Solution{Subst: s, Used: tuples})
+	*st.out = append(*st.out, Solution{Subst: s, Used: orderedTuples(used)})
 	return nil
 }

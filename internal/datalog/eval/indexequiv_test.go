@@ -1,0 +1,354 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/parser"
+)
+
+// The indexed join engine must be observationally identical to the naive
+// scan path: same databases (byte-for-byte over canonical iteration),
+// same derivation sets, same maintenance change sequences. These tests
+// run both paths over a corpus of programs plus randomized inputs.
+
+// dbFingerprint renders the full database in canonical order.
+func dbFingerprint(db *Database) string {
+	var b strings.Builder
+	for _, pred := range db.Predicates() {
+		b.WriteString(pred)
+		b.WriteString(":\n")
+		for _, t := range db.Tuples(pred) {
+			b.WriteString("  ")
+			b.WriteString(t.Key())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+type equivCase struct {
+	name  string
+	src   string
+	facts func(r *rand.Rand) []Tuple
+}
+
+func equivCorpus() []equivCase {
+	return []equivCase{
+		{
+			name: "tc-chain-cycle",
+			src: `
+.base edge/2.
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`,
+			facts: func(r *rand.Rand) []Tuple {
+				var out []Tuple
+				n := 8 + r.Intn(8)
+				for i := 0; i < n; i++ {
+					out = append(out, NewTuple("edge",
+						ast.Int64(int64(r.Intn(10))), ast.Int64(int64(r.Intn(10)))))
+				}
+				return out
+			},
+		},
+		{
+			name: "negation-uncovered",
+			src: `
+.base veh/3.
+cov(L, T) :- veh(enemy, L, T), veh(friendly, L2, T), dist(L, L2) <= 5.
+uncov(L, T) :- NOT cov(L, T), veh(enemy, L, T).
+`,
+			facts: func(r *rand.Rand) []Tuple {
+				var out []Tuple
+				for i := 0; i < 12; i++ {
+					kind := "enemy"
+					if r.Intn(2) == 0 {
+						kind = "friendly"
+					}
+					out = append(out, NewTuple("veh", ast.Symbol(kind),
+						ast.Compound("loc", ast.Int64(int64(r.Intn(5))), ast.Int64(int64(r.Intn(5)))),
+						ast.Int64(int64(r.Intn(2)))))
+				}
+				return out
+			},
+		},
+		{
+			name: "builtins-arith",
+			src: `
+.base temp/2.
+warm(N, T) :- temp(N, T), T > 50.
+bump(N, U) :- temp(N, T), U = T + 1.
+pair(N, M) :- warm(N, T), warm(M, T2), N != M.
+`,
+			facts: func(r *rand.Rand) []Tuple {
+				var out []Tuple
+				for i := 0; i < 10; i++ {
+					out = append(out, NewTuple("temp",
+						ast.Symbol(fmt.Sprintf("n%d", i)), ast.Int64(int64(40+r.Intn(30)))))
+				}
+				return out
+			},
+		},
+		{
+			name: "aggregates",
+			src: `
+.base reading/3.
+avgt(R, avg<T>) :- reading(R, S, T).
+cnt(count<S>) :- reading(R, S, T).
+hot(R, max<T>) :- reading(R, S, T), T > 10.
+`,
+			facts: func(r *rand.Rand) []Tuple {
+				var out []Tuple
+				for i := 0; i < 15; i++ {
+					out = append(out, NewTuple("reading",
+						ast.Symbol(fmt.Sprintf("room%d", r.Intn(3))),
+						ast.Symbol(fmt.Sprintf("s%d", i)),
+						ast.Float64(float64(r.Intn(300))/10)))
+				}
+				return out
+			},
+		},
+		{
+			name: "self-join-triangle",
+			src: `
+.base e/2.
+tri(X, Y, Z) :- e(X, Y), e(Y, Z), e(Z, X), X < Y, Y < Z.
+`,
+			facts: func(r *rand.Rand) []Tuple {
+				var out []Tuple
+				for i := 0; i < 14; i++ {
+					out = append(out, NewTuple("e",
+						ast.Int64(int64(r.Intn(6))), ast.Int64(int64(r.Intn(6)))))
+				}
+				return out
+			},
+		},
+	}
+}
+
+func runWith(t *testing.T, src string, facts []Tuple, naive bool) *Database {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ev, err := New(p, Options{NaiveJoin: naive})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	db, err := ev.Run(facts)
+	if err != nil {
+		t.Fatalf("run (naive=%v): %v", naive, err)
+	}
+	return db
+}
+
+// TestIndexedEquivalence runs the corpus with indexing on and off over
+// several random fact sets and demands byte-identical databases and
+// Results iteration order.
+func TestIndexedEquivalence(t *testing.T) {
+	for _, c := range equivCorpus() {
+		for seed := int64(0); seed < 5; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", c.name, seed), func(t *testing.T) {
+				facts := c.facts(rand.New(rand.NewSource(seed*31 + 1)))
+				idx := runWith(t, c.src, facts, false)
+				nve := runWith(t, c.src, facts, true)
+				fi, fn := dbFingerprint(idx), dbFingerprint(nve)
+				if fi != fn {
+					t.Fatalf("indexed and naive databases differ:\nindexed:\n%s\nnaive:\n%s", fi, fn)
+				}
+			})
+		}
+	}
+}
+
+// TestMaintainerIndexedEquivalence runs random insert/delete streams in
+// every maintenance mode with indexing on and off, demanding identical
+// change sequences (order included), databases and derivation counts.
+func TestMaintainerIndexedEquivalence(t *testing.T) {
+	src := `
+.base edge/2.
+.base mark/1.
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- edge(X, Y), reach(Y, Z).
+flagged(X, Y) :- reach(X, Y), mark(X).
+quiet(X) :- mark(X), NOT busy(X).
+busy(X) :- edge(X, Y).
+`
+	ops := func(r *rand.Rand) []struct {
+		t   Tuple
+		ins bool
+	} {
+		var live []Tuple
+		var out []struct {
+			t   Tuple
+			ins bool
+		}
+		for i := 0; i < 40; i++ {
+			if len(live) > 0 && r.Intn(100) < 35 {
+				j := r.Intn(len(live))
+				out = append(out, struct {
+					t   Tuple
+					ins bool
+				}{live[j], false})
+				live = append(live[:j], live[j+1:]...)
+				continue
+			}
+			var tup Tuple
+			if r.Intn(4) == 0 {
+				tup = NewTuple("mark", ast.Int64(int64(r.Intn(5))))
+			} else {
+				// DAG edges keep the program locally non-recursive.
+				a := r.Intn(5)
+				tup = NewTuple("edge", ast.Int64(int64(a)), ast.Int64(int64(a+1+r.Intn(2))))
+			}
+			out = append(out, struct {
+				t   Tuple
+				ins bool
+			}{tup, true})
+			live = append(live, tup)
+		}
+		return out
+	}
+
+	for _, mode := range []Mode{SetOfDerivations, Counting, Rederivation} {
+		for seed := int64(0); seed < 4; seed++ {
+			t.Run(fmt.Sprintf("%v/seed%d", mode, seed), func(t *testing.T) {
+				p, err := parser.Parse(src)
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				mi, err := NewMaintainer(p, mode, Options{})
+				if err != nil {
+					t.Fatalf("maintainer: %v", err)
+				}
+				mn, err := NewMaintainer(p, mode, Options{NaiveJoin: true})
+				if err != nil {
+					t.Fatalf("maintainer: %v", err)
+				}
+				for oi, op := range ops(rand.New(rand.NewSource(seed*17 + 3))) {
+					apply := func(m *Maintainer) []Change {
+						var chs []Change
+						var err error
+						if op.ins {
+							chs, err = m.Insert(op.t)
+						} else {
+							chs, err = m.Delete(op.t)
+						}
+						if err != nil {
+							t.Fatalf("op %d: %v", oi, err)
+						}
+						return chs
+					}
+					ci, cn := apply(mi), apply(mn)
+					if len(ci) != len(cn) {
+						t.Fatalf("op %d: change counts differ: indexed %d vs naive %d", oi, len(ci), len(cn))
+					}
+					for k := range ci {
+						if ci[k].Tuple.Key() != cn[k].Tuple.Key() || ci[k].Insert != cn[k].Insert {
+							t.Fatalf("op %d change %d: indexed %v/%v vs naive %v/%v",
+								oi, k, ci[k].Tuple, ci[k].Insert, cn[k].Tuple, cn[k].Insert)
+						}
+					}
+				}
+				if fi, fn := dbFingerprint(mi.DB()), dbFingerprint(mn.DB()); fi != fn {
+					t.Fatalf("final databases differ:\nindexed:\n%s\nnaive:\n%s", fi, fn)
+				}
+				si, sn := mi.Stats(), mn.Stats()
+				if si.DerivationsHeld != sn.DerivationsHeld {
+					t.Fatalf("derivations held differ: indexed %d vs naive %d",
+						si.DerivationsHeld, sn.DerivationsHeld)
+				}
+			})
+		}
+	}
+}
+
+// TestAggregateGroupKeyCollision pins the length-prefixed group-key
+// encoding: group values crafted so that naive string concatenation of
+// their renderings could collide must still land in distinct groups.
+func TestAggregateGroupKeyCollision(t *testing.T) {
+	src := `
+.base obs/3.
+tally(A, B, count<V>) :- obs(A, B, V).
+`
+	// Pairs whose concatenations (under separator-based encodings)
+	// coincide: ("a|b", "c") vs ("a", "b|c") and quote-adversarial
+	// values. Each must form its own group.
+	facts := []Tuple{
+		NewTuple("obs", ast.Symbol("a|b"), ast.Symbol("c"), ast.Int64(1)),
+		NewTuple("obs", ast.Symbol("a"), ast.Symbol("b|c"), ast.Int64(2)),
+		NewTuple("obs", ast.String_(`x"|"y`), ast.String_("z"), ast.Int64(3)),
+		NewTuple("obs", ast.String_(`x`), ast.String_(`"|"y"z`), ast.Int64(4)),
+		NewTuple("obs", ast.Symbol("a|b"), ast.Symbol("c"), ast.Int64(5)),
+	}
+	for _, naive := range []bool{false, true} {
+		db := runWith(t, src, facts, naive)
+		got := db.Tuples("tally/3")
+		if len(got) != 4 {
+			t.Fatalf("naive=%v: want 4 distinct groups, got %d: %v", naive, len(got), got)
+		}
+		// The duplicated (a|b, c) group must have count 2, others 1.
+		for _, tup := range got {
+			want := int64(1)
+			if tup.Args[0].Equal(ast.Symbol("a|b")) {
+				want = 2
+			}
+			if tup.Args[2].Int != want {
+				t.Errorf("naive=%v: group %v count = %v, want %d", naive, tup, tup.Args[2], want)
+			}
+		}
+	}
+}
+
+// TestArgKeyInjective pins the length-prefixed index-key encoding
+// against splice collisions.
+func TestArgKeyInjective(t *testing.T) {
+	a := ArgKeyVals([]ast.Term{ast.Symbol("ab"), ast.Symbol("c")})
+	b := ArgKeyVals([]ast.Term{ast.Symbol("a"), ast.Symbol("bc")})
+	if a == b {
+		t.Fatalf("ArgKeyVals collision: %q", a)
+	}
+	if got := ArgKey([]ast.Term{ast.Symbol("x"), ast.Symbol("y"), ast.Symbol("z")}, []int{0, 2}); got !=
+		ArgKeyVals([]ast.Term{ast.Symbol("x"), ast.Symbol("z")}) {
+		t.Fatalf("ArgKey projection mismatch: %q", got)
+	}
+}
+
+// TestDeleteCompactPreservesSemantics exercises tombstoning + compaction:
+// heavy delete/reinsert churn must leave exactly the surviving tuples.
+func TestDeleteCompactPreservesSemantics(t *testing.T) {
+	db := NewDatabase()
+	r := rand.New(rand.NewSource(9))
+	live := map[string]Tuple{}
+	for i := 0; i < 2000; i++ {
+		tup := NewTuple("x", ast.Int64(int64(r.Intn(200))))
+		if r.Intn(3) == 0 {
+			if db.Delete(tup) {
+				delete(live, tup.Key())
+			}
+		} else {
+			if db.Insert(tup) {
+				live[tup.Key()] = tup
+			}
+		}
+	}
+	if db.Count("x/1") != len(live) {
+		t.Fatalf("count = %d, want %d", db.Count("x/1"), len(live))
+	}
+	for _, tup := range db.Tuples("x/1") {
+		if _, ok := live[tup.Key()]; !ok {
+			t.Fatalf("unexpected tuple %v", tup)
+		}
+	}
+	// Index probes after churn still see exactly the live tuples.
+	for k, tup := range live {
+		if !db.Contains(tup) {
+			t.Fatalf("lost tuple %s", k)
+		}
+	}
+}

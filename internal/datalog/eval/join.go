@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/datalog/ast"
 	"repro/internal/datalog/builtin"
@@ -20,23 +21,66 @@ type Solution struct {
 
 // applyRule computes the head tuples derivable by r. When deltaIdx >= 0,
 // the positive subgoal at that body index ranges over delta (semi-naive
-// restriction) and all others over db. next receives no direct writes;
-// emission goes through emit.
-func (e *Evaluator) applyRule(db *Database, r *ast.Rule, delta map[string]map[string]Tuple, deltaIdx int, emit func(Tuple) error, next map[string]map[string]Tuple) error {
-	sols, err := e.SolveBody(db, r, delta, deltaIdx)
-	if err != nil {
-		return err
+// restriction) and all others over db. Emission goes through emit.
+func (e *Evaluator) applyRule(db *Database, r *ast.Rule, delta map[string]*TupleSet, deltaIdx int, emit func(Tuple) error) error {
+	// Stream: heads are instantiated per solution without materializing
+	// the []Solution (or each solution's Used slice). Head args and the
+	// identity key are built in scratch buffers so duplicate derivations —
+	// the bulk of emissions near a fixpoint — allocate nothing: the tuple
+	// (args copy + key string) is only materialized when the head is not
+	// already in db.
+	ks := e.keysOf(r)
+	// No Subst escapes this sink, so bindings come from a bump arena
+	// reset per rule application.
+	if e.arena == nil {
+		e.arena = &unify.Arena{}
 	}
-	for _, sol := range sols {
-		t, err := e.instantiateHead(r, sol.Subst)
-		if err != nil {
-			return err
+	e.arena.Reset()
+	return e.streamBodyIn(e.arena, db, r, delta, deltaIdx, e.opts.NaiveJoin, e.opts.NaiveJoin, func(s unify.Subst, _ []posTuple) error {
+		args := e.argScratch[:0]
+		for _, a := range r.Head.Args {
+			// Fast path: a variable bound to a scalar needs no builtin
+			// reduction, and scalars are trivially ground with depth 1.
+			if a.Kind == ast.KindVar {
+				if b, ok := s.Lookup(a.Str); ok && b.Kind != ast.KindVar && b.Kind != ast.KindCompound {
+					args = append(args, b)
+					continue
+				}
+			}
+			v, err := e.opts.Registry.EvalTerm(a, s)
+			if err != nil {
+				return fmt.Errorf("eval: rule %d head: %w", r.ID, err)
+			}
+			if !v.Ground() {
+				return fmt.Errorf("eval: rule %d produced non-ground head argument %s", r.ID, v)
+			}
+			if v.Depth() > e.opts.MaxTermDepth {
+				return fmt.Errorf("eval: derived term exceeds depth bound %d: %s",
+					e.opts.MaxTermDepth, Tuple{Pred: ks.head, Args: args})
+			}
+			args = append(args, v)
 		}
-		if err := emit(t); err != nil {
-			return err
+		e.argScratch = args
+		kb := e.keyScratch[:0]
+		kb = append(kb, ks.head...)
+		kb = append(kb, '|')
+		for i, a := range args {
+			if i > 0 {
+				kb = append(kb, ',')
+			}
+			kb = a.AppendKey(kb)
 		}
-	}
-	return nil
+		e.keyScratch = kb
+		// Inline ContainsKey so the map probe reuses kb without
+		// materializing a string for already-known heads.
+		if tab := db.tables[ks.head]; tab != nil {
+			if _, ok := tab.pos[string(kb)]; ok {
+				return nil
+			}
+		}
+		t := Tuple{Pred: ks.head, Args: e.chunkTerms(args), key: e.internKey(kb)}
+		return emit(t)
+	})
 }
 
 // instantiateHead grounds the head of r under s, reducing arithmetic.
@@ -52,32 +96,130 @@ func (e *Evaluator) instantiateHead(r *ast.Rule, s unify.Subst) (Tuple, error) {
 		}
 		args[i] = v
 	}
-	return Tuple{Pred: r.Head.PredKey(), Args: args}, nil
+	return Tuple{Pred: e.keysOf(r).head, Args: args}.Keyed(), nil
 }
 
 // SolveBody enumerates all solutions of r's body against db. When
 // deltaIdx >= 0, the positive relational subgoal at that body index
 // ranges over delta[pred] instead of db. Built-ins are evaluated as soon
 // as their arguments are bound; negated subgoals are checked once ground.
-func (e *Evaluator) SolveBody(db *Database, r *ast.Rule, delta map[string]map[string]Tuple, deltaIdx int) ([]Solution, error) {
+//
+// Unless Options.NaiveJoin is set, positive subgoals are expanded in
+// selectivity order (most ground argument positions first, ties broken
+// by smaller table, then static SIP rank) and each expansion probes the
+// table's argument-position index instead of scanning. Index buckets
+// preserve insertion order, so the set of solutions — and the Used
+// tuples of each — is identical to the naive body-order scan.
+func (e *Evaluator) SolveBody(db *Database, r *ast.Rule, delta map[string]*TupleSet, deltaIdx int) ([]Solution, error) {
+	return e.solveBody(db, r, delta, deltaIdx, e.opts.NaiveJoin)
+}
+
+func (e *Evaluator) solveBody(db *Database, r *ast.Rule, delta map[string]*TupleSet, deltaIdx int, bodyOrder bool) ([]Solution, error) {
 	var out []Solution
-	st := &solveState{ev: e, db: db, r: r, delta: delta, deltaIdx: deltaIdx, out: &out}
-	err := st.step(0, unify.Subst{}, nil, nil)
+	err := e.streamBody(db, r, delta, deltaIdx, bodyOrder, func(s unify.Subst, used []posTuple) error {
+		out = append(out, Solution{Subst: s, Used: orderedTuples(used)})
+		return nil
+	})
 	return out, err
+}
+
+// orderedTuples projects used (distinct body positions, evaluation order)
+// into a body-ordered tuple slice, so derivation identities do not depend
+// on the expansion order chosen.
+func orderedTuples(used []posTuple) []Tuple {
+	tuples := make([]Tuple, len(used))
+	for i := range used {
+		rank := 0
+		for j := range used {
+			if used[j].pos < used[i].pos {
+				rank++
+			}
+		}
+		tuples[rank] = used[i].t
+	}
+	return tuples
+}
+
+// streamBody enumerates body solutions, invoking sink per solution. The
+// used slice passed to sink is scratch — copy what must be retained.
+func (e *Evaluator) streamBody(db *Database, r *ast.Rule, delta map[string]*TupleSet, deltaIdx int, bodyOrder bool, sink func(unify.Subst, []posTuple) error) error {
+	return e.streamBodyIn(nil, db, r, delta, deltaIdx, bodyOrder, false, sink)
+}
+
+// streamBodyIn is streamBody with bindings drawn from arena (nil = heap)
+// and, when sortedScan is set, full scans that re-sort the predicate
+// table per expansion (the retained pre-index discipline; see
+// Options.NaiveJoin). Aggregate rules never set sortedScan so the fold
+// order of each group's multiset is identical in both join modes.
+// Only safe with a sink that does not retain its Subst past the call.
+func (e *Evaluator) streamBodyIn(arena *unify.Arena, db *Database, r *ast.Rule, delta map[string]*TupleSet, deltaIdx int, bodyOrder, sortedScan bool, sink func(unify.Subst, []posTuple) error) error {
+	if len(r.Body) > 64 {
+		return fmt.Errorf("eval: rule %d has %d body literals (limit 64)", r.ID, len(r.Body))
+	}
+	ks := e.keysOf(r)
+	// Reuse one solveState (and its scratch buffers) per evaluator; a
+	// fresh one is made only if a sink ever re-enters the solver.
+	st := e.solver
+	if st == nil || st.busy {
+		st = &solveState{}
+		e.solver = st
+	}
+	st.ev, st.db, st.r, st.keys, st.arena = e, db, r, ks, arena
+	st.delta, st.deltaIdx, st.bodyOrder, st.sortedScan, st.rank, st.sink = nil, deltaIdx, bodyOrder, sortedScan, nil, sink
+	if deltaIdx >= 0 {
+		st.delta = delta[ks.body[deltaIdx]]
+	}
+	if !bodyOrder {
+		st.rank = e.res.SIPRank(r.ID)
+	}
+	// used is a DFS path of at most len(r.Body) entries; pre-sizing the
+	// reusable buffer means the appends along every branch never
+	// reallocate.
+	if cap(e.usedBuf) < len(r.Body) {
+		e.usedBuf = make([]posTuple, 0, len(r.Body))
+	}
+	st.busy = true
+	err := st.step(0, 0, unify.Subst{}, nil, e.usedBuf[:0])
+	st.busy, st.sink = false, nil
+	return err
 }
 
 type solveState struct {
 	ev       *Evaluator
 	db       *Database
 	r        *ast.Rule
-	delta    map[string]map[string]Tuple
+	keys     *ruleKeys    // cached head/body predicate keys
+	arena    *unify.Arena // binding arena (nil = heap)
+	delta    *TupleSet    // table for the deltaIdx subgoal
 	deltaIdx int
-	out      *[]Solution
+	// bodyOrder forces naive body-position subgoal order (NaiveJoin, and
+	// aggregate rules, where the fold order of each group's value
+	// multiset must not depend on the ordering heuristic).
+	bodyOrder bool
+	// sortedScan restores the pre-index full-scan discipline (re-sort
+	// the table per expansion) for the retained naive path.
+	sortedScan bool
+	rank       []int // static SIP ranks (nil in bodyOrder mode)
+	sink       func(unify.Subst, []posTuple) error
+	busy       bool // guards the evaluator's cached state against re-entry
+
+	// Scratch buffers for probe-key computation, reused across steps
+	// (tab.index copies cols when it materializes a new index). They
+	// start out backed by the fixed arrays below and spill to the heap
+	// only for unusually wide literals or long keys.
+	colbuf []int
+	valbuf []ast.Term
+	keybuf []byte
+	tmpbuf []byte
+	colArr [8]int
+	valArr [8]ast.Term
+	keyArr [64]byte
+	tmpArr [48]byte
 }
 
-// step processes body literal i under substitution s with the given
-// deferred literals and used positive tuples.
-func (st *solveState) step(i int, s unify.Subst, deferred []ast.Literal, used []Tuple) error {
+// step processes the next body literal under substitution s. done is the
+// bitmask of body indices already expanded, n its population count.
+func (st *solveState) step(done uint64, n int, s unify.Subst, deferred []ast.Literal, used []posTuple) error {
 	// Try to discharge any deferred literals that became ground.
 	var stillDeferred []ast.Literal
 	for _, d := range deferred {
@@ -95,63 +237,233 @@ func (st *solveState) step(i int, s unify.Subst, deferred []ast.Literal, used []
 	}
 	deferred = stillDeferred
 
-	if i == len(st.r.Body) {
+	if n == len(st.r.Body) {
 		return st.finish(s, deferred, used)
 	}
 
+	i := st.next(done, s)
+	bit := uint64(1) << uint(i)
 	l := st.r.Body[i]
 	if l.Builtin {
 		ok, ns, err := st.ev.opts.Registry.Eval(l, s)
 		switch {
 		case errors.Is(err, builtin.ErrNotGround):
-			return st.step(i+1, s, append(deferred, l), used)
+			return st.step(done|bit, n+1, s, append(deferred, l), used)
 		case err != nil:
 			return err
 		case !ok:
 			return nil
 		default:
-			return st.step(i+1, ns, deferred, used)
+			return st.step(done|bit, n+1, ns, deferred, used)
 		}
 	}
 	if l.Negated {
 		ok, ns, err := st.tryLiteral(l, s)
 		switch {
 		case errors.Is(err, errNotReady):
-			return st.step(i+1, s, append(deferred, l), used)
+			return st.step(done|bit, n+1, s, append(deferred, l), used)
 		case err != nil:
 			return err
 		case !ok:
 			return nil
 		default:
-			return st.step(i+1, ns, deferred, used)
+			return st.step(done|bit, n+1, ns, deferred, used)
 		}
 	}
 
 	// Positive relational subgoal: branch over matching tuples.
-	var table map[string]Tuple
 	if i == st.deltaIdx {
-		table = st.delta[l.PredKey()]
-	} else {
-		table = st.db.tables[l.PredKey()]
+		for _, t := range st.delta.Items() {
+			st.ev.ScanOps++
+			ns, ok := unify.MatchArgsIn(st.arena, l.Args, t.Args, s)
+			if !ok {
+				continue
+			}
+			st.ev.JoinOps++
+			if err := st.step(done|bit, n+1, ns, deferred, append(used, posTuple{pos: i, t: t})); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	// Deterministic iteration keeps evaluation reproducible.
-	keys := make([]string, 0, len(table))
-	for k := range table {
-		keys = append(keys, k)
+	tab := st.db.tables[st.keys.body[i]]
+	if tab == nil {
+		return nil
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		t := table[k]
-		st.ev.JoinOps++
-		ns, ok := unify.MatchArgs(l.Args, t.Args, s)
+	if !st.ev.opts.NaiveJoin {
+		if cols, key := st.boundCols(l.Args, s); len(cols) > 0 {
+			it := tab.index(cols).probe(key)
+			for si, ok := it.nextSlot(); ok; si, ok = it.nextSlot() {
+				sl := tab.slots[si]
+				if sl.dead {
+					continue
+				}
+				st.ev.ScanOps++
+				ns, ok := unify.MatchArgsIn(st.arena, l.Args, sl.t.Args, s)
+				if !ok {
+					continue
+				}
+				st.ev.JoinOps++
+				if err := st.step(done|bit, n+1, ns, deferred, append(used, posTuple{pos: i, t: sl.t})); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if st.sortedScan {
+		// Retained naive discipline: deterministic iteration by
+		// collecting and sorting the table's keys on every expansion —
+		// the per-step cost the indexed path exists to remove.
+		for _, t := range st.db.Tuples(st.keys.body[i]) {
+			st.ev.ScanOps++
+			ns, ok := unify.MatchArgsIn(st.arena, l.Args, t.Args, s)
+			if !ok {
+				continue
+			}
+			st.ev.JoinOps++
+			if err := st.step(done|bit, n+1, ns, deferred, append(used, posTuple{pos: i, t: t})); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, sl := range tab.slots {
+		if sl.dead {
+			continue
+		}
+		st.ev.ScanOps++
+		ns, ok := unify.MatchArgsIn(st.arena, l.Args, sl.t.Args, s)
 		if !ok {
 			continue
 		}
-		if err := st.step(i+1, ns, deferred, append(used, t)); err != nil {
+		st.ev.JoinOps++
+		if err := st.step(done|bit, n+1, ns, deferred, append(used, posTuple{pos: i, t: sl.t})); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// next picks the body index to expand. Body-order mode replays the naive
+// engine exactly: lowest unexpanded index, whatever its kind. Otherwise
+// built-ins and negations run as soon as reached (they defer themselves
+// if not ground) and positive subgoals are ranked by selectivity.
+func (st *solveState) next(done uint64, s unify.Subst) int {
+	if st.bodyOrder {
+		for i := range st.r.Body {
+			if done&(1<<uint(i)) == 0 {
+				return i
+			}
+		}
+		return -1
+	}
+	best, bestBound, bestSize, bestRank := -1, -1, 0, 0
+	for i, l := range st.r.Body {
+		if done&(1<<uint(i)) != 0 {
+			continue
+		}
+		if l.Builtin || l.Negated {
+			return i
+		}
+		bound := 0
+		for _, a := range l.Args {
+			if s.Apply(a).Ground() {
+				bound++
+			}
+		}
+		size := st.tableSize(i)
+		rk := 0
+		if st.rank != nil {
+			rk = st.rank[i]
+		}
+		if best < 0 || bound > bestBound ||
+			(bound == bestBound && (size < bestSize ||
+				(size == bestSize && rk < bestRank))) {
+			best, bestBound, bestSize, bestRank = i, bound, size, rk
+		}
+	}
+	return best
+}
+
+func (st *solveState) tableSize(i int) int {
+	if i == st.deltaIdx {
+		return st.delta.Len()
+	}
+	if tab := st.db.tables[st.keys.body[i]]; tab != nil {
+		return tab.live()
+	}
+	return 0
+}
+
+// BoundCols returns the argument positions of args that are ground under
+// s (ascending) together with their joint index key, or (nil, "") when
+// none are.
+func BoundCols(args []ast.Term, s unify.Subst) ([]int, string) {
+	var cols []int
+	var vals []ast.Term
+	for j, a := range args {
+		v := s.Apply(a)
+		if v.Ground() {
+			cols = append(cols, j)
+			vals = append(vals, v)
+		}
+	}
+	if len(cols) == 0 {
+		return nil, ""
+	}
+	return cols, ArgKeyVals(vals)
+}
+
+// AppendBoundCols is BoundCols over caller-owned scratch: cols, key and
+// tmp are truncated and regrown in place, and returned so the caller can
+// keep the (possibly reallocated) backing. The node runtime probes its
+// window stores once per subgoal expansion, so this path must not
+// allocate; the returned cols and key bytes are valid until the buffers
+// are next passed in.
+func AppendBoundCols(cols []int, key, tmp []byte, args []ast.Term, s unify.Subst) ([]int, []byte, []byte) {
+	cols, key = cols[:0], key[:0]
+	for j, a := range args {
+		v := s.Apply(a)
+		if v.Ground() {
+			cols = append(cols, j)
+			key, tmp = appendArgKey(key, tmp, v)
+		}
+	}
+	return cols, key, tmp
+}
+
+// boundCols is BoundCols over the state's scratch buffers: both returned
+// slices are only valid until the next call (tab.index copies cols when
+// it needs to retain them; the key bytes feed an alloc-free map lookup).
+func (st *solveState) boundCols(args []ast.Term, s unify.Subst) ([]int, []byte) {
+	if st.colbuf == nil {
+		st.colbuf = st.colArr[:0]
+		st.valbuf = st.valArr[:0]
+		st.keybuf = st.keyArr[:0]
+		st.tmpbuf = st.tmpArr[:0]
+	}
+	st.colbuf = st.colbuf[:0]
+	st.valbuf = st.valbuf[:0]
+	for j, a := range args {
+		v := s.Apply(a)
+		if v.Ground() {
+			st.colbuf = append(st.colbuf, j)
+			st.valbuf = append(st.valbuf, v)
+		}
+	}
+	if len(st.colbuf) == 0 {
+		return nil, nil
+	}
+	b, tmp := st.keybuf[:0], st.tmpbuf
+	for _, v := range st.valbuf {
+		tmp = v.AppendKey(tmp[:0])
+		b = strconv.AppendInt(b, int64(len(tmp)), 10)
+		b = append(b, ':')
+		b = append(b, tmp...)
+	}
+	st.keybuf, st.tmpbuf = b, tmp
+	return st.colbuf, b
 }
 
 var errNotReady = errors.New("eval: literal not ready")
@@ -184,8 +496,10 @@ func (st *solveState) tryLiteral(l ast.Literal, s unify.Subst) (bool, unify.Subs
 }
 
 // finish resolves remaining deferred literals (forcing = / is by
-// unification as a last resort) and records the solution.
-func (st *solveState) finish(s unify.Subst, deferred []ast.Literal, used []Tuple) error {
+// unification as a last resort) and records the solution. Used tuples
+// are sorted back into body order so derivation identities do not depend
+// on the expansion order chosen.
+func (st *solveState) finish(s unify.Subst, deferred []ast.Literal, used []posTuple) error {
 	for progress := true; progress && len(deferred) > 0; {
 		progress = false
 		var rest []ast.Literal
@@ -209,10 +523,7 @@ func (st *solveState) finish(s unify.Subst, deferred []ast.Literal, used []Tuple
 		return fmt.Errorf("eval: rule %d: unresolvable subgoals remain (unsafe rule slipped through): %v",
 			st.r.ID, deferred)
 	}
-	cp := make([]Tuple, len(used))
-	copy(cp, used)
-	*st.out = append(*st.out, Solution{Subst: s, Used: cp})
-	return nil
+	return st.sink(s, used)
 }
 
 // applyAggregateRule evaluates an aggregate-headed rule: body solutions
@@ -221,8 +532,11 @@ func (st *solveState) finish(s unify.Subst, deferred []ast.Literal, used []Tuple
 // group's solutions (one contribution per distinct body-tuple
 // combination — the same semantics the TAG-style in-network collection
 // computes, where each owned tuple contributes exactly once).
+// Solutions are enumerated in body order so the fold order of each
+// multiset (which matters for floating-point sums) is independent of
+// the subgoal-ordering heuristic.
 func (e *Evaluator) applyAggregateRule(db *Database, r *ast.Rule) error {
-	sols, err := e.SolveBody(db, r, nil, -1)
+	sols, err := e.solveBody(db, r, nil, -1, true)
 	if err != nil {
 		return err
 	}
@@ -239,7 +553,6 @@ func (e *Evaluator) applyAggregateRule(db *Database, r *ast.Rule) error {
 	}
 	for _, sol := range sols {
 		gargs := make([]ast.Term, 0, len(r.Head.Args))
-		key := ""
 		for i, a := range r.Head.Args {
 			if r.HeadAggs[i] != nil {
 				continue
@@ -249,8 +562,10 @@ func (e *Evaluator) applyAggregateRule(db *Database, r *ast.Rule) error {
 				return err
 			}
 			gargs = append(gargs, v)
-			key += v.Key() + "|"
 		}
+		// Length-prefixed encoding: group keys cannot collide however the
+		// rendered values nest or what characters they contain.
+		key := ArgKeyVals(gargs)
 		g := groups[key]
 		if g == nil {
 			g = &group{groupArgs: gargs, values: make([][]ast.Term, len(aggPositions))}

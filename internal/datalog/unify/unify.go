@@ -44,6 +44,42 @@ func (s Subst) Bind(name string, t ast.Term) Subst {
 	return Subst{m: &node{name: name, term: t, next: s.m}}
 }
 
+// Arena bump-allocates substitution nodes for callers that drop every
+// Subst extended through it before calling Reset — the evaluator's
+// streaming join does, and binding is its hottest allocation site. The
+// plain Bind/Match/Unify entry points allocate on the heap and are
+// always safe.
+type Arena struct {
+	blocks [][]node
+	bi, ni int
+}
+
+const arenaBlock = 256
+
+func (a *Arena) alloc(name string, term ast.Term, next *node) *node {
+	if a.bi == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]node, arenaBlock))
+	}
+	n := &a.blocks[a.bi][a.ni]
+	n.name, n.term, n.next = name, term, next
+	if a.ni++; a.ni == arenaBlock {
+		a.bi, a.ni = a.bi+1, 0
+	}
+	return n
+}
+
+// Reset recycles every node. All Substs built through this arena must be
+// dead — a retained one would silently alias future bindings.
+func (a *Arena) Reset() { a.bi, a.ni = 0, 0 }
+
+// BindIn is Bind allocating from a; a nil arena falls back to the heap.
+func (s Subst) BindIn(a *Arena, name string, t ast.Term) Subst {
+	if a == nil {
+		return s.Bind(name, t)
+	}
+	return Subst{m: a.alloc(name, t, s.m)}
+}
+
 // Len returns the number of bound (possibly shadowed) entries.
 func (s Subst) Len() int {
 	n := 0
@@ -77,6 +113,11 @@ func (s Subst) Apply(t ast.Term) ast.Term {
 	switch t.Kind {
 	case ast.KindVar:
 		if b, ok := s.Lookup(t.Str); ok {
+			// Scalar bindings are fixpoints of Apply; skip the recursion
+			// for this dominant case.
+			if b.Kind != ast.KindVar && b.Kind != ast.KindCompound {
+				return b
+			}
 			// Bindings may themselves contain variables bound later
 			// (e.g. chained unification); resolve recursively.
 			if b.Kind == ast.KindVar && b.Str == t.Str {
@@ -134,6 +175,11 @@ func (s Subst) String() string {
 // Standard Robinson unification with occurs-check (function symbols make
 // the occurs-check matter: X = f(X) must fail).
 func Unify(t, u ast.Term, s Subst) (Subst, bool) {
+	return UnifyIn(nil, t, u, s)
+}
+
+// UnifyIn is Unify with new bindings allocated from a (nil = heap).
+func UnifyIn(a *Arena, t, u ast.Term, s Subst) (Subst, bool) {
 	t = walk(t, s)
 	u = walk(u, s)
 	switch {
@@ -143,19 +189,19 @@ func Unify(t, u ast.Term, s Subst) (Subst, bool) {
 		if occurs(t.Str, u, s) {
 			return s, false
 		}
-		return s.Bind(t.Str, u), true
+		return s.BindIn(a, t.Str, u), true
 	case u.Kind == ast.KindVar:
 		if occurs(u.Str, t, s) {
 			return s, false
 		}
-		return s.Bind(u.Str, t), true
+		return s.BindIn(a, u.Str, t), true
 	case t.Kind == ast.KindCompound && u.Kind == ast.KindCompound:
 		if t.Str != u.Str || len(t.Args) != len(u.Args) {
 			return s, false
 		}
 		for i := range t.Args {
 			var ok bool
-			s, ok = Unify(t.Args[i], u.Args[i], s)
+			s, ok = UnifyIn(a, t.Args[i], u.Args[i], s)
 			if !ok {
 				return s, false
 			}
@@ -205,6 +251,11 @@ func occurs(name string, t ast.Term, s Subst) bool {
 // join conditions locally at each node (Section IV-C). Returns the
 // extended substitution.
 func Match(pattern, value ast.Term, s Subst) (Subst, bool) {
+	return MatchIn(nil, pattern, value, s)
+}
+
+// MatchIn is Match with new bindings allocated from a (nil = heap).
+func MatchIn(a *Arena, pattern, value ast.Term, s Subst) (Subst, bool) {
 	switch pattern.Kind {
 	case ast.KindVar:
 		if b, ok := s.Lookup(pattern.Str); ok {
@@ -213,9 +264,9 @@ func Match(pattern, value ast.Term, s Subst) (Subst, bool) {
 			}
 			// The existing binding may itself contain variables (from
 			// a partially-instantiated partial result); unify then.
-			return Unify(b, value, s)
+			return UnifyIn(a, b, value, s)
 		}
-		return s.Bind(pattern.Str, value), true
+		return s.BindIn(a, pattern.Str, value), true
 	case ast.KindCompound:
 		if value.Kind != ast.KindCompound || pattern.Str != value.Str ||
 			len(pattern.Args) != len(value.Args) {
@@ -223,7 +274,7 @@ func Match(pattern, value ast.Term, s Subst) (Subst, bool) {
 		}
 		for i := range pattern.Args {
 			var ok bool
-			s, ok = Match(pattern.Args[i], value.Args[i], s)
+			s, ok = MatchIn(a, pattern.Args[i], value.Args[i], s)
 			if !ok {
 				return s, false
 			}
@@ -239,12 +290,17 @@ func Match(pattern, value ast.Term, s Subst) (Subst, bool) {
 
 // MatchArgs matches a slice of patterns against a slice of ground values.
 func MatchArgs(patterns, values []ast.Term, s Subst) (Subst, bool) {
+	return MatchArgsIn(nil, patterns, values, s)
+}
+
+// MatchArgsIn is MatchArgs with new bindings allocated from a (nil = heap).
+func MatchArgsIn(a *Arena, patterns, values []ast.Term, s Subst) (Subst, bool) {
 	if len(patterns) != len(values) {
 		return s, false
 	}
 	for i := range patterns {
 		var ok bool
-		s, ok = Match(patterns[i], values[i], s)
+		s, ok = MatchIn(a, patterns[i], values[i], s)
 		if !ok {
 			return s, false
 		}

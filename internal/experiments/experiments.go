@@ -291,7 +291,7 @@ uncov(L, T) :- NOT cov(L, T), veh(enemy, L, T).
 `
 	t := metrics.NewTable(
 		"E6: maintenance under deletions (centralized ablation)",
-		"delete %", "approach", "join ops", "derivations held", "rederivations")
+		"delete %", "approach", "join ops", "scan ops", "derivations held", "rederivations")
 	for _, frac := range deleteFracs {
 		for _, mode := range []eval.Mode{eval.SetOfDerivations, eval.Counting, eval.Rederivation} {
 			mnt, err := eval.NewMaintainer(mustProg(src), mode, eval.Options{})
@@ -322,7 +322,7 @@ uncov(L, T) :- NOT cov(L, T), veh(enemy, L, T).
 				live = append(live, tup)
 			}
 			st := mnt.Stats()
-			t.AddRow(int(frac*100), mode.String(), st.JoinOps, st.DerivationsHeld, st.Rederivations)
+			t.AddRow(int(frac*100), mode.String(), st.JoinOps, st.ScanOps, st.DerivationsHeld, st.Rederivations)
 		}
 	}
 	return t
@@ -477,7 +477,7 @@ anc(X, Z) :- par(X, Y), anc(Y, Z).
 `
 	t := metrics.NewTable(
 		"E10: magic sets vs full bottom-up evaluation (ancestor query anc(a00, X))",
-		"evaluation", "join ops", "tuples derived", "answers")
+		"evaluation", "join ops", "scan ops", "tuples derived", "answers")
 	var facts []eval.Tuple
 	node := func(c, i int) string {
 		return string(rune('a'+c)) + fmt.Sprintf("%02d", i)
@@ -503,7 +503,7 @@ anc(X, Z) :- par(X, Y), anc(Y, Z).
 			fullAns++
 		}
 	}
-	t.AddRow("full bottom-up", evFull.JoinOps, dbFull.TotalSize(), fullAns)
+	t.AddRow("full bottom-up", evFull.JoinOps, evFull.ScanOps, dbFull.TotalSize(), fullAns)
 
 	tr, err := magic.Rewrite(mustProg(src), ast.Lit("anc", ast.Symbol("a00"), ast.Var("X")))
 	if err != nil {
@@ -517,7 +517,7 @@ anc(X, Z) :- par(X, Y), anc(Y, Z).
 	if err != nil {
 		panic(err)
 	}
-	t.AddRow("magic sets", evMagic.JoinOps, dbMagic.TotalSize(), dbMagic.Count(tr.AnswerPred))
+	t.AddRow("magic sets", evMagic.JoinOps, evMagic.ScanOps, dbMagic.TotalSize(), dbMagic.Count(tr.AnswerPred))
 	return t
 }
 

@@ -118,11 +118,14 @@ func TestE6ShapeRederivationCostsMore(t *testing.T) {
 	if red <= sod {
 		t.Errorf("rederivation (%v) should exceed set-of-derivations (%v)", red, sod)
 	}
-	if cell(t, rows, 2, 4) == 0 {
+	if cell(t, rows, 2, 5) == 0 {
 		t.Error("rederivation probes should be counted")
 	}
-	if cell(t, rows, 0, 3) == 0 {
+	if cell(t, rows, 0, 4) == 0 {
 		t.Error("set-of-derivations should hold derivations")
+	}
+	if cell(t, rows, 0, 3) == 0 {
+		t.Error("scan ops should be counted")
 	}
 }
 
@@ -166,10 +169,13 @@ func TestE10ShapeMagicPrunes(t *testing.T) {
 		t.Error("magic should do less join work")
 	}
 	if cell(t, rows, 1, 2) >= cell(t, rows, 0, 2) {
+		t.Error("magic should scan fewer tuples")
+	}
+	if cell(t, rows, 1, 3) >= cell(t, rows, 0, 3) {
 		t.Error("magic should derive fewer tuples")
 	}
-	if rows[0][3] != rows[1][3] {
-		t.Errorf("answers must match: %v vs %v", rows[0][3], rows[1][3])
+	if rows[0][4] != rows[1][4] {
+		t.Errorf("answers must match: %v vs %v", rows[0][4], rows[1][4])
 	}
 }
 

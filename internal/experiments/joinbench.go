@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/eval"
+	"repro/internal/gpa"
+	"repro/internal/nsim"
+)
+
+// JoinBenchResult is the indexed-vs-naive A/B comparison snbench emits
+// as BENCH_join.json. Both modes compute byte-identical results (pinned
+// by TestIndexedEquivalence and TestStoreIndexEquivalence); only the
+// lookup strategy differs, so the distributed message counts must match
+// exactly across modes.
+type JoinBenchResult struct {
+	// Centralized: semi-naive transitive closure over a 60-edge chain.
+	CentralizedIndexedMs float64 `json:"centralized_indexed_ms"`
+	CentralizedNaiveMs   float64 `json:"centralized_naive_ms"`
+	CentralizedSpeedup   float64 `json:"centralized_speedup"`
+	JoinOpsIndexed       int64   `json:"join_ops_indexed"`
+	JoinOpsNaive         int64   `json:"join_ops_naive"`
+	ScanOpsIndexed       int64   `json:"scan_ops_indexed"`
+	ScanOpsNaive         int64   `json:"scan_ops_naive"`
+
+	// Distributed: two-stream windowed join on a 10x10 grid under PA.
+	DistributedIndexedMs float64 `json:"distributed_indexed_ms"`
+	DistributedNaiveMs   float64 `json:"distributed_naive_ms"`
+	DistributedMessages  int64   `json:"distributed_messages"`
+	DistributedBytes     int64   `json:"distributed_bytes"`
+}
+
+const tcSrc = `
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`
+
+// JoinBench measures the argument-position index win on the two
+// headline workloads. reps controls how many timed repetitions each
+// mode averages over.
+func JoinBench(reps int) JoinBenchResult {
+	if reps < 1 {
+		reps = 1
+	}
+	var res JoinBenchResult
+
+	p := mustProg(tcSrc)
+	var facts []eval.Tuple
+	for i := int64(0); i < 60; i++ {
+		facts = append(facts, eval.NewTuple("edge", ast.Int64(i), ast.Int64(i+1)))
+	}
+	central := func(naive bool) (float64, int64, int64) {
+		var joinOps, scanOps int64
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			ev, err := eval.New(p, eval.Options{NaiveJoin: naive})
+			if err != nil {
+				panic(err)
+			}
+			db, err := ev.Run(facts)
+			if err != nil {
+				panic(err)
+			}
+			if db.Count("path/2") != 60*61/2 {
+				panic("join bench: wrong centralized result")
+			}
+			joinOps, scanOps = ev.JoinOps, ev.ScanOps
+		}
+		ms := time.Since(start).Seconds() * 1000 / float64(reps)
+		return ms, joinOps, scanOps
+	}
+	res.CentralizedIndexedMs, res.JoinOpsIndexed, res.ScanOpsIndexed = central(false)
+	res.CentralizedNaiveMs, res.JoinOpsNaive, res.ScanOpsNaive = central(true)
+	if res.CentralizedIndexedMs > 0 {
+		res.CentralizedSpeedup = res.CentralizedNaiveMs / res.CentralizedIndexedMs
+	}
+
+	distributed := func(naive bool) (float64, int64, int64) {
+		start := time.Now()
+		var sent, bytes int64
+		for r := 0; r < reps; r++ {
+			e, nw := deployGrid(10, twoStreamSrc,
+				core.Config{Scheme: gpa.Perpendicular, NaiveJoin: naive},
+				nsim.Config{Seed: int64(r)})
+			injectJoinWorkload(e, nw, 20, int64(r)+29)
+			nw.Run(0)
+			sent, bytes = nw.TotalSent, nw.TotalBytes
+		}
+		ms := time.Since(start).Seconds() * 1000 / float64(reps)
+		return ms, sent, bytes
+	}
+	var naiveSent, naiveBytes int64
+	res.DistributedIndexedMs, res.DistributedMessages, res.DistributedBytes = distributed(false)
+	res.DistributedNaiveMs, naiveSent, naiveBytes = distributed(true)
+	if naiveSent != res.DistributedMessages || naiveBytes != res.DistributedBytes {
+		panic("join bench: message traffic differs between indexed and naive runs")
+	}
+	return res
+}

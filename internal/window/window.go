@@ -5,11 +5,17 @@
 // join-computation of an update with stamp τ, a replica is visible iff
 // its generation stamp precedes τ, lies within the window range of τ, and
 // it carries no deletion stamp preceding τ.
+//
+// Storage mirrors the centralized evaluator's indexed layer: entries are
+// kept per predicate in insertion order (deterministic in the simulator)
+// with lazily built hash indexes on argument-position sets, so rule
+// firing probes the matching bucket instead of scanning every visible
+// replica. An index bucket is an insertion-order subsequence of the full
+// scan, so indexed and naive lookups see candidates in the same order.
 package window
 
 import (
-	"fmt"
-	"sort"
+	"strconv"
 
 	"repro/internal/datalog/eval"
 )
@@ -38,7 +44,20 @@ func (s Stamp) Less(o Stamp) bool {
 // Key renders the stamp as a compact unique string (the tuple ID of
 // Definition 2).
 func (s Stamp) Key() string {
-	return fmt.Sprintf("%d.%d.%d", s.Node, s.TS, s.Seq)
+	var arr [32]byte
+	return string(s.AppendKey(arr[:0]))
+}
+
+// AppendKey appends the stamp's Key rendering to b, for callers that
+// compose stamp keys into larger identifiers without intermediate
+// strings.
+func (s Stamp) AppendKey(b []byte) []byte {
+	b = strconv.AppendInt(b, int64(s.Node), 10)
+	b = append(b, '.')
+	b = strconv.AppendInt(b, s.TS, 10)
+	b = append(b, '.')
+	b = strconv.AppendInt(b, s.Seq, 10)
+	return b
 }
 
 // Entry is one stored replica.
@@ -51,6 +70,8 @@ type Entry struct {
 	// tuple; the replica is reclaimed by expiry.
 	Del     Stamp
 	Deleted bool
+
+	gone bool // expired; awaiting compaction
 }
 
 // VisibleAt reports whether the entry participates in the join
@@ -69,29 +90,105 @@ func (e *Entry) VisibleAt(tau Stamp, w int64) bool {
 	return true
 }
 
+// predTable stores one predicate's replicas in insertion order. byID
+// also holds payload-less tombstones (deletions that arrived before
+// their insertion), which never enter order or any index.
+type predTable struct {
+	byID    map[string]*Entry // stamp key -> entry
+	order   []*Entry
+	gone    int
+	indexes map[string]*storeIndex
+}
+
+// storeIndex hashes entries by the joint key of a set of argument
+// positions; buckets preserve insertion order. Visibility and deletion
+// stamps are re-checked at probe time, so buckets never need updating
+// when an entry is marked deleted.
+type storeIndex struct {
+	cols    []int
+	buckets map[string][]*Entry
+}
+
+func (tab *predTable) add(e *Entry) {
+	tab.byID[e.ID.Key()] = e
+	if e.Tuple.Args == nil {
+		return // tombstone: identity only
+	}
+	tab.order = append(tab.order, e)
+	for _, ix := range tab.indexes {
+		bk := eval.ArgKey(e.Tuple.Args, ix.cols)
+		ix.buckets[bk] = append(ix.buckets[bk], e)
+	}
+}
+
+func (tab *predTable) index(cols []int) *storeIndex {
+	sig := eval.ColSig(cols)
+	ix := tab.indexes[sig]
+	if ix == nil {
+		ix = &storeIndex{cols: append([]int(nil), cols...), buckets: make(map[string][]*Entry)}
+		for _, e := range tab.order {
+			if e.gone {
+				continue
+			}
+			bk := eval.ArgKey(e.Tuple.Args, ix.cols)
+			ix.buckets[bk] = append(ix.buckets[bk], e)
+		}
+		if tab.indexes == nil {
+			tab.indexes = make(map[string]*storeIndex)
+		}
+		tab.indexes[sig] = ix
+	}
+	return ix
+}
+
+// compact drops expired entries from order (preserving relative order)
+// and discards indexes for lazy rebuild.
+func (tab *predTable) compact() {
+	if tab.gone <= len(tab.order)/2 || tab.gone < 32 {
+		return
+	}
+	live := tab.order[:0]
+	for _, e := range tab.order {
+		if !e.gone {
+			live = append(live, e)
+		}
+	}
+	tab.order = live
+	tab.gone = 0
+	tab.indexes = nil
+}
+
 // Store holds the replicas of many predicates at one node.
 type Store struct {
-	preds map[string]map[string]*Entry // predKey -> stampKey -> entry
+	preds map[string]*predTable
+	// Naive disables argument-position indexes: every lookup scans the
+	// insertion-order slice. Retained for A/B determinism checks and
+	// benchmarks; behavior is identical either way.
+	Naive bool
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{preds: make(map[string]map[string]*Entry)}
+	return &Store{preds: make(map[string]*predTable)}
+}
+
+func (s *Store) table(predKey string) *predTable {
+	tab := s.preds[predKey]
+	if tab == nil {
+		tab = &predTable{byID: make(map[string]*Entry)}
+		s.preds[predKey] = tab
+	}
+	return tab
 }
 
 // Insert stores a replica; duplicates (same stamp) are idempotent.
 // Reports whether the entry was new.
 func (s *Store) Insert(t eval.Tuple, id Stamp) bool {
-	tab := s.preds[t.Pred]
-	if tab == nil {
-		tab = make(map[string]*Entry)
-		s.preds[t.Pred] = tab
-	}
-	k := id.Key()
-	if _, ok := tab[k]; ok {
+	tab := s.table(t.Pred)
+	if _, ok := tab.byID[id.Key()]; ok {
 		return false
 	}
-	tab[k] = &Entry{Tuple: t, ID: id}
+	tab.add(&Entry{Tuple: t.Keyed(), ID: id})
 	return true
 }
 
@@ -99,16 +196,11 @@ func (s *Store) Insert(t eval.Tuple, id Stamp) bool {
 // Unknown IDs are remembered as tombstones so a deletion arriving before
 // its insertion (message reordering) still wins.
 func (s *Store) MarkDeleted(predKey string, id Stamp, del Stamp) {
-	tab := s.preds[predKey]
-	if tab == nil {
-		tab = make(map[string]*Entry)
-		s.preds[predKey] = tab
-	}
-	k := id.Key()
-	e, ok := tab[k]
+	tab := s.table(predKey)
+	e, ok := tab.byID[id.Key()]
 	if !ok {
 		e = &Entry{ID: id, Tuple: eval.Tuple{Pred: predKey}}
-		tab[k] = e
+		tab.add(e)
 	}
 	if !e.Deleted || del.Less(e.Del) {
 		e.Deleted = true
@@ -117,22 +209,16 @@ func (s *Store) MarkDeleted(predKey string, id Stamp, del Stamp) {
 }
 
 // Visible returns the entries of predKey visible at τ under window w, in
-// deterministic (stamp) order. Tombstone-only entries never match.
+// deterministic (insertion) order. Tombstone-only entries never match.
 func (s *Store) Visible(predKey string, tau Stamp, w int64) []*Entry {
 	tab := s.preds[predKey]
-	if len(tab) == 0 {
+	if tab == nil {
 		return nil
 	}
-	keys := make([]string, 0, len(tab))
-	for k := range tab {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	var out []*Entry
-	for _, k := range keys {
-		e := tab[k]
-		if e.Tuple.Args == nil && e.Deleted {
-			continue // tombstone without payload
+	for _, e := range tab.order {
+		if e.gone {
+			continue
 		}
 		if e.VisibleAt(tau, w) {
 			out = append(out, e)
@@ -141,18 +227,61 @@ func (s *Store) Visible(predKey string, tau Stamp, w int64) []*Entry {
 	return out
 }
 
-// All returns every live (non-deleted, non-tombstone) entry of predKey.
+// VisibleMatch appends to out the visible entries of predKey whose
+// argument values at positions cols have joint key key (per eval.ArgKey,
+// passed as raw bytes so the bucket probe does not materialize a
+// string). It probes the (lazily built) position index unless the store
+// is Naive or no positions are bound; the result is always an
+// insertion-order subsequence of Visible, so callers behave identically
+// either way. out is caller-owned scratch — reusing it across probes is
+// what keeps the per-expansion lookup allocation-free.
+func (s *Store) VisibleMatch(predKey string, tau Stamp, w int64, cols []int, key []byte, out []*Entry) []*Entry {
+	tab := s.preds[predKey]
+	if tab == nil {
+		return out
+	}
+	if s.Naive || len(cols) == 0 || len(tab.order)-tab.gone < indexMinTable {
+		for _, e := range tab.order {
+			if !e.gone && e.VisibleAt(tau, w) {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	for _, e := range tab.index(cols).buckets[string(key)] {
+		if !e.gone && e.VisibleAt(tau, w) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// indexMinTable is the live-entry count below which VisibleMatch scans
+// instead of building an index: sensor-node replica tables are often a
+// handful of entries, and there a linear scan beats the build cost of an
+// index that may be discarded on the next compaction. Scanning and
+// probing yield the same insertion-order candidates (callers re-match
+// every entry), so the cutover is invisible to results.
+const indexMinTable = 16
+
+// SmallTable reports whether predKey's table is below the index
+// threshold, so callers can skip computing the bound-position key for a
+// probe that would scan anyway.
+func (s *Store) SmallTable(predKey string) bool {
+	tab := s.preds[predKey]
+	return tab == nil || len(tab.order)-tab.gone < indexMinTable
+}
+
+// All returns every live (non-deleted, non-tombstone) entry of predKey
+// in insertion order.
 func (s *Store) All(predKey string) []*Entry {
 	tab := s.preds[predKey]
-	keys := make([]string, 0, len(tab))
-	for k := range tab {
-		keys = append(keys, k)
+	if tab == nil {
+		return nil
 	}
-	sort.Strings(keys)
 	var out []*Entry
-	for _, k := range keys {
-		e := tab[k]
-		if e.Deleted || (e.Tuple.Args == nil && e.Tuple.Pred != "") {
+	for _, e := range tab.order {
+		if e.gone || e.Deleted {
 			continue
 		}
 		out = append(out, e)
@@ -168,13 +297,8 @@ func (s *Store) Expire(nowLocal int64, retention int64) int {
 		return 0
 	}
 	n := 0
-	for _, tab := range s.preds {
-		for k, e := range tab {
-			if nowLocal-e.ID.TS > retention {
-				delete(tab, k)
-				n++
-			}
-		}
+	for predKey := range s.preds {
+		n += s.ExpirePred(predKey, nowLocal, retention)
 	}
 	return n
 }
@@ -185,26 +309,40 @@ func (s *Store) ExpirePred(predKey string, nowLocal int64, retention int64) int 
 		return 0
 	}
 	tab := s.preds[predKey]
+	if tab == nil {
+		return 0
+	}
 	n := 0
-	for k, e := range tab {
+	for k, e := range tab.byID {
 		if nowLocal-e.ID.TS > retention {
-			delete(tab, k)
+			delete(tab.byID, k)
+			if !e.gone && e.Tuple.Args != nil {
+				e.gone = true
+				tab.gone++
+			}
 			n++
 		}
 	}
+	tab.compact()
 	return n
 }
 
 // Count returns the number of stored entries for predKey (including
 // deletion-marked replicas awaiting expiry).
-func (s *Store) Count(predKey string) int { return len(s.preds[predKey]) }
+func (s *Store) Count(predKey string) int {
+	tab := s.preds[predKey]
+	if tab == nil {
+		return 0
+	}
+	return len(tab.byID)
+}
 
 // TotalCount returns all stored entries — the per-node memory metric of
 // experiment E9.
 func (s *Store) TotalCount() int {
 	n := 0
 	for _, tab := range s.preds {
-		n += len(tab)
+		n += len(tab.byID)
 	}
 	return n
 }

@@ -190,6 +190,9 @@ type Options struct {
 	DefaultWindow int64
 	// Registry overrides the built-in registry.
 	Registry *Registry
+	// NaiveJoin disables the per-node argument-position indexes,
+	// retaining full-scan lookups (A/B benchmarking; results identical).
+	NaiveJoin bool
 }
 
 // Cluster is a deployed program: a simulated network running the
@@ -240,6 +243,7 @@ func deploy(nw *nsim.Network, src string, opt Options) (*Cluster, error) {
 		BandWidth:     opt.BandWidth,
 		DefaultWindow: opt.DefaultWindow,
 		Registry:      opt.Registry,
+		NaiveJoin:     opt.NaiveJoin,
 	})
 	if err != nil {
 		return nil, err

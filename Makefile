@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench joinbench verify
+.PHONY: all build test vet race bench joinbench bench-sim verify
 
 all: verify
 
@@ -25,4 +25,11 @@ bench:
 joinbench:
 	$(GO) run ./cmd/snbench -joinjson BENCH_join.json
 
-verify: build test vet race
+# Regenerate the simulator fast-path metrics (spatial index, typed event
+# queue, batched links): substrate micro-benchmarks plus BENCH_sim.json.
+bench-sim:
+	$(GO) test -run '^$$' -bench 'Finalize|Events' -benchmem ./internal/nsim/
+	$(GO) test -run '^$$' -bench 'E13' -benchmem .
+	$(GO) run ./cmd/snbench -simjson BENCH_sim.json
+
+verify: build test vet race bench-sim

@@ -1,5 +1,5 @@
 // Command snbench regenerates every table and figure of the paper's
-// evaluation section (experiments E1..E12 of DESIGN.md) and prints them
+// evaluation section (experiments E1..E13 of DESIGN.md) and prints them
 // in the plain-text form recorded in EXPERIMENTS.md.
 //
 // Usage:
@@ -8,6 +8,7 @@
 //	snbench -only E5   # run one experiment
 //	snbench -quick     # smaller parameters (CI-sized)
 //	snbench -joinjson BENCH_join.json   # indexed-vs-naive join A/B
+//	snbench -simjson BENCH_sim.json     # simulator fast-path A/B
 package main
 
 import (
@@ -23,10 +24,37 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run only this experiment (E1..E12)")
+	only := flag.String("only", "", "run only this experiment (E1..E13)")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
 	joinJSON := flag.String("joinjson", "", "write the indexed-vs-naive join benchmark to this JSON file and exit")
+	simJSON := flag.String("simjson", "", "write the simulator fast-path benchmark to this JSON file and exit")
 	flag.Parse()
+
+	if *simJSON != "" {
+		reps := 5
+		if *quick {
+			reps = 2
+		}
+		res := experiments.SimBench(reps)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*simJSON, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			os.Exit(1)
+		}
+		last := res.Finalize[len(res.Finalize)-1]
+		bat := res.Batching[0]
+		fmt.Printf("sim A/B: finalize n=%d %.1fx, %.0f events/s vs %.0f legacy (%.2fx), %.2f vs %.2f allocs/event (-%.0f%%), batching -%.0f%% msgs\n",
+			last.Nodes, last.Speedup,
+			res.EventsPerSecFast, res.EventsPerSecLegacy, res.EventThroughputGain,
+			res.AllocsPerEventFast, res.AllocsPerEventLegacy, res.AllocReduxPct,
+			bat.MsgReduxPct)
+		return
+	}
 
 	if *joinJSON != "" {
 		reps := 10
@@ -109,6 +137,12 @@ func main() {
 		}},
 		{"E12", func() *metrics.Table {
 			return experiments.E12Lifetime(pick(10, 8), 500, pick(150, 60))
+		}},
+		{"E13", func() *metrics.Table {
+			if full {
+				return experiments.E13Batching([]int{6, 10, 14}, 6, 4)
+			}
+			return experiments.E13Batching([]int{6, 10}, 4, 3)
 		}},
 	}
 

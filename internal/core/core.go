@@ -31,6 +31,7 @@ import (
 	"repro/internal/ghash"
 	"repro/internal/gpa"
 	"repro/internal/nsim"
+	"repro/internal/routing"
 	"repro/internal/window"
 )
 
@@ -69,6 +70,19 @@ type Config struct {
 	// (full visible-scan lookups). Retained for A/B determinism checks
 	// and benchmarks; results and message counts are identical.
 	NaiveJoin bool
+	// BatchLinks coalesces the store/join/result tuples a node emits
+	// within one tick into a single framed link message per destination,
+	// accounted as one shared 8-byte header plus the sum of the tuple
+	// payloads. Default off: the per-tuple messages are the paper's
+	// accounting unit, and every published table is produced with
+	// batching disabled. The final derived database is identical either
+	// way (see TestBatchLinksEquivalence).
+	BatchLinks bool
+	// LegacyRouting bypasses the per-engine nearest-node cache and calls
+	// the stateless routing functions on every hop, restoring the
+	// pre-cache rescan behavior. Results are identical; retained (like
+	// NaiveJoin) so the cache can be A/B benchmarked.
+	LegacyRouting bool
 	// NodeTerm names a node as a term for placement-based storage; the
 	// default is the symbol n<id>.
 	NodeTerm func(n *nsim.Node) ast.Term
@@ -154,6 +168,9 @@ type Engine struct {
 	prog *ast.Program
 	res  *analysis.Result
 	cfg  Config
+	// router caches nearest-node lookups for the geographic-unicast
+	// termination test, which every walker hop performs.
+	router *routing.Engine
 
 	rules     []*compiledRule
 	triggers  map[string][]trigger // predKey -> triggers
@@ -165,6 +182,9 @@ type Engine struct {
 	finalizePrio map[string]int
 	// windows per predicate (0 = unbounded).
 	windows map[string]int64
+	// windowPreds lists the predicates with a positive window range, so
+	// the per-event expiry sweep iterates a slice instead of the map.
+	windowPreds []string
 	// placements per predicate.
 	placements map[string]ast.Placement
 	// queryPreds marks predicates whose transitions are logged.
@@ -208,6 +228,7 @@ func New(nw *nsim.Network, prog *ast.Program, cfg Config) (*Engine, error) {
 		prog:         prog,
 		res:          res,
 		cfg:          cfg,
+		router:       routing.NewEngine(nw),
 		triggers:     make(map[string][]trigger),
 		hasher:       ghash.ForNetwork(nw),
 		planner:      gpa.NewPlanner(nw, cfg.Scheme),
@@ -263,6 +284,12 @@ func New(nw *nsim.Network, prog *ast.Program, cfg Config) (*Engine, error) {
 			e.windows[p] = cfg.DefaultWindow
 		}
 	}
+	for p, w := range e.windows {
+		if w > 0 {
+			e.windowPreds = append(e.windowPreds, p)
+		}
+	}
+	sort.Strings(e.windowPreds)
 
 	if cfg.Scheme == gpa.Centroid {
 		if cfg.CentroidRadius == 0 {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 	"strconv"
 
@@ -144,6 +143,11 @@ type nodeRT struct {
 	aggSessions map[string]*aggSession // epoch -> collection state
 	lastExpire  int64
 
+	// Batched link transport (Config.BatchLinks): sends staged within
+	// the current tick, flushed per destination by timerFlush.
+	outbox     []outItem
+	flushArmed bool
+
 	// pendingCands buffers result candidates until their finalize
 	// deadlines; they drain in update-stamp order so ties on the
 	// deadline tick cannot apply a removal before the add it targets.
@@ -224,22 +228,35 @@ func (rt *nodeRT) Timer(n *nsim.Node, key string, data interface{}) {
 		rt.aggSend(data.(string))
 	case timerAggFinal:
 		rt.aggFinal(data.(string))
+	case timerFlush:
+		rt.flushOutbox()
 	}
 }
 
-// Receive implements nsim.Handler.
+// Receive implements nsim.Handler. A kindBatch frame dispatches its
+// items in staging order through the same per-kind handlers.
 func (rt *nodeRT) Receive(n *nsim.Node, m *nsim.Message) {
-	switch m.Kind {
+	if m.Kind == kindBatch {
+		for _, it := range m.Payload.(*batchMsg).Items {
+			rt.dispatch(m.Src, it.Kind, it.Payload)
+		}
+		return
+	}
+	rt.dispatch(m.Src, m.Kind, m.Payload)
+}
+
+func (rt *nodeRT) dispatch(src nsim.NodeID, kind string, payload interface{}) {
+	switch kind {
 	case kindStore:
-		rt.onStore(m.Payload.(*storeMsg))
+		rt.onStore(payload.(*storeMsg))
 	case kindJoin:
-		rt.onJoin(m.Payload.(*joinMsg))
+		rt.onJoin(payload.(*joinMsg))
 	case kindResult:
-		rt.onResult(m.Payload.(*resultMsg))
+		rt.onResult(payload.(*resultMsg))
 	case kindAggBuild:
-		rt.onAggBuild(m.Src, m.Payload.(*aggBuildMsg))
+		rt.onAggBuild(src, payload.(*aggBuildMsg))
 	case kindAggPartial:
-		rt.onAggPartial(m.Payload.(*aggPartialMsg))
+		rt.onAggPartial(payload.(*aggPartialMsg))
 	}
 }
 
@@ -312,7 +329,7 @@ func (rt *nodeRT) generate(t eval.Tuple, del *window.Stamp) window.Stamp {
 			case plan.Band != nil:
 				sm := &storeMsg{Tuple: t, ID: id, Del: delStamp, Flood: true, TTL: -1, Band: plan.Band}
 				rt.bandBroadcast(kindStore, sm, plan.Band, sizeOfTuple(t)+8)
-				rt.dedup.Check(fmt.Sprintf("st|%s|%v", id.Key(), delStamp != nil))
+				rt.dedup.Check(stampFlagKey("st|", id, delStamp != nil))
 			case plan.Flood:
 				rt.floodStore(&storeMsg{Tuple: t, ID: id, Del: delStamp, Flood: true, TTL: -1})
 			case plan.Local:
@@ -347,15 +364,38 @@ func (rt *nodeRT) applyStoreLocal(t eval.Tuple, id window.Stamp, del *window.Sta
 
 // floodStore broadcasts a replication flood (TTL-limited for placements).
 func (rt *nodeRT) floodStore(sm *storeMsg) {
-	key := fmt.Sprintf("st|%s|%v", sm.ID.Key(), sm.Del != nil)
+	key := stampFlagKey("st|", sm.ID, sm.Del != nil)
 	rt.dedup.Check(key) // mark own
-	rt.node.Broadcast(kindStore, sm, sizeOfTuple(sm.Tuple)+8)
+	rt.bcast(kindStore, sm, sizeOfTuple(sm.Tuple)+8)
+}
+
+// stampFlagKey renders prefix + id.Key() + "|true"/"|false" without the
+// fmt machinery; these dedup keys are built on every forwarded flood.
+func stampFlagKey(prefix string, id window.Stamp, flag bool) string {
+	var arr [48]byte
+	b := append(arr[:0], prefix...)
+	b = id.AppendKey(b)
+	if flag {
+		b = append(b, "|true"...)
+	} else {
+		b = append(b, "|false"...)
+	}
+	return string(b)
+}
+
+// atTarget answers the walker termination test through the engine's
+// routing cache, or the stateless per-call scan under LegacyRouting.
+func (rt *nodeRT) atTarget(x, y float64) bool {
+	if rt.e.cfg.LegacyRouting {
+		return routing.AtTarget(rt.e.nw, rt.node.ID, x, y)
+	}
+	return rt.e.router.AtTarget(rt.node.ID, x, y)
 }
 
 // forwardStore advances a storage walker one hop.
 func (rt *nodeRT) forwardStore(sm *storeMsg) {
 	leg := sm.Legs[sm.LegIdx]
-	arrived := routing.AtTarget(rt.e.nw, rt.node.ID, leg.TargetX, leg.TargetY)
+	arrived := rt.atTarget(leg.TargetX, leg.TargetY)
 	if sm.HasToNode {
 		arrived = sm.ToNode == rt.node.ID
 	}
@@ -369,7 +409,7 @@ func (rt *nodeRT) forwardStore(sm *storeMsg) {
 		return
 	}
 	sm.Visited[next] = true
-	rt.node.Send(next, kindStore, sm, sizeOfTuple(sm.Tuple)+8)
+	rt.send(next, kindStore, sm, sizeOfTuple(sm.Tuple)+8)
 }
 
 func (rt *nodeRT) storeWalkerArrived(sm *storeMsg) {
@@ -389,7 +429,7 @@ func (rt *nodeRT) storeWalkerArrived(sm *storeMsg) {
 func (rt *nodeRT) onStore(sm *storeMsg) {
 	rt.expire()
 	if sm.Flood {
-		key := fmt.Sprintf("st|%s|%v", sm.ID.Key(), sm.Del != nil)
+		key := stampFlagKey("st|", sm.ID, sm.Del != nil)
 		if rt.dedup.Check(key) {
 			return
 		}
@@ -403,7 +443,7 @@ func (rt *nodeRT) onStore(sm *storeMsg) {
 				if fwd.Band != nil {
 					rt.bandBroadcast(kindStore, &fwd, fwd.Band, sizeOfTuple(sm.Tuple)+8)
 				} else {
-					rt.node.Broadcast(kindStore, &fwd, sizeOfTuple(sm.Tuple)+8)
+					rt.bcast(kindStore, &fwd, sizeOfTuple(sm.Tuple)+8)
 				}
 			}
 		}
@@ -475,7 +515,7 @@ func (rt *nodeRT) joinPhase(rec *updateRec) {
 			Partials: hashPartials, Flood: true, Band: plan.Band,
 		}
 		rt.processJoinHere(jm)
-		rt.dedup.Check("jf|" + jm.ID.Key() + fmt.Sprintf("|%v", jm.Del))
+		rt.dedup.Check(stampFlagKey("jf|", jm.ID, jm.Del))
 		rt.bandBroadcast(kindJoin, jm, plan.Band, rt.joinMsgSize(jm))
 	case plan.Local:
 		// All replicas are local (naive-broadcast): expand in place.
@@ -614,15 +654,25 @@ func (rt *nodeRT) extend(p *partialR, tau window.Stamp, onlyIdx int, out *[]*par
 
 // saturate expands partials transitively against the local store,
 // returning all partials (original + derived) deduplicated by shape.
+// saturate may retain and append to partials' backing array; callers
+// must not reuse the argument slice after the call. Most calls extend
+// nothing, so the dedup set is built lazily on the first extension.
 func (rt *nodeRT) saturate(partials []*partialR, tau window.Stamp, onlyIdx int) []*partialR {
-	all := append([]*partialR(nil), partials...)
-	seen := map[string]bool{}
-	for _, p := range all {
-		seen[p.key()] = true
-	}
+	all := partials
+	var seen map[string]bool
+	var out []*partialR
 	for i := 0; i < len(all); i++ {
-		var out []*partialR
+		out = out[:0]
 		rt.extend(all[i], tau, onlyIdx, &out)
+		if len(out) == 0 {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[string]bool, len(all)+len(out))
+			for _, p := range all {
+				seen[p.key()] = true
+			}
+		}
 		for _, np := range out {
 			k := np.key()
 			if !seen[k] {
@@ -643,28 +693,26 @@ func (p *partialR) key() string {
 	b = strconv.AppendInt(b, int64(p.cr.rule.ID), 10)
 	b = append(b, '|', 'p')
 	b = strconv.AppendInt(b, int64(p.pinned), 10)
-	ids := make([]string, 0, len(p.used))
-	var tmp [40]byte
-	for _, u := range p.used {
-		t := strconv.AppendInt(tmp[:0], int64(u.idx), 10)
-		t = append(t, ':')
-		t = u.stamp.AppendKey(t)
-		ids = append(ids, string(t))
+	// Canonical order is ascending body index (unique per partial),
+	// rendered without intermediate strings.
+	var ord [16]posStamp
+	used := ord[:0]
+	if len(p.used) > len(ord) {
+		used = make([]posStamp, 0, len(p.used))
 	}
-	sortStrings(ids)
-	for _, s := range ids {
-		b = append(b, '|')
-		b = append(b, s...)
-	}
-	return string(b)
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
+	used = append(used, p.used...)
+	for i := 1; i < len(used); i++ {
+		for j := i; j > 0 && used[j].idx < used[j-1].idx; j-- {
+			used[j], used[j-1] = used[j-1], used[j]
 		}
 	}
+	for _, u := range used {
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(u.idx), 10)
+		b = append(b, ':')
+		b = u.stamp.AppendKey(b)
+	}
+	return string(b)
 }
 
 // negReady reports whether all negated subgoals are ground under p.
@@ -722,10 +770,14 @@ func (rt *nodeRT) mkCand(p *partialR, rec *updateRec, negFromStart bool) (*candR
 			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
 		}
 	}
-	dk := fmt.Sprintf("r%d", r.ID)
+	var dkArr [96]byte
+	db := append(dkArr[:0], 'r')
+	db = strconv.AppendInt(db, int64(r.ID), 10)
 	for _, u := range ordered {
-		dk += ";" + u.stamp.Key()
+		db = append(db, ';')
+		db = u.stamp.AppendKey(db)
 	}
+	dk := string(db)
 	// Add/remove: a positive-pinned insert adds; a positive-pinned delete
 	// removes; a negated-pinned insert removes; a negated-pinned delete
 	// adds.
@@ -765,7 +817,7 @@ func (rt *nodeRT) forwardResult(rm *resultMsg) {
 	if rm.HasHome {
 		arrived = rm.Home == rt.node.ID
 	} else {
-		arrived = routing.AtTarget(rt.e.nw, rt.node.ID, rm.TX, rm.TY)
+		arrived = rt.atTarget(rm.TX, rm.TY)
 	}
 	if arrived {
 		rt.bufferCand(rm.Cand)
@@ -777,7 +829,7 @@ func (rt *nodeRT) forwardResult(rm *resultMsg) {
 		return
 	}
 	rm.Visited[next] = true
-	rt.node.Send(next, kindResult, rm, sizeOfTuple(rm.Cand.Head)+len(rm.Cand.DerivKey)+8)
+	rt.send(next, kindResult, rm, sizeOfTuple(rm.Cand.Head)+len(rm.Cand.DerivKey)+8)
 }
 
 func (rt *nodeRT) onResult(rm *resultMsg) {
@@ -974,14 +1026,14 @@ func (rt *nodeRT) bandBroadcast(kind string, payload interface{}, band *gpa.Band
 	for _, nb := range rt.node.Neighbors() {
 		n := rt.e.nw.Node(nb)
 		if band.Contains(n.X, n.Y) {
-			rt.node.Send(nb, kind, payload, size)
+			rt.send(nb, kind, payload, size)
 		}
 	}
 }
 
 // floodJoin broadcasts a join flood (local-storage scheme).
 func (rt *nodeRT) floodJoin(jm *joinMsg) {
-	rt.node.Broadcast(kindJoin, jm, rt.joinMsgSize(jm))
+	rt.bcast(kindJoin, jm, rt.joinMsgSize(jm))
 }
 
 func (rt *nodeRT) joinMsgSize(jm *joinMsg) int {
@@ -999,7 +1051,7 @@ func (rt *nodeRT) joinMsgSize(jm *joinMsg) int {
 func (rt *nodeRT) onJoin(jm *joinMsg) {
 	rt.expire()
 	if jm.Flood {
-		key := "jf|" + jm.ID.Key() + fmt.Sprintf("|%v", jm.Del)
+		key := stampFlagKey("jf|", jm.ID, jm.Del)
 		if rt.dedup.Check(key) {
 			return
 		}
@@ -1125,11 +1177,11 @@ func (rt *nodeRT) passSubgoal(jm *joinMsg) int {
 // multi-pass iteration.
 func (rt *nodeRT) forwardJoin(jm *joinMsg) {
 	leg := jm.Legs[jm.LegIdx]
-	if !routing.AtTarget(rt.e.nw, rt.node.ID, leg.TargetX, leg.TargetY) {
+	if !rt.atTarget(leg.TargetX, leg.TargetY) {
 		next, ok := routing.NextHopGreedyAvoid(rt.e.nw, rt.node.ID, leg.TargetX, leg.TargetY, jm.Visited)
 		if ok {
 			jm.Visited[next] = true
-			rt.node.Send(next, kindJoin, jm, rt.joinMsgSize(jm))
+			rt.send(next, kindJoin, jm, rt.joinMsgSize(jm))
 			return
 		}
 		// Stranded: treat as end of leg.
@@ -1155,7 +1207,7 @@ func (rt *nodeRT) sweepFinished(jm *joinMsg) {
 		// region from here.
 		jm.FloodAfter = false
 		jm.Flood = true
-		rt.dedup.Check("jf|" + jm.ID.Key() + fmt.Sprintf("|%v", jm.Del))
+		rt.dedup.Check(stampFlagKey("jf|", jm.ID, jm.Del))
 		rt.processJoinHere(jm)
 		if jm.FloodTTL != 0 {
 			fwd := *jm
@@ -1233,9 +1285,7 @@ func (rt *nodeRT) expire() {
 		return
 	}
 	rt.lastExpire = now
-	for pred, w := range rt.e.windows {
-		if w > 0 {
-			rt.store.ExpirePred(pred, now, rt.e.retention(pred))
-		}
+	for _, pred := range rt.e.windowPreds {
+		rt.store.ExpirePred(pred, now, rt.e.retention(pred))
 	}
 }

@@ -57,8 +57,8 @@ func (t Tuple) Keyed() Tuple {
 }
 
 func (t Tuple) computeKey() string {
-	b := make([]byte, 0, 2*len(t.Pred)+16)
-	b = append(b, t.Pred...)
+	var arr [64]byte // most keys fit; append spills to the heap if not
+	b := append(arr[:0], t.Pred...)
 	b = append(b, '|')
 	for i, a := range t.Args {
 		if i > 0 {

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gpa"
+	"repro/internal/nsim"
+	"repro/internal/topo"
+)
+
+// SimFinalizeRow compares Network.Finalize with the spatial grid index
+// against the retained all-pairs baseline (nsim.Config.LegacyScan) on
+// one grid size.
+type SimFinalizeRow struct {
+	Nodes   int     `json:"nodes"`
+	GridM   int     `json:"grid_m"`
+	GridMs  float64 `json:"grid_ms"`
+	BruteMs float64 `json:"brute_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+// SimBatchRow compares link traffic with and without batched transport
+// (core.Config.BatchLinks) on the epoch-burst two-stream join.
+type SimBatchRow struct {
+	GridM        int     `json:"grid_m"`
+	Nodes        int     `json:"nodes"`
+	MessagesOff  int64   `json:"messages_off"`
+	MessagesOn   int64   `json:"messages_on"`
+	MsgReduxPct  float64 `json:"msg_redux_pct"`
+	BytesOff     int64   `json:"bytes_off"`
+	BytesOn      int64   `json:"bytes_on"`
+	ByteReduxPct float64 `json:"byte_redux_pct"`
+}
+
+// SimBenchResult is the simulator fast-path A/B comparison snbench
+// emits as BENCH_sim.json (DESIGN.md §9). The "before" columns run the
+// retained legacy paths (LegacyScan, LegacyEvents, LegacyRouting); both
+// sides of every comparison are bit-identical in results, so the event
+// counts are asserted equal across modes.
+type SimBenchResult struct {
+	Finalize []SimFinalizeRow `json:"finalize"`
+
+	// Full E1 m=18 PA workload: typed queue + grid index + routing cache
+	// versus the legacy substrate.
+	Events               int64   `json:"events"`
+	EventsPerSecFast     float64 `json:"events_per_sec_fast"`
+	EventsPerSecLegacy   float64 `json:"events_per_sec_legacy"`
+	EventThroughputGain  float64 `json:"event_throughput_gain"`
+	AllocsPerEventFast   float64 `json:"allocs_per_event_fast"`
+	AllocsPerEventLegacy float64 `json:"allocs_per_event_legacy"`
+	AllocReduxPct        float64 `json:"alloc_redux_pct"`
+
+	Batching []SimBatchRow `json:"batching"`
+}
+
+// SimBench measures the three substrate wins: Finalize with the grid
+// index, event throughput and allocation rate on the E1 m=18 workload,
+// and link traffic under batching. reps controls timed repetitions.
+func SimBench(reps int) SimBenchResult {
+	if reps < 1 {
+		reps = 1
+	}
+	var res SimBenchResult
+
+	finalize := func(m int, legacy bool) float64 {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			nw := topo.Grid(m, nsim.Config{Seed: 3, LegacyScan: legacy})
+			nw.Finalize()
+		}
+		return time.Since(start).Seconds() * 1000 / float64(reps)
+	}
+	for _, m := range []int{10, 20, 40, 80} {
+		row := SimFinalizeRow{Nodes: m * m, GridM: m}
+		row.GridMs = finalize(m, false)
+		row.BruteMs = finalize(m, true)
+		if row.GridMs > 0 {
+			row.Speedup = row.BruteMs / row.GridMs
+		}
+		res.Finalize = append(res.Finalize, row)
+	}
+
+	// The E1 m=18 workload, timed over the event loop only; Finalize
+	// cost is reported separately above. Mallocs is the monotone heap
+	// object count, so the delta is GC-independent.
+	workload := func(legacy bool) (events int64, perSec, allocsPerEvent float64) {
+		var mallocs uint64
+		var runSecs float64
+		for r := 0; r < reps; r++ {
+			e, nw := deployGrid(18, twoStreamSrc,
+				core.Config{Scheme: gpa.Perpendicular, LegacyRouting: legacy},
+				nsim.Config{Seed: 11, LegacyEvents: legacy, LegacyScan: legacy})
+			injectJoinWorkload(e, nw, 40, 17)
+			runtime.GC() // drain garbage from setup so the timed region pays only its own
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			nw.Run(0)
+			runSecs += time.Since(start).Seconds()
+			runtime.ReadMemStats(&after)
+			events = nw.EventsProcessed
+			mallocs = after.Mallocs - before.Mallocs
+		}
+		secs := runSecs / float64(reps)
+		return events, float64(events) / secs, float64(mallocs) / float64(events)
+	}
+	fastEvents, fastPerSec, fastAllocs := workload(false)
+	legacyEvents, legacyPerSec, legacyAllocs := workload(true)
+	if fastEvents != legacyEvents {
+		panic("sim bench: event counts differ between fast and legacy substrates")
+	}
+	res.Events = fastEvents
+	res.EventsPerSecFast, res.EventsPerSecLegacy = fastPerSec, legacyPerSec
+	res.EventThroughputGain = fastPerSec / legacyPerSec
+	res.AllocsPerEventFast, res.AllocsPerEventLegacy = fastAllocs, legacyAllocs
+	res.AllocReduxPct = 100 * (1 - fastAllocs/legacyAllocs)
+
+	for _, m := range []int{10, 14} {
+		batch := func(on bool) (int64, int64) {
+			e, nw := deployGrid(m, twoStreamSrc,
+				core.Config{Scheme: gpa.Perpendicular, BatchLinks: on},
+				nsim.Config{Seed: 13, MaxSkew: 5})
+			injectBurstWorkload(e, nw, 6, 4, 29)
+			nw.Run(0)
+			return nw.TotalSent, nw.TotalBytes
+		}
+		offMsgs, offBytes := batch(false)
+		onMsgs, onBytes := batch(true)
+		res.Batching = append(res.Batching, SimBatchRow{
+			GridM: m, Nodes: m * m,
+			MessagesOff: offMsgs, MessagesOn: onMsgs,
+			MsgReduxPct: 100 * (1 - float64(onMsgs)/float64(offMsgs)),
+			BytesOff:    offBytes, BytesOn: onBytes,
+			ByteReduxPct: 100 * (1 - float64(onBytes)/float64(offBytes)),
+		})
+	}
+	return res
+}

@@ -1,0 +1,186 @@
+package nsim
+
+import (
+	"testing"
+)
+
+// chattyApp drives a workload that exercises timers, unicast, broadcast
+// and loss: every node broadcasts on Init, echoes received "chat"
+// messages back to the sender a bounded number of times, and re-arms a
+// timer chain.
+type chattyApp struct {
+	echoes int
+	events []string
+}
+
+func (a *chattyApp) Init(n *Node) {
+	n.Broadcast("chat", nil, 12)
+	n.SetTimer(3, "tick", 0)
+}
+
+func (a *chattyApp) Receive(n *Node, m *Message) {
+	a.events = append(a.events, m.Kind)
+	if m.Kind == "chat" && a.echoes < 8 {
+		a.echoes++
+		n.Send(m.Src, "chat", nil, 12)
+	}
+}
+
+func (a *chattyApp) Timer(n *Node, key string, data interface{}) {
+	a.events = append(a.events, key)
+	if c := data.(int); c < 5 {
+		n.SetTimer(2, key, c+1)
+	}
+}
+
+func runChatty(legacy bool) (*Network, []*chattyApp) {
+	nw := New(Config{Seed: 42, LossRate: 0.1, MaxSkew: 6, Retries: 1, LegacyEvents: legacy})
+	apps := make([]*chattyApp, 0, 9)
+	for q := 0; q < 3; q++ {
+		for p := 0; p < 3; p++ {
+			a := &chattyApp{}
+			apps = append(apps, a)
+			nw.AddNode(float64(p), float64(q)).App = a
+		}
+	}
+	nw.Finalize()
+	nw.Run(0)
+	return nw, apps
+}
+
+// TestTypedAndLegacyQueuesIdentical pins the event-queue rewrite: the
+// typed value heap and the original closure heap must produce the same
+// run — same event count, same counters, same per-node event traces,
+// same final clock.
+func TestTypedAndLegacyQueuesIdentical(t *testing.T) {
+	nwT, appsT := runChatty(false)
+	nwL, appsL := runChatty(true)
+	if nwT.Now() != nwL.Now() {
+		t.Errorf("final time: typed %d legacy %d", nwT.Now(), nwL.Now())
+	}
+	if nwT.EventsProcessed != nwL.EventsProcessed {
+		t.Errorf("events: typed %d legacy %d", nwT.EventsProcessed, nwL.EventsProcessed)
+	}
+	if nwT.TotalSent != nwL.TotalSent || nwT.TotalBytes != nwL.TotalBytes || nwT.TotalDropped != nwL.TotalDropped {
+		t.Errorf("counters: typed %d/%d/%d legacy %d/%d/%d",
+			nwT.TotalSent, nwT.TotalBytes, nwT.TotalDropped,
+			nwL.TotalSent, nwL.TotalBytes, nwL.TotalDropped)
+	}
+	for i := range appsT {
+		at, al := appsT[i].events, appsL[i].events
+		if len(at) != len(al) {
+			t.Fatalf("node %d: %d events typed, %d legacy", i, len(at), len(al))
+		}
+		for j := range at {
+			if at[j] != al[j] {
+				t.Fatalf("node %d event %d: typed %q legacy %q", i, j, at[j], al[j])
+			}
+		}
+	}
+	if nwT.EventsProcessed == 0 {
+		t.Fatal("workload processed no events")
+	}
+}
+
+// TestTimerSkipsDownNode: the typed timer path must keep the fire-time
+// Down check the legacy closure performed.
+func TestTimerSkipsDownNode(t *testing.T) {
+	nw, a, _ := twoNodeNet(Config{Seed: 1})
+	nw.Node(0).SetTimer(5, "late", nil)
+	nw.Node(0).Down = true
+	nw.Run(0)
+	for _, k := range a.timers {
+		if k == "late" {
+			t.Fatal("timer fired on a down node")
+		}
+	}
+}
+
+// TestTransmitStopsAtDeathBoundary pins the ARQ death-boundary fix: a
+// sender whose energy depletes on a lost attempt must not keep retrying
+// (and accounting) while Down.
+func TestTransmitStopsAtDeathBoundary(t *testing.T) {
+	nw := New(Config{
+		Seed: 1, LossRate: 1.0, Retries: 5,
+		EnergyBudget: 10, TxCostBase: 6, // dies on the 2nd attempt
+	})
+	a := nw.AddNode(0, 0)
+	b := nw.AddNode(1, 0)
+	a.App, b.App = &echoApp{}, &echoApp{}
+	nw.Finalize()
+	a.Send(b.ID, "ping", nil, 4)
+	nw.Run(0)
+	// Attempt 1 costs 6 (energy 4 left), attempt 2 costs 6 (energy -2,
+	// node dies, attempt lost) — and that must be the last attempt, not
+	// the 6 the retry budget would allow.
+	if a.Sent != 2 || nw.TotalSent != 2 {
+		t.Errorf("sent = %d (total %d), want 2: ARQ kept retrying past the death boundary", a.Sent, nw.TotalSent)
+	}
+	if !a.Down || nw.Deaths != 1 {
+		t.Errorf("sender should have died exactly once (down=%v deaths=%d)", a.Down, nw.Deaths)
+	}
+}
+
+// TestBroadcastStopsAtDeathBoundary: a broadcast whose sender dies
+// partway through the neighbor list stops transmitting, and the killing
+// transmission itself (which survived loss) is still delivered.
+func TestBroadcastStopsAtDeathBoundary(t *testing.T) {
+	nw := New(Config{
+		Seed: 2, EnergyBudget: 5, TxCostBase: 6, // first transmission kills
+	})
+	center := nw.AddNode(1, 1)
+	apps := make([]*echoApp, 3)
+	for i := range apps {
+		apps[i] = &echoApp{}
+	}
+	nw.AddNode(0, 1).App = apps[0]
+	nw.AddNode(1, 0).App = apps[1]
+	nw.AddNode(2, 1).App = apps[2]
+	center.App = &echoApp{}
+	nw.Finalize()
+	center.Broadcast("ping", nil, 4)
+	nw.Run(0)
+	if center.Sent != 1 || nw.KindCounts["ping"] != 1 {
+		t.Errorf("sent = %d (pings %d), want 1: dead radio kept broadcasting", center.Sent, nw.KindCounts["ping"])
+	}
+	delivered := 0
+	for _, a := range apps {
+		delivered += a.pings
+	}
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1 (the killing transmission completes)", delivered)
+	}
+}
+
+// TestTypedQueueOrdering: same-tick events dispatch in scheduling order
+// across all three event types.
+func TestTypedQueueOrdering(t *testing.T) {
+	nw := New(Config{Seed: 1})
+	var order []string
+	n := nw.AddNode(0, 0)
+	n.App = appFunc{onTimer: func(key string) { order = append(order, key) }}
+	nw.Finalize()
+	nw.ScheduleAt(5, func() { order = append(order, "f1") })
+	n.SetTimer(5, "t1", nil)
+	nw.ScheduleAt(5, func() { order = append(order, "f2") })
+	n.SetTimer(2, "t0", nil)
+	nw.Run(0)
+	want := []string{"t0", "f1", "t1", "f2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// appFunc adapts a timer callback to the Handler interface.
+type appFunc struct {
+	onTimer func(key string)
+}
+
+func (a appFunc) Init(n *Node)                             {}
+func (a appFunc) Receive(n *Node, m *Message)              {}
+func (a appFunc) Timer(n *Node, key string, d interface{}) { a.onTimer(key) }

@@ -17,6 +17,9 @@ import (
 	"math/rand"
 )
 
+// Compile-time references keeping both queue implementations honest.
+var _ heap.Interface = (*eventQueue)(nil)
+
 // NodeID identifies a node within a network.
 type NodeID int
 
@@ -36,7 +39,9 @@ type Message struct {
 type Handler interface {
 	// Init runs once after the network is finalized.
 	Init(n *Node)
-	// Receive handles a delivered message.
+	// Receive handles a delivered message. m is only valid for the
+	// duration of the call (the scheduler reuses it between
+	// deliveries); retain the Payload, not the Message.
 	Receive(n *Node, m *Message)
 	// Timer handles an expired timer set with SetTimer.
 	Timer(n *Node, key string, data interface{})
@@ -65,6 +70,18 @@ type Config struct {
 	TxCostByte   float64
 	RxCostBase   float64
 	RxCostByte   float64
+
+	// LegacyEvents selects the original closure-per-event scheduler
+	// (container/heap over *event) instead of the value-typed min-heap.
+	// Results are bit-identical either way; the flag exists so the event
+	// queue rewrite can be A/B benchmarked, mirroring the NaiveJoin
+	// retention discipline in internal/core.
+	LegacyEvents bool
+	// LegacyScan disables the spatial grid index: Finalize computes
+	// neighbor lists with the original all-pairs O(n²) loop and
+	// NearestNode scans every node. Results are bit-identical; retained
+	// for the same A/B benchmarking purpose as LegacyEvents.
+	LegacyScan bool
 }
 
 func (c *Config) fill() {
@@ -128,12 +145,14 @@ func (n *Node) Send(dst NodeID, kind string, payload interface{}, size int) {
 
 // Broadcast transmits to every neighbor (one accounted transmission per
 // neighbor: the simulator models per-link cost, which upper-bounds a
-// physical broadcast and keeps cost comparisons conservative).
+// physical broadcast and keeps cost comparisons conservative). A sender
+// whose energy depletes partway through the neighbor list stops there —
+// a dead radio cannot keep transmitting.
 func (n *Node) Broadcast(kind string, payload interface{}, size int) {
-	if n.Down {
-		return
-	}
 	for _, d := range n.neighbors {
+		if n.Down {
+			return
+		}
 		n.net.transmit(n, d, kind, payload, size)
 	}
 }
@@ -144,12 +163,7 @@ func (n *Node) SetTimer(delay Time, key string, data interface{}) {
 		delay = 0
 	}
 	nw := n.net
-	nw.schedule(nw.now+delay, func() {
-		if n.Down {
-			return
-		}
-		n.App.Timer(n, key, data)
-	})
+	nw.scheduleTimer(nw.now+delay, n.ID, key, data)
 }
 
 func (n *Node) isNeighbor(id NodeID) bool {
@@ -163,12 +177,17 @@ func (n *Node) isNeighbor(id NodeID) bool {
 
 // Network is the simulated network.
 type Network struct {
-	cfg   Config
-	nodes []*Node
-	now   Time
-	rng   *rand.Rand
-	queue eventQueue
-	seq   int64
+	cfg    Config
+	nodes  []*Node
+	now    Time
+	rng    *rand.Rand
+	queue  typedQueue
+	legacy eventQueue
+	seq    int64
+	index  *spatialIndex
+	// scratch is the reusable delivery Message of the typed event loop
+	// (see Handler.Receive); one allocation for the whole run.
+	scratch Message
 
 	// Global counters.
 	TotalSent    int64
@@ -176,7 +195,10 @@ type Network struct {
 	TotalDropped int64
 	KindCounts   map[string]int64
 	KindBytes    map[string]int64
-	finalized    bool
+	// EventsProcessed counts events dispatched by Run (all kinds), the
+	// denominator for events/sec and allocs/event benchmarks.
+	EventsProcessed int64
+	finalized       bool
 
 	// Energy-model outcomes.
 	Deaths         int64
@@ -221,23 +243,22 @@ func (nw *Network) Len() int { return len(nw.nodes) }
 func (nw *Network) Now() Time { return nw.now }
 
 // Finalize computes neighbor lists and clock skews and calls Init on
-// every node's handler (in ID order).
+// every node's handler (in ID order). Neighbor lists come from a
+// uniform spatial grid (O(n·deg) instead of the all-pairs O(n²) scan);
+// they involve no randomness, so the skew draws that follow consume the
+// rng stream in exactly the per-node ID order the original loop did.
 func (nw *Network) Finalize() {
 	if nw.finalized {
 		return
 	}
 	nw.finalized = true
-	r2 := nw.cfg.Range * nw.cfg.Range
+	if nw.cfg.LegacyScan {
+		nw.computeNeighborsBrute()
+	} else {
+		nw.buildSpatialIndex()
+		nw.computeNeighbors()
+	}
 	for _, a := range nw.nodes {
-		for _, b := range nw.nodes {
-			if a.ID == b.ID {
-				continue
-			}
-			dx, dy := a.X-b.X, a.Y-b.Y
-			if dx*dx+dy*dy <= r2+1e-9 {
-				a.neighbors = append(a.neighbors, b.ID)
-			}
-		}
 		if nw.cfg.MaxSkew > 0 {
 			a.skew = Time(nw.rng.Int63n(int64(nw.cfg.MaxSkew)+1)) - nw.cfg.MaxSkew/2
 		}
@@ -252,7 +273,13 @@ func (nw *Network) Finalize() {
 
 // transmit accounts and schedules delivery of one link transmission,
 // re-attempting up to cfg.Retries times under loss (link-layer ARQ).
+// If the attempt that depletes the sender's energy survives the loss
+// process it is still delivered (the radio finished that frame before
+// dying), but a dead sender never re-attempts a lost frame.
 func (nw *Network) transmit(src *Node, dst NodeID, kind string, payload interface{}, size int) {
+	if src.Down {
+		return
+	}
 	delivered := false
 	for attempt := 0; attempt <= nw.cfg.Retries; attempt++ {
 		src.Sent++
@@ -274,6 +301,9 @@ func (nw *Network) transmit(src *Node, dst NodeID, kind string, payload interfac
 		}
 		if nw.cfg.LossRate > 0 && nw.rng.Float64() < nw.cfg.LossRate {
 			nw.TotalDropped++
+			if src.Down {
+				return // ARQ stops at the death boundary
+			}
 			continue
 		}
 		delivered = true
@@ -286,27 +316,30 @@ func (nw *Network) transmit(src *Node, dst NodeID, kind string, payload interfac
 	if nw.cfg.MaxDelay > nw.cfg.MinDelay {
 		delay += Time(nw.rng.Int63n(int64(nw.cfg.MaxDelay - nw.cfg.MinDelay + 1)))
 	}
-	m := &Message{Src: src.ID, Dst: dst, Kind: kind, Payload: payload, Size: size}
-	nw.schedule(nw.now+delay, func() {
-		d := nw.nodes[dst]
-		if d.Down || d.App == nil {
-			return
-		}
-		d.Received++
-		d.BytesIn += int64(size)
-		if nw.cfg.EnergyBudget > 0 {
-			d.Energy -= nw.cfg.RxCostBase + nw.cfg.RxCostByte*float64(size)
-			if d.Energy <= 0 && !d.Down {
-				d.Down = true
-				nw.Deaths++
-				if nw.FirstDeath == 0 {
-					nw.FirstDeath = nw.now
-					nw.FirstDeathNode = d.ID
-				}
+	nw.scheduleDelivery(nw.now+delay, src.ID, dst, kind, payload, size)
+}
+
+// deliver performs receiver-side accounting and hands the message to the
+// destination's handler. Shared by both event-queue implementations.
+func (nw *Network) deliver(m *Message) {
+	d := nw.nodes[m.Dst]
+	if d.Down || d.App == nil {
+		return
+	}
+	d.Received++
+	d.BytesIn += int64(m.Size)
+	if nw.cfg.EnergyBudget > 0 {
+		d.Energy -= nw.cfg.RxCostBase + nw.cfg.RxCostByte*float64(m.Size)
+		if d.Energy <= 0 && !d.Down {
+			d.Down = true
+			nw.Deaths++
+			if nw.FirstDeath == 0 {
+				nw.FirstDeath = nw.now
+				nw.FirstDeathNode = d.ID
 			}
 		}
-		d.App.Receive(d, m)
-	})
+	}
+	d.App.Receive(d, m)
 }
 
 // ScheduleAt runs f at absolute time t (external fact injection, fault
@@ -320,7 +353,40 @@ func (nw *Network) ScheduleAt(t Time, f func()) {
 
 func (nw *Network) schedule(t Time, f func()) {
 	nw.seq++
-	heap.Push(&nw.queue, &event{at: t, seq: nw.seq, fn: f})
+	if nw.cfg.LegacyEvents {
+		heap.Push(&nw.legacy, &event{at: t, seq: nw.seq, fn: f})
+		return
+	}
+	nw.queue.push(simEvent{at: t, seq: nw.seq, kind: evFunc, fn: f})
+}
+
+// scheduleTimer queues a Handler.Timer callback without allocating a
+// closure on the typed path; the Down check moves to dispatch time.
+func (nw *Network) scheduleTimer(t Time, node NodeID, key string, data interface{}) {
+	if nw.cfg.LegacyEvents {
+		n := nw.nodes[node]
+		nw.schedule(t, func() {
+			if n.Down {
+				return
+			}
+			n.App.Timer(n, key, data)
+		})
+		return
+	}
+	nw.seq++
+	nw.queue.push(simEvent{at: t, seq: nw.seq, kind: evTimer, node: node, str: key, data: data})
+}
+
+// scheduleDelivery queues a message delivery; the typed path defers
+// constructing the Message until dispatch.
+func (nw *Network) scheduleDelivery(t Time, src, dst NodeID, kind string, payload interface{}, size int) {
+	if nw.cfg.LegacyEvents {
+		m := &Message{Src: src, Dst: dst, Kind: kind, Payload: payload, Size: size}
+		nw.schedule(t, func() { nw.deliver(m) })
+		return
+	}
+	nw.seq++
+	nw.queue.push(simEvent{at: t, seq: nw.seq, kind: evDelivery, node: dst, src: src, size: size, str: kind, data: payload})
 }
 
 // Run processes events until the queue empties or time exceeds `until`
@@ -329,23 +395,54 @@ func (nw *Network) Run(until Time) Time {
 	if !nw.finalized {
 		nw.Finalize()
 	}
-	for nw.queue.Len() > 0 {
-		ev := nw.queue[0]
+	if nw.cfg.LegacyEvents {
+		return nw.runLegacy(until)
+	}
+	for len(nw.queue) > 0 {
+		if until > 0 && nw.queue[0].at > until {
+			nw.now = until
+			return nw.now
+		}
+		ev := nw.queue.pop()
+		if ev.at > nw.now {
+			nw.now = ev.at
+		}
+		nw.EventsProcessed++
+		switch ev.kind {
+		case evTimer:
+			n := nw.nodes[ev.node]
+			if !n.Down {
+				n.App.Timer(n, ev.str, ev.data)
+			}
+		case evDelivery:
+			nw.scratch = Message{Src: ev.src, Dst: ev.node, Kind: ev.str, Payload: ev.data, Size: ev.size}
+			nw.deliver(&nw.scratch)
+		default:
+			ev.fn()
+		}
+	}
+	return nw.now
+}
+
+func (nw *Network) runLegacy(until Time) Time {
+	for nw.legacy.Len() > 0 {
+		ev := nw.legacy[0]
 		if until > 0 && ev.at > until {
 			nw.now = until
 			return nw.now
 		}
-		heap.Pop(&nw.queue)
+		heap.Pop(&nw.legacy)
 		if ev.at > nw.now {
 			nw.now = ev.at
 		}
+		nw.EventsProcessed++
 		ev.fn()
 	}
 	return nw.now
 }
 
 // Pending reports the number of queued events.
-func (nw *Network) Pending() int { return nw.queue.Len() }
+func (nw *Network) Pending() int { return len(nw.queue) + nw.legacy.Len() }
 
 // MaxNodeLoad returns the maximum (sent + received) over all nodes — the
 // hotspot metric of experiment E2.
@@ -365,46 +462,13 @@ func (nw *Network) Dist(a, b NodeID) float64 {
 	return math.Hypot(na.X-nb.X, na.Y-nb.Y)
 }
 
-// NearestNode returns the live node closest to (x, y).
+// NearestNode returns the live node closest to (x, y): an expanding-ring
+// walk over the spatial grid once Finalize has built it, the brute-force
+// scan before that (e.g. planners placing anchors pre-deployment). Ties
+// in distance resolve to the lower node ID in both paths.
 func (nw *Network) NearestNode(x, y float64) *Node {
-	var best *Node
-	bestD := math.Inf(1)
-	for _, n := range nw.nodes {
-		if n.Down {
-			continue
-		}
-		d := math.Hypot(n.X-x, n.Y-y)
-		if d < bestD {
-			best, bestD = n, d
-		}
+	if nw.index == nil {
+		return nw.nearestBrute(x, y)
 	}
-	return best
-}
-
-// event queue (min-heap ordered by time, then insertion sequence for
-// determinism).
-type event struct {
-	at  Time
-	seq int64
-	fn  func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
+	return nw.index.nearest(nw, x, y)
 }

@@ -1,0 +1,152 @@
+package nsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomNet builds an unfinalized network with n nodes placed uniformly
+// in a side×side box.
+func randomNet(r *rand.Rand, n int, side, radio float64) *Network {
+	nw := New(Config{Range: radio})
+	for i := 0; i < n; i++ {
+		nw.AddNode(r.Float64()*side, r.Float64()*side)
+	}
+	return nw
+}
+
+// bruteNeighbors recomputes a node's neighbor list with the original
+// all-pairs predicate.
+func bruteNeighbors(nw *Network, a *Node) []NodeID {
+	r2 := nw.cfg.Range * nw.cfg.Range
+	var out []NodeID
+	for _, b := range nw.nodes {
+		if a.ID == b.ID {
+			continue
+		}
+		dx, dy := a.X-b.X, a.Y-b.Y
+		if dx*dx+dy*dy <= r2+1e-9 {
+			out = append(out, b.ID)
+		}
+	}
+	return out
+}
+
+func sameIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGridNeighborsMatchBruteForce: the spatial-grid neighbor lists are
+// identical (same members, same ascending order) to the O(n²) scan on
+// random geometric topologies.
+func TestGridNeighborsMatchBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(100)
+		side := 1 + r.Float64()*9
+		radio := 0.2 + r.Float64()*2
+		nw := randomNet(r, n, side, radio)
+		nw.Finalize()
+		for _, a := range nw.nodes {
+			if !sameIDs(a.Neighbors(), bruteNeighbors(nw, a)) {
+				t.Logf("seed %d node %d: grid %v brute %v", seed, a.ID, a.Neighbors(), bruteNeighbors(nw, a))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNearestNodeMatchesBruteForce: the expanding-ring walk returns the
+// same node as the brute-force scan for random query points — including
+// points outside the bounding box and after waves of node deaths.
+func TestNearestNodeMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(100)
+		side := 1 + r.Float64()*9
+		radio := 0.2 + r.Float64()*2
+		nw := randomNet(r, n, side, radio)
+		nw.Finalize()
+		check := func() bool {
+			for q := 0; q < 25; q++ {
+				// Mix of in-box and out-of-box query points.
+				x := r.Float64()*side*2 - side/2
+				y := r.Float64()*side*2 - side/2
+				got := nw.NearestNode(x, y)
+				want := nw.nearestBrute(x, y)
+				if (got == nil) != (want == nil) {
+					return false
+				}
+				if got != nil && got.ID != want.ID {
+					t.Logf("seed %d query (%f,%f): ring %d brute %d", seed, x, y, got.ID, want.ID)
+					return false
+				}
+			}
+			return true
+		}
+		if !check() {
+			return false
+		}
+		// Kill nodes in waves and re-check each time, including the
+		// everyone-dead case (both paths must return nil).
+		for len(nw.nodes) > 0 {
+			alive := 0
+			for _, nd := range nw.nodes {
+				if !nd.Down {
+					alive++
+				}
+			}
+			if alive == 0 {
+				break
+			}
+			killed := 0
+			for _, nd := range nw.nodes {
+				if !nd.Down && r.Intn(2) == 0 {
+					nd.Down = true
+					killed++
+				}
+			}
+			if killed == 0 {
+				nw.nodes[r.Intn(len(nw.nodes))].Down = true
+			}
+			if !check() {
+				return false
+			}
+		}
+		return nw.NearestNode(0, 0) == nil && nw.nearestBrute(0, 0) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNearestNodeTieBreaksToLowerID pins the tie-break rule the ring
+// walk must share with the brute-force scan: equidistant nodes resolve
+// to the lower ID.
+func TestNearestNodeTieBreaksToLowerID(t *testing.T) {
+	nw := New(Config{Range: 1})
+	nw.AddNode(0, 0) // id 0, dist 1 from (1, 0)
+	nw.AddNode(2, 0) // id 1, dist 1 from (1, 0)
+	nw.AddNode(5, 5) // id 2, far
+	nw.Finalize()
+	if got := nw.NearestNode(1, 0); got.ID != 0 {
+		t.Fatalf("tie broke to node %d, want 0", got.ID)
+	}
+	nw.Node(0).Down = true
+	if got := nw.NearestNode(1, 0); got.ID != 1 {
+		t.Fatalf("after death, nearest = %d, want 1", got.ID)
+	}
+}

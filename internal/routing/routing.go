@@ -90,6 +90,98 @@ func dist(x1, y1, x2, y2 float64) float64 {
 	return math.Hypot(x1-x2, y1-y2)
 }
 
+// Engine caches routing decisions for one network. Geographic unicast
+// asks "is this node the one nearest the target?" on every hop of every
+// message, and the GPA sweep schemes reuse a small set of target points
+// (storage columns, join rows, the server position) millions of times —
+// so the engine memoizes NearestNode per target point. The cache is
+// sound because node positions are fixed after Finalize and Down
+// transitions are monotone (nodes never revive): the nearest node to a
+// point can only change when that node itself dies, so a cached entry is
+// revalidated with a single Down check and recomputed only then.
+type Engine struct {
+	nw      *nsim.Network
+	nearest map[[2]float64]nsim.NodeID
+	// Scratch visited set for GreedyPath, reused across calls: stamp[i]
+	// == epoch marks node i visited in the current walk. Resetting is
+	// one integer increment instead of a fresh map per routed path.
+	stamp []int64
+	epoch int64
+}
+
+// NewEngine creates a routing engine for nw.
+func NewEngine(nw *nsim.Network) *Engine {
+	return &Engine{nw: nw, nearest: make(map[[2]float64]nsim.NodeID)}
+}
+
+// NearestNode returns the live node closest to (x, y), memoized per
+// target point.
+func (e *Engine) NearestNode(x, y float64) *nsim.Node {
+	key := [2]float64{x, y}
+	if id, ok := e.nearest[key]; ok {
+		if n := e.nw.Node(id); !n.Down {
+			return n
+		}
+	}
+	n := e.nw.NearestNode(x, y)
+	if n == nil {
+		return nil
+	}
+	e.nearest[key] = n.ID
+	return n
+}
+
+// AtTarget reports whether node id is the closest live node to (tx, ty),
+// using the nearest cache.
+func (e *Engine) AtTarget(id nsim.NodeID, tx, ty float64) bool {
+	n := e.NearestNode(tx, ty)
+	return n != nil && n.ID == id
+}
+
+// GreedyPath is the engine counterpart of the package function, using
+// the reusable stamp array instead of allocating a visited map per call.
+func (e *Engine) GreedyPath(from nsim.NodeID, tx, ty float64, maxHops int) []nsim.NodeID {
+	if len(e.stamp) < e.nw.Len() {
+		e.stamp = make([]int64, e.nw.Len())
+	}
+	e.epoch++
+	e.stamp[from] = e.epoch
+	path := []nsim.NodeID{from}
+	cur := from
+	target := e.NearestNode(tx, ty)
+	for hops := 0; hops < maxHops; hops++ {
+		if target != nil && cur == target.ID {
+			return path
+		}
+		next, ok := e.nextHopAvoid(cur, tx, ty)
+		if !ok {
+			return path
+		}
+		e.stamp[next] = e.epoch
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// nextHopAvoid is NextHopGreedyAvoid against the engine's stamp set.
+func (e *Engine) nextHopAvoid(from nsim.NodeID, tx, ty float64) (nsim.NodeID, bool) {
+	self := e.nw.Node(from)
+	best := from
+	bestD := math.Inf(1)
+	for _, nb := range self.Neighbors() {
+		n := e.nw.Node(nb)
+		if n.Down || e.stamp[nb] == e.epoch {
+			continue
+		}
+		d := dist(n.X, n.Y, tx, ty)
+		if d < bestD {
+			best, bestD = nb, d
+		}
+	}
+	return best, best != from
+}
+
 // Dedup suppresses duplicate flooded messages by ID. The zero value is
 // ready to use.
 type Dedup struct {

@@ -94,10 +94,33 @@ func (e *Entry) VisibleAt(tau Stamp, w int64) bool {
 // also holds payload-less tombstones (deletions that arrived before
 // their insertion), which never enter order or any index.
 type predTable struct {
-	byID    map[string]*Entry // stamp key -> entry
+	byID    map[Stamp]*Entry // Stamp is comparable, so no key string is built
 	order   []*Entry
 	gone    int
 	indexes map[string]*storeIndex
+	// slab backs new entries in chunks so a table of k replicas costs
+	// O(log k) allocations instead of k. Chunks grow geometrically from
+	// small, since sensor-node tables often hold only a few replicas. A
+	// chunk is retained while any of its entries is referenced, which is
+	// bounded by the expiry horizon that already bounds the table itself.
+	slab      []Entry
+	slabChunk int
+}
+
+const maxSlabChunk = 64
+
+func (tab *predTable) newEntry() *Entry {
+	if len(tab.slab) == 0 {
+		if tab.slabChunk == 0 {
+			tab.slabChunk = 4
+		} else if tab.slabChunk < maxSlabChunk {
+			tab.slabChunk *= 2
+		}
+		tab.slab = make([]Entry, tab.slabChunk)
+	}
+	e := &tab.slab[0]
+	tab.slab = tab.slab[1:]
+	return e
 }
 
 // storeIndex hashes entries by the joint key of a set of argument
@@ -110,7 +133,7 @@ type storeIndex struct {
 }
 
 func (tab *predTable) add(e *Entry) {
-	tab.byID[e.ID.Key()] = e
+	tab.byID[e.ID] = e
 	if e.Tuple.Args == nil {
 		return // tombstone: identity only
 	}
@@ -175,7 +198,7 @@ func NewStore() *Store {
 func (s *Store) table(predKey string) *predTable {
 	tab := s.preds[predKey]
 	if tab == nil {
-		tab = &predTable{byID: make(map[string]*Entry)}
+		tab = &predTable{byID: make(map[Stamp]*Entry)}
 		s.preds[predKey] = tab
 	}
 	return tab
@@ -185,10 +208,12 @@ func (s *Store) table(predKey string) *predTable {
 // Reports whether the entry was new.
 func (s *Store) Insert(t eval.Tuple, id Stamp) bool {
 	tab := s.table(t.Pred)
-	if _, ok := tab.byID[id.Key()]; ok {
+	if _, ok := tab.byID[id]; ok {
 		return false
 	}
-	tab.add(&Entry{Tuple: t.Keyed(), ID: id})
+	e := tab.newEntry()
+	e.Tuple, e.ID = t.Keyed(), id
+	tab.add(e)
 	return true
 }
 
@@ -197,9 +222,10 @@ func (s *Store) Insert(t eval.Tuple, id Stamp) bool {
 // its insertion (message reordering) still wins.
 func (s *Store) MarkDeleted(predKey string, id Stamp, del Stamp) {
 	tab := s.table(predKey)
-	e, ok := tab.byID[id.Key()]
+	e, ok := tab.byID[id]
 	if !ok {
-		e = &Entry{ID: id, Tuple: eval.Tuple{Pred: predKey}}
+		e = tab.newEntry()
+		e.ID, e.Tuple = id, eval.Tuple{Pred: predKey}
 		tab.add(e)
 	}
 	if !e.Deleted || del.Less(e.Del) {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench joinbench bench-sim verify
+.PHONY: all build test vet race bench joinbench bench-sim obs-guard profile trace-e1 verify
 
 all: verify
 
@@ -32,4 +32,25 @@ bench-sim:
 	$(GO) test -run '^$$' -bench 'E13' -benchmem .
 	$(GO) run ./cmd/snbench -simjson BENCH_sim.json
 
-verify: build test vet race bench-sim
+# The disabled-observability overhead guard: the E1 m=18 hot loop must
+# stay at the PR 2 allocation baseline when Observe was never called.
+obs-guard:
+	$(GO) test -run TestObsDisabledOverheadE1 -v ./internal/experiments/
+
+# CPU + heap profiles of the two headline hot loops (the E1 join
+# pipeline and the E13 batched-link simulator). Inspect with
+# `go tool pprof profiles/<name>.cpu.pprof`.
+profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'BenchmarkE1JoinApproaches' -benchtime 3x \
+		-cpuprofile profiles/e1.cpu.pprof -memprofile profiles/e1.mem.pprof -o profiles/e1.test .
+	$(GO) test -run '^$$' -bench 'BenchmarkE13Batching' -benchtime 3x \
+		-cpuprofile profiles/e13.cpu.pprof -memprofile profiles/e13.mem.pprof -o profiles/e13.test .
+	@echo "profiles written to profiles/ (go tool pprof profiles/e1.cpu.pprof)"
+
+# Export an observed-E1 event trace as JSONL plus the counter snapshot,
+# cross-checking trace aggregates against the registry.
+trace-e1:
+	$(GO) run ./cmd/snbench -trace trace_e1.jsonl
+
+verify: build test vet race obs-guard bench-sim

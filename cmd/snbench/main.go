@@ -9,6 +9,13 @@
 //	snbench -quick     # smaller parameters (CI-sized)
 //	snbench -joinjson BENCH_join.json   # indexed-vs-naive join A/B
 //	snbench -simjson BENCH_sim.json     # simulator fast-path A/B
+//	snbench -trace e1.jsonl             # observed E1: JSONL trace + counters
+//
+// Trace export runs the E1 two-stream workload with the observability
+// layer attached, writes the (optionally filtered) event trace as
+// JSONL, prints the counter snapshot, and cross-checks the trace's
+// aggregated send/recv/drop counts against the registry counters —
+// exiting nonzero on any disagreement.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,7 +36,19 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
 	joinJSON := flag.String("joinjson", "", "write the indexed-vs-naive join benchmark to this JSON file and exit")
 	simJSON := flag.String("simjson", "", "write the simulator fast-path benchmark to this JSON file and exit")
+	traceOut := flag.String("trace", "", "write an observed-E1 JSONL trace to this file and exit")
+	traceKinds := flag.String("trace-kinds", "", "comma-separated event kinds to export (send,recv,drop,derive,delete,settle); empty = all")
+	traceNode := flag.Int("trace-node", -1, "export only events touching this node (-1 = all)")
+	tracePred := flag.String("trace-pred", "", "export only events for this predicate / wire kind")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := runTrace(*traceOut, *traceKinds, *traceNode, *tracePred, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *simJSON != "" {
 		reps := 5
@@ -162,4 +182,77 @@ func main() {
 		fmt.Fprintf(os.Stderr, "snbench: unknown experiment %q\n", *only)
 		os.Exit(1)
 	}
+}
+
+// runTrace runs the observed E1 workload, exports the filtered JSONL
+// trace, prints the counter snapshot, and verifies trace/counter
+// agreement.
+func runTrace(path, kinds string, node int, pred string, quick bool) error {
+	m, tuples := 10, 20
+	if quick {
+		m, tuples = 6, 10
+	}
+	// Capacity covers every event of the full E1 run (the m=10 workload
+	// records ~20k events); an undersized ring would undercount sends
+	// in the cross-check below.
+	res := experiments.TraceE1(m, tuples, 1<<19)
+
+	f := obs.Filter{Node: obs.AnyNode, Pred: pred}
+	if node >= 0 {
+		f.Node = int32(node)
+	}
+	if kinds != "" {
+		for _, name := range strings.Split(kinds, ",") {
+			k, ok := obs.ParseKind(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown trace kind %q", name)
+			}
+			f.Kinds = append(f.Kinds, k)
+		}
+	}
+
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	written, err := res.Trace.WriteJSONL(out, f)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+
+	snap := res.Registry.Snapshot()
+	metrics.SnapshotTable(
+		fmt.Sprintf("observed E1 (grid %dx%d, %d tuples/stream)", m, m, tuples),
+		snap.Counters, "nsim.", "core.", "routing.").Render(os.Stdout)
+	fmt.Printf("\ntrace: %d events recorded, %d evicted, %d exported to %s\n",
+		res.Trace.Total(), res.Trace.Dropped(), written, path)
+
+	// The trace and the counters watch the same hooks; any disagreement
+	// means a recording path was skipped or double-fired.
+	if res.Trace.Dropped() > 0 {
+		return fmt.Errorf("trace ring overflowed (%d evicted); raise the capacity in runTrace", res.Trace.Dropped())
+	}
+	agg := res.Trace.CountKinds()
+	checks := []struct {
+		kind    obs.EventKind
+		counter string
+	}{
+		{obs.EvSend, "nsim.messages"},
+		{obs.EvRecv, "nsim.received"},
+		{obs.EvDrop, "nsim.dropped"},
+		{obs.EvDerive, "core.derivations"},
+		{obs.EvDelete, "core.deletions"},
+		{obs.EvSettle, "core.settles"},
+	}
+	for _, c := range checks {
+		if agg[c.kind] != snap.Get(c.counter) {
+			return fmt.Errorf("trace/counter mismatch: %d %s events vs %s=%d",
+				agg[c.kind], c.kind, c.counter, snap.Get(c.counter))
+		}
+	}
+	fmt.Println("trace/counter cross-check: send, recv, drop, derive, delete, settle all agree")
+	return nil
 }

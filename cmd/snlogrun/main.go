@@ -62,13 +62,16 @@ func main() {
 		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
 	}
 
-	cluster, err := snlog.DeployGrid(*grid, string(srcBytes), snlog.Options{
-		Scheme:    scheme,
-		Server:    *server,
-		LossRate:  *loss,
-		Seed:      *seed,
-		MultiPass: *multipass,
-	})
+	opts := []snlog.Option{
+		snlog.WithScheme(scheme),
+		snlog.WithServer(*server),
+		snlog.WithLoss(*loss),
+		snlog.WithSeed(*seed),
+	}
+	if *multipass {
+		opts = append(opts, snlog.WithMultiPass())
+	}
+	cluster, err := snlog.Deploy(snlog.Grid(*grid), string(srcBytes), opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,8 +79,10 @@ func main() {
 	if *edges {
 		for _, n := range cluster.Network.Nodes() {
 			for _, nb := range n.Neighbors() {
-				cluster.InjectAt(0, int(n.ID),
-					snlog.NewTuple("g", snlog.NodeSym(int(n.ID)), snlog.NodeSym(int(nb))))
+				if err := cluster.InjectAt(0, int(n.ID),
+					snlog.NewTuple("g", snlog.NodeSym(int(n.ID)), snlog.NodeSym(int(nb)))); err != nil {
+					fatal(err)
+				}
 			}
 		}
 	}
@@ -155,11 +160,14 @@ func loadTimeline(c *snlog.Cluster, path string) error {
 		tup := snlog.NewTuple(head.Predicate, head.Args...)
 		switch op {
 		case "+":
-			c.InjectAt(at, node, tup)
+			err = c.InjectAt(at, node, tup)
 		case "-":
-			c.DeleteAt(at, node, tup)
+			err = c.DeleteAt(at, node, tup)
 		default:
 			return fmt.Errorf("%s:%d: bad op %q", path, lineNo, op)
+		}
+		if err != nil {
+			return fmt.Errorf("%s:%d: %v", path, lineNo, err)
 		}
 	}
 	return sc.Err()

@@ -1,0 +1,88 @@
+package snlog
+
+import (
+	"fmt"
+	"os"
+)
+
+// ExampleDeploy shows the topology-plus-options deployment API.
+func ExampleDeploy() {
+	cluster, err := Deploy(Grid(6), `
+.base temp/2.
+alert(N, T) :- temp(N, T), T > 90.
+.query alert/2.
+`, WithSeed(1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := cluster.Inject(12, NewTuple("temp", Sym("n12"), Int(95))); err != nil {
+		fmt.Println(err)
+		return
+	}
+	cluster.Run()
+	for _, a := range cluster.Results("alert/2") {
+		fmt.Println(a)
+	}
+	// Output:
+	// alert(n12, 95)
+}
+
+// ExampleDeploy_options configures the radio model and join scheme
+// through functional options.
+func ExampleDeploy_options() {
+	cluster, err := Deploy(Grid(6), `
+.base ra/2.
+.base rb/2.
+out(X, Z) :- ra(X, Y), rb(Y, Z).
+`,
+		WithScheme(Perpendicular),
+		WithSeed(7),
+		WithLoss(0.1),
+		WithRetries(2),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cluster.Inject(3, NewTuple("ra", Int(1), Int(2)))
+	cluster.Inject(30, NewTuple("rb", Int(2), Int(3)))
+	cluster.Run()
+	fmt.Println(cluster.Results("out/2"))
+	// Output:
+	// [out(1, 3)]
+}
+
+// ExampleCluster_Snapshot reads the counter registry every deployment
+// carries; Stats is a fixed view over the same snapshot.
+func ExampleCluster_Snapshot() {
+	cluster, _ := Deploy(Grid(4), `
+.base r/1.
+d(X) :- r(X).
+`, WithSeed(2))
+	cluster.Inject(5, NewTuple("r", Int(1)))
+	cluster.Run()
+	snap := cluster.Snapshot()
+	fmt.Println("derivations:", snap.Get("core.derivations"))
+	fmt.Println("messages match stats:", snap.Get("nsim.messages") == cluster.Stats().Messages)
+	// Output:
+	// derivations: 1
+	// messages match stats: true
+}
+
+// ExampleCluster_WriteTrace exports a filtered JSONL trace of a run
+// deployed with WithTrace.
+func ExampleCluster_WriteTrace() {
+	cluster, _ := Deploy(Grid(4), `
+.base r/1.
+d(X) :- r(X).
+`, WithSeed(2), WithTrace(4096))
+	cluster.Inject(5, NewTuple("r", Int(1)))
+	cluster.Run()
+	n, _ := cluster.WriteTrace(os.Stdout, TraceFilter{Node: AnyNode, Pred: "d/1"})
+	fmt.Println("events:", n)
+	// Output:
+	// {"at":336,"kind":"settle","node":10,"peer":-1,"pred":"d/1","size":0}
+	// {"at":336,"kind":"derive","node":10,"peer":-1,"pred":"d/1","size":0}
+	// events: 2
+}

@@ -29,7 +29,7 @@ zonemax(Z, max<T>)   :- reading(N, Z, T).
 
 func main() {
 	const m = 8
-	cluster, err := snlog.DeployGrid(m, program, snlog.Options{Seed: 23})
+	cluster, err := snlog.Deploy(snlog.Grid(m), program, snlog.WithSeed(23))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,8 +38,10 @@ func main() {
 	for i := 0; i < cluster.Size(); i++ {
 		zone := fmt.Sprintf("z%d", (i%m)/4) // two vertical zones
 		temp := 60 + r.Intn(45)
-		cluster.InjectAt(int64(i*3), i, snlog.NewTuple("reading",
-			snlog.NodeSym(i), snlog.Sym(zone), snlog.Int(int64(temp))))
+		if err := cluster.InjectAt(int64(i*3), i, snlog.NewTuple("reading",
+			snlog.NodeSym(i), snlog.Sym(zone), snlog.Int(int64(temp)))); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// Collection epochs rooted at the corner sink.

@@ -38,7 +38,7 @@ boundary(X, Y) :- inside(X), g(X, Y), outside(Y).
 
 func main() {
 	const m = 10
-	cluster, err := snlog.DeployGrid(m, program, snlog.Options{Seed: 31})
+	cluster, err := snlog.Deploy(snlog.Grid(m), program, snlog.WithSeed(31))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,10 +53,14 @@ func main() {
 			temp = 90
 			inside[id] = true
 		}
-		cluster.InjectAt(int64(id*2), id,
-			snlog.NewTuple("reading", snlog.NodeSym(id), snlog.Int(temp)))
+		if err := cluster.InjectAt(int64(id*2), id,
+			snlog.NewTuple("reading", snlog.NodeSym(id), snlog.Int(temp))); err != nil {
+			log.Fatal(err)
+		}
 		for _, nb := range n.Neighbors() {
-			cluster.InjectAt(0, id, snlog.NewTuple("g", snlog.NodeSym(id), snlog.NodeSym(int(nb))))
+			if err := cluster.InjectAt(0, id, snlog.NewTuple("g", snlog.NodeSym(id), snlog.NodeSym(int(nb)))); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 	cluster.Run()

@@ -28,7 +28,7 @@ alert(N, T) :- temp(N, T), T > 90.
 `
 
 func main() {
-	cluster, err := snlog.DeployGrid(6, program, snlog.Options{Seed: 7})
+	cluster, err := snlog.Deploy(snlog.Grid(6), program, snlog.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,8 +40,10 @@ func main() {
 		if i%7 == 0 {
 			temp = 91 + r.Intn(20)
 		}
-		cluster.InjectAt(int64(i*5), i,
-			snlog.NewTuple("temp", snlog.NodeSym(i), snlog.Int(int64(temp))))
+		if err := cluster.InjectAt(int64(i*5), i,
+			snlog.NewTuple("temp", snlog.NodeSym(i), snlog.Int(int64(temp)))); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	end := cluster.Run()

@@ -34,6 +34,18 @@ j(Y, D1) :- g(X, Y), j(X, D), D1 = D + 1, NOT jp(Y, D1).
 .query j/2.
 `
 
+// injectAdjacency feeds each node its own radio adjacency as g/2 facts.
+func injectAdjacency(cluster *snlog.Cluster) {
+	for _, n := range cluster.Network.Nodes() {
+		for _, nb := range n.Neighbors() {
+			if err := cluster.InjectAt(0, int(n.ID),
+				snlog.NewTuple("g", snlog.NodeSym(int(n.ID)), snlog.NodeSym(int(nb)))); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
 const logicH = `
 .base g/2.
 .store g/2 at 0 hops 1.
@@ -49,17 +61,11 @@ h(X, Y, D1) :- g(X, Y), h(V, X, D), D1 = D + 1, NOT hp(Y, D1).
 `
 
 func run(name, src string, m int) {
-	cluster, err := snlog.DeployGrid(m, src, snlog.Options{Seed: 17})
+	cluster, err := snlog.Deploy(snlog.Grid(m), src, snlog.WithSeed(17))
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Each node knows its own adjacency; inject it as base facts.
-	for _, n := range cluster.Network.Nodes() {
-		for _, nb := range n.Neighbors() {
-			cluster.InjectAt(0, int(n.ID),
-				snlog.NewTuple("g", snlog.NodeSym(int(n.ID)), snlog.NodeSym(int(nb))))
-		}
-	}
+	injectAdjacency(cluster)
 	cluster.Run()
 	st := cluster.Stats()
 	fmt.Printf("%s: %d messages, %d bytes, max node memory %d tuples\n",
@@ -71,16 +77,11 @@ func main() {
 	fmt.Printf("building a shortest-path tree on a %dx%d grid, root n0\n\n", m, m)
 
 	// Show the tree once, from logicJ.
-	cluster, err := snlog.DeployGrid(m, logicJ, snlog.Options{Seed: 17})
+	cluster, err := snlog.Deploy(snlog.Grid(m), logicJ, snlog.WithSeed(17))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, n := range cluster.Network.Nodes() {
-		for _, nb := range n.Neighbors() {
-			cluster.InjectAt(0, int(n.ID),
-				snlog.NewTuple("g", snlog.NodeSym(int(n.ID)), snlog.NodeSym(int(nb))))
-		}
-	}
+	injectAdjacency(cluster)
 	cluster.Run()
 	depth := map[string]int64{}
 	for _, t := range cluster.Results("j/2") {

@@ -34,8 +34,14 @@ uncov(L, T) :- NOT cov(L, T), veh(enemy, L, T).
 
 func loc(x, y int64) snlog.Term { return snlog.Cmp("loc", snlog.Int(x), snlog.Int(y)) }
 
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
 func main() {
-	cluster, err := snlog.DeployGrid(8, program, snlog.Options{Seed: 11})
+	cluster, err := snlog.Deploy(snlog.Grid(8), program, snlog.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,14 +51,14 @@ func main() {
 	friendly := snlog.NewTuple("veh", snlog.Sym("friendly"), loc(4, 5), snlog.Int(1))
 
 	// t=0: two enemy detections at different sensors.
-	cluster.InjectAt(0, 9, enemyA)
-	cluster.InjectAt(0, 54, enemyB)
+	must(cluster.InjectAt(0, 9, enemyA))
+	must(cluster.InjectAt(0, 54, enemyB))
 	// t=2000: a friendly vehicle appears near enemy A — its alert must be
 	// retracted in-network.
-	cluster.InjectAt(2000, 20, friendly)
+	must(cluster.InjectAt(2000, 20, friendly))
 	// t=9000: the friendly vehicle leaves (stream deletion) — the alert
 	// for enemy A must come back.
-	cluster.DeleteAt(9000, 20, friendly)
+	must(cluster.DeleteAt(9000, 20, friendly))
 
 	cluster.Run()
 

@@ -45,7 +45,7 @@ func report(x, y, t int64) snlog.Tuple {
 }
 
 func main() {
-	cluster, err := snlog.DeployGrid(7, program, snlog.Options{Seed: 13})
+	cluster, err := snlog.Deploy(snlog.Grid(7), program, snlog.WithSeed(13))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +61,9 @@ func main() {
 	for _, track := range tracks {
 		for _, p := range track {
 			node := snlog.GridID(7, int(p[0]%7), int(p[1]%7))
-			cluster.InjectAt(at, node, report(p[0], p[1], p[2]))
+			if err := cluster.InjectAt(at, node, report(p[0], p[1], p[2])); err != nil {
+				log.Fatal(err)
+			}
 			at += 7
 		}
 	}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/ghash"
 	"repro/internal/gpa"
 	"repro/internal/nsim"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/window"
 )
@@ -199,6 +200,24 @@ type Engine struct {
 	// centroidNodes is the Centroid scheme's storage region.
 	centroidNodes []nsim.NodeID
 
+	// knownPreds holds every predicate key the program mentions (rule
+	// heads and bodies, base declarations, windows, placements,
+	// queries); injection validation checks against it.
+	knownPreds map[string]bool
+
+	// Observability handles (observe.go). All nil until Observe is
+	// called: the nil counter/trace are no-ops, so the uninstrumented
+	// hot path pays one predictable nil check per site.
+	trace        *obs.Trace
+	cProbes      *obs.Counter
+	cJoins       *obs.Counter
+	cCandidates  *obs.Counter
+	cSettles     *obs.Counter
+	cDerivations *obs.Counter
+	cDeletions   *obs.Counter
+	predDerive   map[string]*obs.Counter
+	predDelete   map[string]*obs.Counter
+
 	// TAG aggregation state.
 	aggRules   map[string]*aggRule     // head pred -> plan
 	aggResults map[string][]eval.Tuple // head pred -> last epoch result
@@ -290,6 +309,23 @@ func New(nw *nsim.Network, prog *ast.Program, cfg Config) (*Engine, error) {
 		}
 	}
 	sort.Strings(e.windowPreds)
+
+	e.knownPreds = make(map[string]bool, len(allPreds))
+	for p := range allPreds {
+		e.knownPreds[p] = true
+	}
+	for p := range prog.Base {
+		e.knownPreds[p] = true
+	}
+	for p := range prog.Windows {
+		e.knownPreds[p] = true
+	}
+	for p := range prog.Placements {
+		e.knownPreds[p] = true
+	}
+	for _, p := range prog.Queries {
+		e.knownPreds[p] = true
+	}
 
 	if cfg.Scheme == gpa.Centroid {
 		if cfg.CentroidRadius == 0 {
@@ -469,24 +505,67 @@ func (e *Engine) homeFor(t eval.Tuple) nsim.NodeID {
 	return e.hasher.Home(e.nw, t.Key()).ID
 }
 
-// Inject generates base tuple t at the given node (scheduled immediately).
-func (e *Engine) Inject(node nsim.NodeID, t eval.Tuple) {
+// validateInject rejects the misuse cases the runtime previously
+// accepted silently (or crashed on later): out-of-range nodes,
+// non-ground tuples, derived predicates (those are produced by rules,
+// never injected), unknown predicates, and arity mismatches against
+// the program's declarations.
+func (e *Engine) validateInject(node nsim.NodeID, t eval.Tuple) error {
+	if int(node) < 0 || int(node) >= e.nw.Len() {
+		return fmt.Errorf("core: inject %s: node %d out of range [0, %d)", t, node, e.nw.Len())
+	}
+	for _, a := range t.Args {
+		if !a.Ground() {
+			return fmt.Errorf("core: inject %s: argument %s is not ground", t, a)
+		}
+	}
+	if e.prog.IsDerived(t.Pred) {
+		return fmt.Errorf("core: inject %s: %s is a derived predicate (derived tuples come from rules, not injection)", t, t.Pred)
+	}
+	if !e.knownPreds[t.Pred] {
+		name := t.Name() + "/"
+		for p := range e.knownPreds {
+			if len(p) > len(name) && p[:len(name)] == name {
+				return fmt.Errorf("core: inject %s: arity mismatch (program declares %s, got %s)", t, p, t.Pred)
+			}
+		}
+		return fmt.Errorf("core: inject %s: predicate %s not mentioned by the program", t, t.Pred)
+	}
+	return nil
+}
+
+// Inject generates base tuple t at the given node (scheduled
+// immediately). Returns an error — without scheduling anything — if
+// the injection fails validation (see validateInject).
+func (e *Engine) Inject(node nsim.NodeID, t eval.Tuple) error {
+	if err := e.validateInject(node, t); err != nil {
+		return err
+	}
 	e.nw.ScheduleAt(e.nw.Now(), func() {
 		e.rts[node].generate(t, nil)
 	})
+	return nil
 }
 
 // InjectAt schedules the generation at an absolute simulation time.
-func (e *Engine) InjectAt(at nsim.Time, node nsim.NodeID, t eval.Tuple) {
+// Validation errors are reported immediately, before scheduling.
+func (e *Engine) InjectAt(at nsim.Time, node nsim.NodeID, t eval.Tuple) error {
+	if err := e.validateInject(node, t); err != nil {
+		return err
+	}
 	e.nw.ScheduleAt(at, func() {
 		e.rts[node].generate(t, nil)
 	})
+	return nil
 }
 
 // InjectDelete deletes a previously injected base tuple; the deletion
 // originates at the same source node (per the paper, deletion happens
 // only at the source).
 func (e *Engine) InjectDelete(node nsim.NodeID, t eval.Tuple) error {
+	if err := e.validateInject(node, t); err != nil {
+		return err
+	}
 	id, ok := e.baseIDs[t.Key()]
 	if !ok {
 		return fmt.Errorf("core: deleting unknown base tuple %s", t)
@@ -498,8 +577,12 @@ func (e *Engine) InjectDelete(node nsim.NodeID, t eval.Tuple) error {
 }
 
 // InjectDeleteAt schedules the deletion at an absolute time; the tuple
-// must have been generated by then.
-func (e *Engine) InjectDeleteAt(at nsim.Time, node nsim.NodeID, t eval.Tuple) {
+// must have been generated by then (a stamp still unknown when the
+// deletion fires is skipped, since validation cannot see the future).
+func (e *Engine) InjectDeleteAt(at nsim.Time, node nsim.NodeID, t eval.Tuple) error {
+	if err := e.validateInject(node, t); err != nil {
+		return err
+	}
 	e.nw.ScheduleAt(at, func() {
 		id, ok := e.baseIDs[t.Key()]
 		if !ok {
@@ -507,6 +590,7 @@ func (e *Engine) InjectDeleteAt(at nsim.Time, node nsim.NodeID, t eval.Tuple) {
 		}
 		e.rts[node].generate(t, &id)
 	})
+	return nil
 }
 
 // Derived returns the live derived tuples of predKey across the network

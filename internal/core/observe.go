@@ -1,0 +1,91 @@
+package core
+
+import "repro/internal/obs"
+
+// Observe attaches the observability layer to the engine. Call any
+// time after New (before or after Start); passing both arguments nil
+// detaches the trace and leaves the nil no-op counter handles in
+// place.
+//
+// Live counters (one atomic add on the enabled path, one nil check
+// when disabled) cover the deductive work the engine does not already
+// account anywhere:
+//
+//	core.probes              store probes by the join sweep (visibleMatch)
+//	core.joins               successful subgoal extensions (partial results)
+//	core.candidates          complete results routed toward a home node
+//	core.settles             candidates applied at their finalize deadline
+//	core.derivations         derived tuples becoming live at their home
+//	core.derivations.<pred>  ditto, split by head predicate
+//	core.deletions           derived tuples losing their last derivation
+//	core.deletions.<pred>    ditto, split by head predicate
+//
+// Snapshot-time providers expose state the engine already tracks, so
+// observed and unobserved runs execute identical hot paths for them:
+//
+//	core.mem.max_tuples      max per-node stored tuples (replicas+derivations)
+//	core.mem.total_tuples    network-wide stored tuples (avg = total/nodes)
+//	core.derived_live        live derived tuples across all home nodes
+//	core.derived_live.<pred> ditto, split by predicate
+//	core.results_logged      finalized transitions of query predicates
+//	routing.nearest_hits     nearest-node cache hits
+//	routing.nearest_misses   nearest-node cache misses (recomputations)
+//
+// trace, if non-nil, records EvDerive/EvDelete on derivation-state
+// transitions and EvSettle per applied candidate, with Pred set to the
+// head predicate key and Peer = -1 (local events have no other party).
+func (e *Engine) Observe(reg *obs.Registry, trace *obs.Trace) {
+	e.trace = trace
+	if reg == nil {
+		return
+	}
+	e.cProbes = reg.Counter("core.probes")
+	e.cJoins = reg.Counter("core.joins")
+	e.cCandidates = reg.Counter("core.candidates")
+	e.cSettles = reg.Counter("core.settles")
+	e.cDerivations = reg.Counter("core.derivations")
+	e.cDeletions = reg.Counter("core.deletions")
+
+	// Pre-resolve the per-predicate handles for every predicate the
+	// program mentions, so the finalize path indexes a read-only map
+	// and never allocates. e.windows is keyed by exactly the rule
+	// predicates (heads and bodies).
+	dv := reg.CounterVec("core.derivations")
+	del := reg.CounterVec("core.deletions")
+	e.predDerive = make(map[string]*obs.Counter, len(e.windows))
+	e.predDelete = make(map[string]*obs.Counter, len(e.windows))
+	for p := range e.windows {
+		e.predDerive[p] = dv.With(p)
+		e.predDelete[p] = del.With(p)
+	}
+
+	reg.Provide(func(emit func(name string, v int64)) {
+		maxMem := 0
+		var total int64
+		for _, n := range e.nw.Nodes() {
+			m := e.StoredReplicas(n.ID) + e.DerivationEntries(n.ID)
+			total += int64(m)
+			if m > maxMem {
+				maxMem = m
+			}
+		}
+		emit("core.mem.max_tuples", int64(maxMem))
+		emit("core.mem.total_tuples", total)
+
+		var live int64
+		perPred := make(map[string]int64)
+		for _, rt := range e.rts {
+			for _, t := range rt.derivedLive {
+				live++
+				perPred[t.Pred]++
+			}
+		}
+		emit("core.derived_live", live)
+		for p, v := range perPred {
+			emit("core.derived_live."+p, v)
+		}
+		emit("core.results_logged", int64(len(e.ResultLog)))
+		emit("routing.nearest_hits", e.router.Hits)
+		emit("routing.nearest_misses", e.router.Misses)
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/datalog/unify"
 	"repro/internal/gpa"
 	"repro/internal/nsim"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/window"
 )
@@ -174,6 +175,7 @@ type nodeRT struct {
 // the full insertion-order visible scan, with the bound-position key
 // never computed. The returned slice is valid until the next call.
 func (rt *nodeRT) visibleMatch(lit ast.Literal, subst unify.Subst, tau window.Stamp) []*window.Entry {
+	rt.e.cProbes.Add(1)
 	w := rt.e.windows[lit.PredKey()]
 	if rt.store.Naive {
 		return rt.store.Visible(lit.PredKey(), tau, w)
@@ -647,6 +649,7 @@ func (rt *nodeRT) extend(p *partialR, tau window.Stamp, onlyIdx int, out *[]*par
 			if !ok {
 				continue
 			}
+			rt.e.cJoins.Add(1)
 			*out = append(*out, np2)
 		}
 	}
@@ -793,6 +796,7 @@ func (rt *nodeRT) mkCand(p *partialR, rec *updateRec, negFromStart bool) (*candR
 
 // routeCand sends a candidate toward its home node.
 func (rt *nodeRT) routeCand(c *candR) {
+	rt.e.cCandidates.Add(1)
 	head := c.Head
 	if pl, ok := rt.e.placements[head.Pred]; ok {
 		home, ok2 := rt.e.nodeTerms[head.Args[pl.Arg].Key()]
@@ -875,6 +879,10 @@ func (rt *nodeRT) drainFinalize() {
 		return due[i].Add && !due[j].Add
 	})
 	for _, c := range due {
+		rt.e.cSettles.Add(1)
+		if tr := rt.e.trace; tr != nil {
+			tr.Record(obs.Event{At: int64(rt.node.Now()), Node: int32(rt.node.ID), Peer: -1, Kind: obs.EvSettle, Pred: c.Head.Pred})
+		}
 		rt.finalize(c)
 	}
 }
@@ -904,6 +912,11 @@ func (rt *nodeRT) finalize(c *candR) {
 		was := len(set)
 		set[c.DerivKey] = true
 		if was == 0 {
+			rt.e.cDerivations.Add(1)
+			rt.e.predDerive[c.Head.Pred].Add(1)
+			if tr := rt.e.trace; tr != nil {
+				tr.Record(obs.Event{At: int64(rt.node.Now()), Node: int32(rt.node.ID), Peer: -1, Kind: obs.EvDerive, Pred: c.Head.Pred})
+			}
 			rt.derivedLive[key] = c.Head
 			rt.derivedIDs[key] = rt.generate(c.Head, nil)
 		}
@@ -916,6 +929,11 @@ func (rt *nodeRT) finalize(c *candR) {
 	if len(set) == 0 {
 		delete(rt.derivs, key)
 		if _, live := rt.derivedLive[key]; live {
+			rt.e.cDeletions.Add(1)
+			rt.e.predDelete[c.Head.Pred].Add(1)
+			if tr := rt.e.trace; tr != nil {
+				tr.Record(obs.Event{At: int64(rt.node.Now()), Node: int32(rt.node.ID), Peer: -1, Kind: obs.EvDelete, Pred: c.Head.Pred})
+			}
 			delete(rt.derivedLive, key)
 			id := rt.derivedIDs[key]
 			delete(rt.derivedIDs, key)

@@ -1,0 +1,42 @@
+package eval
+
+import "repro/internal/obs"
+
+// Observe exposes the evaluator's work counters through reg at
+// Snapshot time. The counters themselves stay plain fields on the hot
+// path — the provider only reads them — so observed and unobserved
+// evaluations run identical code. Names:
+//
+//	eval.join_ops  successful matches + negated containment probes
+//	eval.scan_ops  tuples examined while expanding positive subgoals
+func (e *Evaluator) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Provide(func(emit func(name string, v int64)) {
+		emit("eval.join_ops", e.JoinOps)
+		emit("eval.scan_ops", e.ScanOps)
+	})
+}
+
+// Observe exposes the maintainer's work counters through reg at
+// Snapshot time (see MaintStats for semantics). Names:
+//
+//	eval.maint.join_ops
+//	eval.maint.scan_ops
+//	eval.maint.derivations_held
+//	eval.maint.rederivations
+//	eval.maint.cascade_steps
+func (m *Maintainer) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Provide(func(emit func(name string, v int64)) {
+		s := m.Stats()
+		emit("eval.maint.join_ops", s.JoinOps)
+		emit("eval.maint.scan_ops", s.ScanOps)
+		emit("eval.maint.derivations_held", int64(s.DerivationsHeld))
+		emit("eval.maint.rederivations", s.Rederivations)
+		emit("eval.maint.cascade_steps", s.CascadeSteps)
+	})
+}

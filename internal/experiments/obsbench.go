@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/gpa"
+	"repro/internal/nsim"
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+// ObservedE1 is an E1 run with the observability layer attached: the
+// network/engine after quiescence plus the registry and trace that
+// watched them. snbench -trace exports the trace and cross-checks its
+// aggregated counts against the registry (the two are recorded by the
+// same hot-path hooks, so they must agree exactly).
+type ObservedE1 struct {
+	Network  *nsim.Network
+	Engine   *core.Engine
+	Registry *obs.Registry
+	Trace    *obs.Trace
+}
+
+// TraceE1 runs the E1 two-stream Perpendicular workload on an m×m grid
+// — the same program, seeds, and injection schedule as
+// E1JoinApproaches' PA row — with a counter registry and a trace ring
+// of the given capacity attached from deployment on.
+func TraceE1(m, tuplesPerStream, traceCap int) ObservedE1 {
+	nw := topo.Grid(m, nsim.Config{Seed: 11})
+	e, err := core.New(nw, mustProg(twoStreamSrc), core.Config{Scheme: gpa.Perpendicular})
+	if err != nil {
+		panic(err)
+	}
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace(traceCap)
+	nw.Observe(reg, tr)
+	e.Observe(reg, tr)
+	nw.Finalize()
+	e.Start()
+	injectJoinWorkload(e, nw, 2*tuplesPerStream, 17)
+	nw.Run(0)
+	return ObservedE1{Network: nw, Engine: e, Registry: reg, Trace: tr}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpa"
+	"repro/internal/nsim"
+	"repro/internal/obs"
+)
+
+// TestTraceE1CountersMatchTrace pins the trace/counter contract the
+// snbench -trace cross-check relies on: both are recorded by the same
+// hooks, so the aggregated trace counts must equal the registry
+// counters exactly.
+func TestTraceE1CountersMatchTrace(t *testing.T) {
+	res := TraceE1(6, 10, 1<<16)
+	if res.Trace.Dropped() != 0 {
+		t.Fatal("trace ring overflowed; raise the test capacity")
+	}
+	agg := res.Trace.CountKinds()
+	snap := res.Registry.Snapshot()
+	checks := map[obs.EventKind]string{
+		obs.EvSend:   "nsim.messages",
+		obs.EvRecv:   "nsim.received",
+		obs.EvDrop:   "nsim.dropped",
+		obs.EvDerive: "core.derivations",
+		obs.EvDelete: "core.deletions",
+		obs.EvSettle: "core.settles",
+	}
+	for kind, counter := range checks {
+		if agg[kind] != snap.Get(counter) {
+			t.Errorf("%s: trace %d vs counter %d", counter, agg[kind], snap.Get(counter))
+		}
+	}
+	if agg[obs.EvSend] == 0 || agg[obs.EvDerive] == 0 {
+		t.Fatal("observed E1 recorded no traffic")
+	}
+	if snap.Get("nsim.messages") != res.Network.TotalSent {
+		t.Fatalf("snapshot messages %d != TotalSent %d", snap.Get("nsim.messages"), res.Network.TotalSent)
+	}
+}
+
+// TestTraceE1MatchesUnobserved proves observability does not perturb
+// the run: the observed E1 workload produces the same traffic and the
+// same derived results as the unobserved one (the regeneration
+// byte-identity criterion, checked at the engine level).
+func TestTraceE1MatchesUnobserved(t *testing.T) {
+	obsRun := TraceE1(6, 10, 1<<16)
+	e, nw := deployGrid(6, twoStreamSrc, core.Config{Scheme: gpa.Perpendicular}, nsim.Config{Seed: 11})
+	injectJoinWorkload(e, nw, 20, 17)
+	nw.Run(0)
+
+	if nw.TotalSent != obsRun.Network.TotalSent || nw.TotalBytes != obsRun.Network.TotalBytes {
+		t.Fatalf("observed run diverged: %d/%d msgs, %d/%d bytes",
+			obsRun.Network.TotalSent, nw.TotalSent, obsRun.Network.TotalBytes, nw.TotalBytes)
+	}
+	want := e.Derived("out/2")
+	got := obsRun.Engine.Derived("out/2")
+	if len(want) != len(got) || len(got) == 0 {
+		t.Fatalf("derived results diverged: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Fatalf("result %d diverged: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestObsDisabledOverheadE1 guards the disabled-observability path on
+// the E1 m=18 hot loop: with no Observe call, every counter handle is
+// nil and every trace pointer check fails, so allocations per event
+// must stay at the PR 2 baseline (2.81 allocs/event in BENCH_sim.json;
+// the bound leaves headroom for map-growth jitter while sitting far
+// below +1 alloc/event).
+func TestObsDisabledOverheadE1(t *testing.T) {
+	e, nw := deployGrid(18, twoStreamSrc,
+		core.Config{Scheme: gpa.Perpendicular}, nsim.Config{Seed: 11})
+	injectJoinWorkload(e, nw, 40, 17)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	nw.Run(0)
+	runtime.ReadMemStats(&after)
+	if nw.EventsProcessed == 0 {
+		t.Fatal("no events processed")
+	}
+	perEvent := float64(after.Mallocs-before.Mallocs) / float64(nw.EventsProcessed)
+	if perEvent > 3.2 {
+		t.Errorf("disabled-obs path allocates %.2f/event, baseline is 2.81 (BENCH_sim.json)", perEvent)
+	}
+}

@@ -53,6 +53,12 @@ type SimBenchResult struct {
 	AllocReduxPct        float64 `json:"alloc_redux_pct"`
 
 	Batching []SimBatchRow `json:"batching"`
+
+	// Counters is the obs.Snapshot of an observed run of the same E1
+	// m=18 workload (collected outside the timed regions, which stay
+	// unobserved), so BENCH_sim.json tracks behavioral counters —
+	// messages, probes, joins, derivations — alongside the timings.
+	Counters map[string]int64 `json:"counters"`
 }
 
 // SimBench measures the three substrate wins: Finalize with the grid
@@ -136,5 +142,7 @@ func SimBench(reps int) SimBenchResult {
 			ByteReduxPct: 100 * (1 - float64(onBytes)/float64(offBytes)),
 		})
 	}
+
+	res.Counters = TraceE1(18, 20, 1).Registry.Snapshot().Counters
 	return res
 }

@@ -5,6 +5,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -88,6 +89,35 @@ func lineWidth(widths []int) int {
 		n -= 2
 	}
 	return n
+}
+
+// SnapshotTable renders a counter snapshot (dotted name → value, as
+// produced by obs.Snapshot) as a two-column table in sorted name
+// order. When prefixes are given, only counters whose name starts with
+// one of them are included.
+func SnapshotTable(title string, counters map[string]int64, prefixes ...string) *Table {
+	t := NewTable(title, "counter", "value")
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		if len(prefixes) > 0 {
+			keep := false
+			for _, p := range prefixes {
+				if strings.HasPrefix(name, p) {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.AddRow(name, counters[name])
+	}
+	return t
 }
 
 // Ratio formats a/b defensively.

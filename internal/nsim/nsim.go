@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // Compile-time references keeping both queue implementations honest.
@@ -195,10 +197,16 @@ type Network struct {
 	TotalDropped int64
 	KindCounts   map[string]int64
 	KindBytes    map[string]int64
+	// TotalRetries counts ARQ re-attempts (transmissions beyond the
+	// first attempt of each frame); TotalSent includes them.
+	TotalRetries int64
 	// EventsProcessed counts events dispatched by Run (all kinds), the
 	// denominator for events/sec and allocs/event benchmarks.
 	EventsProcessed int64
 	finalized       bool
+
+	// trace, when non-nil, records send/recv/drop events (observe.go).
+	trace *obs.Trace
 
 	// Energy-model outcomes.
 	Deaths         int64
@@ -288,6 +296,12 @@ func (nw *Network) transmit(src *Node, dst NodeID, kind string, payload interfac
 		nw.TotalBytes += int64(size)
 		nw.KindCounts[kind]++
 		nw.KindBytes[kind] += int64(size)
+		if attempt > 0 {
+			nw.TotalRetries++
+		}
+		if nw.trace != nil {
+			nw.trace.Record(obs.Event{At: int64(nw.now), Node: int32(src.ID), Peer: int32(dst), Kind: obs.EvSend, Pred: kind, Size: int32(size)})
+		}
 		if nw.cfg.EnergyBudget > 0 {
 			src.Energy -= nw.cfg.TxCostBase + nw.cfg.TxCostByte*float64(size)
 			if src.Energy <= 0 && !src.Down {
@@ -301,6 +315,9 @@ func (nw *Network) transmit(src *Node, dst NodeID, kind string, payload interfac
 		}
 		if nw.cfg.LossRate > 0 && nw.rng.Float64() < nw.cfg.LossRate {
 			nw.TotalDropped++
+			if nw.trace != nil {
+				nw.trace.Record(obs.Event{At: int64(nw.now), Node: int32(src.ID), Peer: int32(dst), Kind: obs.EvDrop, Pred: kind, Size: int32(size)})
+			}
 			if src.Down {
 				return // ARQ stops at the death boundary
 			}
@@ -328,6 +345,9 @@ func (nw *Network) deliver(m *Message) {
 	}
 	d.Received++
 	d.BytesIn += int64(m.Size)
+	if nw.trace != nil {
+		nw.trace.Record(obs.Event{At: int64(nw.now), Node: int32(d.ID), Peer: int32(m.Src), Kind: obs.EvRecv, Pred: m.Kind, Size: int32(m.Size)})
+	}
 	if nw.cfg.EnergyBudget > 0 {
 		d.Energy -= nw.cfg.RxCostBase + nw.cfg.RxCostByte*float64(m.Size)
 		if d.Energy <= 0 && !d.Down {

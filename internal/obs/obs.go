@@ -1,0 +1,230 @@
+// Package obs is the zero-dependency observability layer for the
+// deductive sensor-network stack: a counter/gauge registry threaded
+// through the simulator, routing, node runtime, and eval hot paths,
+// plus a fixed-capacity trace ring buffer (trace.go).
+//
+// The design splits metrics into two families so the hot paths never
+// pay for bookkeeping they do not need:
+//
+//   - Live counters (Counter, CounterVec) are pre-resolved handles
+//     incremented on the enabled path with a single atomic add. The
+//     nil handle is a valid no-op, so a component whose Observe method
+//     was never called pays exactly one predictable nil check per
+//     increment site — no branch on a config struct, no interface
+//     dispatch, no allocation.
+//
+//   - Providers and gauges are sampled only at Snapshot time. Metrics
+//     a component already tracks in plain fields (simulator message
+//     totals, per-node memory) are exposed through a provider callback
+//     instead of being double-counted on the hot path, which keeps
+//     Snapshot values exactly equal to the legacy fields they replace.
+//
+// Snapshot flattens everything into a sorted name → value map; counter
+// names are dotted paths ("nsim.messages", "core.derivations.out/2")
+// documented in the README.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone atomic counter. The zero value is ready to
+// use, and the nil pointer is a valid disabled handle: Add on nil is a
+// single branch and no memory traffic, which is what instrumented hot
+// loops pay when observability is off.
+type Counter struct{ v int64 }
+
+// Add increments the counter by d. No-op on a nil receiver.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		atomic.AddInt64(&c.v, d)
+	}
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count; 0 on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Registry names and collects counters, gauges, and bulk providers.
+// All methods are safe for concurrent use; the nil registry is a valid
+// disabled registry whose Counter/CounterVec lookups return nil
+// handles.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]func() int64
+	providers []func(emit func(name string, v int64))
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]func() int64),
+	}
+}
+
+// Counter returns the live counter registered under name, creating it
+// on first use. The same name always yields the same handle, so
+// components resolve handles once at Observe time and share totals.
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers a callback sampled at Snapshot time under name.
+// Later registrations replace earlier ones. No-op on a nil registry.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// Provide registers a bulk provider invoked at Snapshot time. A
+// provider emits any number of (name, value) pairs; components use it
+// to expose metrics they already track in plain fields without paying
+// anything on the hot path. No-op on a nil registry.
+func (r *Registry) Provide(fn func(emit func(name string, v int64))) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.providers = append(r.providers, fn)
+}
+
+// CounterVec pre-resolves per-label counter handles under a common
+// prefix — the per-predicate and per-kind dimensions. With(label)
+// names the counter "<prefix>.<label>" in the shared registry.
+type CounterVec struct {
+	r      *Registry
+	prefix string
+	mu     sync.Mutex
+	m      map[string]*Counter
+}
+
+// CounterVec returns a handle cache for counters named
+// "<prefix>.<label>". Returns nil on a nil registry; With on a nil vec
+// returns a nil (no-op) counter.
+func (r *Registry) CounterVec(prefix string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r: r, prefix: prefix, m: make(map[string]*Counter)}
+}
+
+// With returns the counter for label, resolving and caching the handle
+// on first use. Returns nil on a nil vec.
+func (v *CounterVec) With(label string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.m[label]
+	if c == nil {
+		c = v.r.Counter(v.prefix + "." + label)
+		v.m[label] = c
+	}
+	return c
+}
+
+// Snapshot is a point-in-time view of every registered metric: live
+// counters, gauges, and provider emissions flattened into one map.
+type Snapshot struct {
+	Counters map[string]int64
+}
+
+// Snapshot samples all counters, gauges, and providers. A provider
+// emitting a name that collides with a live counter overwrites it —
+// by convention the two families use disjoint names. Returns an empty
+// snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: make(map[string]int64)}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for name, fn := range r.gauges {
+		gauges[name] = fn
+	}
+	providers := make([]func(emit func(name string, v int64)), len(r.providers))
+	copy(providers, r.providers)
+	r.mu.Unlock()
+
+	// Sample outside the lock: providers may call back into code that
+	// takes its own locks or (pathologically) registers new metrics.
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, fn := range gauges {
+		s.Counters[name] = fn()
+	}
+	emit := func(name string, v int64) { s.Counters[name] = v }
+	for _, fn := range providers {
+		fn(emit)
+	}
+	return s
+}
+
+// Get returns the value recorded under name, or 0 if absent.
+func (s Snapshot) Get(name string) int64 { return s.Counters[name] }
+
+// Names returns all recorded metric names in sorted order.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Prefix returns the metrics whose names start with prefix, keyed by
+// the remainder of the name (the prefix is stripped).
+func (s Snapshot) Prefix(prefix string) map[string]int64 {
+	out := make(map[string]int64)
+	for name, v := range s.Counters {
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			out[name[len(prefix):]] = v
+		}
+	}
+	return out
+}
+
+// Diff returns a snapshot holding s minus prev for every name present
+// in s — the per-interval deltas for trajectory tracking.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{Counters: make(map[string]int64, len(s.Counters))}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - prev.Counters[name]
+	}
+	return d
+}

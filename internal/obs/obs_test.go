@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", got)
+	}
+	var r *Registry
+	if r.Counter("x") != nil {
+		t.Fatal("nil registry must hand out nil counters")
+	}
+	if r.CounterVec("p") != nil {
+		t.Fatal("nil registry must hand out nil vecs")
+	}
+	r.Gauge("g", func() int64 { return 1 })
+	r.Provide(func(emit func(string, int64)) { emit("p", 1) })
+	if n := len(r.Snapshot().Counters); n != 0 {
+		t.Fatalf("nil registry snapshot has %d entries", n)
+	}
+	var v *CounterVec
+	v.With("a").Add(1)
+	var tr *Trace
+	tr.Record(Event{})
+	if tr.Len() != 0 || tr.Total() != 0 {
+		t.Fatal("nil trace must stay empty")
+	}
+}
+
+// The disabled-observability contract: incrementing through nil
+// handles allocates nothing. The E1 hot-loop guard in the root package
+// builds on this.
+func TestNilHandlesZeroAllocs(t *testing.T) {
+	var c *Counter
+	var tr *Trace
+	if got := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		tr.Record(Event{Kind: EvSend})
+	}); got != 0 {
+		t.Fatalf("disabled path allocates %v per op, want 0", got)
+	}
+}
+
+func TestRegistrySharedHandles(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("nsim.messages")
+	b := r.Counter("nsim.messages")
+	if a != b {
+		t.Fatal("same name must yield the same handle")
+	}
+	a.Add(2)
+	b.Add(3)
+	if got := r.Snapshot().Get("nsim.messages"); got != 5 {
+		t.Fatalf("shared counter = %d, want 5", got)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("core.derivations")
+	v.With("out/2").Add(4)
+	v.With("out/2").Inc()
+	v.With("path/2").Inc()
+	s := r.Snapshot()
+	if got := s.Get("core.derivations.out/2"); got != 5 {
+		t.Fatalf("out/2 = %d, want 5", got)
+	}
+	per := s.Prefix("core.derivations.")
+	if len(per) != 2 || per["path/2"] != 1 {
+		t.Fatalf("Prefix view = %v", per)
+	}
+}
+
+func TestGaugesAndProviders(t *testing.T) {
+	r := NewRegistry()
+	depth := int64(7)
+	r.Gauge("nsim.queue_depth", func() int64 { return depth })
+	r.Provide(func(emit func(string, int64)) {
+		emit("nsim.bytes", 100)
+		emit("nsim.dropped", 2)
+	})
+	s := r.Snapshot()
+	if s.Get("nsim.queue_depth") != 7 || s.Get("nsim.bytes") != 100 || s.Get("nsim.dropped") != 2 {
+		t.Fatalf("snapshot = %v", s.Counters)
+	}
+	depth = 9
+	if got := r.Snapshot().Get("nsim.queue_depth"); got != 9 {
+		t.Fatalf("gauge resampled = %d, want 9", got)
+	}
+	names := s.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Add(10)
+	before := r.Snapshot()
+	c.Add(4)
+	d := r.Snapshot().Diff(before)
+	if got := d.Get("x"); got != 4 {
+		t.Fatalf("diff = %d, want 4", got)
+	}
+}
+
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Snapshot().Get("shared"); got != 8000 {
+		t.Fatalf("concurrent total = %d, want 8000", got)
+	}
+}

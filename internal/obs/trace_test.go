@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceRingWrap(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{At: int64(i), Kind: EvSend})
+	}
+	if tr.Len() != 4 || tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("len=%d total=%d dropped=%d", tr.Len(), tr.Total(), tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		if e.At != int64(6+i) {
+			t.Fatalf("event %d has At=%d, want %d (oldest-first order)", i, e.At, 6+i)
+		}
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		back, ok := ParseKind(k.String())
+		if !ok || back != k {
+			t.Fatalf("round trip failed for kind %d (%q)", k, k.String())
+		}
+	}
+	if _, ok := ParseKind("bogus"); ok {
+		t.Fatal("ParseKind accepted bogus name")
+	}
+}
+
+func TestFilterMatch(t *testing.T) {
+	e := Event{At: 50, Node: 3, Peer: 7, Kind: EvRecv, Pred: "join"}
+	cases := []struct {
+		f    Filter
+		want bool
+	}{
+		{Filter{Node: AnyNode}, true},
+		{Filter{Kinds: []EventKind{EvRecv}, Node: AnyNode}, true},
+		{Filter{Kinds: []EventKind{EvSend}, Node: AnyNode}, false},
+		{Filter{Node: 3}, true},
+		{Filter{Node: 7}, true}, // matches Peer too
+		{Filter{Node: 4}, false},
+		{Filter{Node: AnyNode, Pred: "join"}, true},
+		{Filter{Node: AnyNode, Pred: "store"}, false},
+		{Filter{Node: AnyNode, From: 51}, false},
+		{Filter{Node: AnyNode, From: 50, To: 50}, true},
+		{Filter{Node: AnyNode, To: 49}, false},
+	}
+	for i, c := range cases {
+		if got := c.f.Match(e); got != c.want {
+			t.Fatalf("case %d: Match = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestTraceCountKinds(t *testing.T) {
+	tr := NewTrace(16)
+	tr.Record(Event{Kind: EvSend})
+	tr.Record(Event{Kind: EvSend})
+	tr.Record(Event{Kind: EvDrop})
+	agg := tr.CountKinds()
+	if agg[EvSend] != 2 || agg[EvDrop] != 1 || agg[EvRecv] != 0 {
+		t.Fatalf("aggregate = %v", agg)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTrace(16)
+	tr.Record(Event{At: 10, Node: 1, Peer: 2, Kind: EvSend, Pred: "store", Size: 24})
+	tr.Record(Event{At: 12, Node: 2, Peer: 1, Kind: EvRecv, Pred: "store", Size: 24})
+	tr.Record(Event{At: 20, Node: 5, Peer: -1, Kind: EvDerive, Pred: "out/2"})
+
+	var buf bytes.Buffer
+	n, err := tr.WriteJSONL(&buf, Filter{Node: AnyNode})
+	if err != nil || n != 3 {
+		t.Fatalf("WriteJSONL = (%d, %v), want (3, nil)", n, err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var rec struct {
+		At   int64  `json:"at"`
+		Kind string `json:"kind"`
+		Node int32  `json:"node"`
+		Peer int32  `json:"peer"`
+		Pred string `json:"pred"`
+		Size int32  `json:"size"`
+	}
+	if err := json.Unmarshal(lines[0], &rec); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v", err)
+	}
+	if rec.At != 10 || rec.Kind != "send" || rec.Node != 1 || rec.Peer != 2 || rec.Pred != "store" || rec.Size != 24 {
+		t.Fatalf("decoded record = %+v", rec)
+	}
+
+	buf.Reset()
+	n, err = tr.WriteJSONL(&buf, Filter{Node: AnyNode, Kinds: []EventKind{EvDerive}})
+	if err != nil || n != 1 {
+		t.Fatalf("filtered WriteJSONL = (%d, %v), want (1, nil)", n, err)
+	}
+}

@@ -107,6 +107,11 @@ type Engine struct {
 	// one integer increment instead of a fresh map per routed path.
 	stamp []int64
 	epoch int64
+
+	// Cache effectiveness counters, exposed as routing.nearest_hits /
+	// routing.nearest_misses in the core engine's obs provider.
+	Hits   int64
+	Misses int64
 }
 
 // NewEngine creates a routing engine for nw.
@@ -120,9 +125,11 @@ func (e *Engine) NearestNode(x, y float64) *nsim.Node {
 	key := [2]float64{x, y}
 	if id, ok := e.nearest[key]; ok {
 		if n := e.nw.Node(id); !n.Down {
+			e.Hits++
 			return n
 		}
 	}
+	e.Misses++
 	n := e.nw.NearestNode(x, y)
 	if n == nil {
 		return nil

@@ -12,14 +12,20 @@
 //
 // Quick start:
 //
-//	cluster, _ := snlog.DeployGrid(8, `
+//	cluster, _ := snlog.Deploy(snlog.Grid(8), `
 //	    .base temp/2.
 //	    alert(N, T) :- temp(N, T), T > 90.
 //	    .query alert/2.
-//	`, snlog.Options{})
+//	`)
 //	cluster.Inject(12, snlog.NewTuple("temp", snlog.Sym("n12"), snlog.Int(95)))
 //	cluster.Run()
 //	fmt.Println(cluster.Results("alert/2"))
+//	fmt.Println(cluster.Stats().Messages)
+//
+// Deployments accept functional options (WithScheme, WithLoss,
+// WithRetries, WithBatchLinks, WithTrace, ...); every cluster carries
+// a counter registry (Cluster.Snapshot) and, with WithTrace, a
+// structured event trace (Cluster.WriteTrace).
 //
 // The package front-ends the full stack: parser (internal/datalog/parser),
 // static analysis incl. XY-stratification (internal/datalog/analysis),
@@ -30,6 +36,7 @@ package snlog
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/datalog/analysis"
@@ -40,6 +47,7 @@ import (
 	"repro/internal/datalog/parser"
 	"repro/internal/gpa"
 	"repro/internal/nsim"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -166,7 +174,9 @@ func MagicRewrite(src, query string) (string, string, error) {
 	return tr.Program.String(), tr.AnswerPred, nil
 }
 
-// Options configures a deployment.
+// Options configures a deployment. Prefer the functional options
+// (WithScheme, WithLoss, ...) with Deploy; the struct remains exported
+// for the deprecated positional constructors.
 type Options struct {
 	// Scheme is the GPA join scheme (default Perpendicular).
 	Scheme Scheme
@@ -193,39 +203,156 @@ type Options struct {
 	// NaiveJoin disables the per-node argument-position indexes,
 	// retaining full-scan lookups (A/B benchmarking; results identical).
 	NaiveJoin bool
+	// Retries is the link-layer ARQ re-attempt budget per transmission.
+	Retries int
+	// BatchLinks coalesces same-link messages within the skew bound
+	// into batch frames (see core.Config.BatchLinks).
+	BatchLinks bool
+	// TraceCapacity, when positive, attaches a trace ring buffer
+	// retaining up to this many send/recv/drop/derive/delete/settle
+	// events, readable via Cluster.Trace and Cluster.WriteTrace.
+	TraceCapacity int
 }
 
-// Cluster is a deployed program: a simulated network running the
-// compiled per-node code.
-type Cluster struct {
-	Engine  *core.Engine
-	Network *nsim.Network
+// Option is a functional deployment option for Deploy.
+type Option func(*Options)
+
+// WithScheme selects the GPA join scheme (default Perpendicular).
+func WithScheme(s Scheme) Option { return func(o *Options) { o.Scheme = s } }
+
+// WithServer sets the sink node for the Centralized scheme.
+func WithServer(node int) Option { return func(o *Options) { o.Server = node } }
+
+// WithMultiPass selects the multiple-pass join-computation scheme.
+func WithMultiPass() Option { return func(o *Options) { o.MultiPass = true } }
+
+// WithSpatialRadius scopes storage/join regions (0 = unbounded).
+func WithSpatialRadius(r float64) Option { return func(o *Options) { o.SpatialRadius = r } }
+
+// WithBandWidth overrides the geographic band width used to generalize
+// PA rows/columns on irregular topologies.
+func WithBandWidth(w float64) Option { return func(o *Options) { o.BandWidth = w } }
+
+// WithLoss sets the per-transmission message loss probability.
+func WithLoss(rate float64) Option { return func(o *Options) { o.LossRate = rate } }
+
+// WithRetries sets the link-layer ARQ re-attempt budget.
+func WithRetries(n int) Option { return func(o *Options) { o.Retries = n } }
+
+// WithMaxSkew bounds the clock skew between any two nodes (τc).
+func WithMaxSkew(ticks int64) Option { return func(o *Options) { o.MaxSkew = ticks } }
+
+// WithSeed sets the seed driving all randomness (delays, loss, skew).
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithDefaultWindow sets the sliding-window range for undeclared
+// streams.
+func WithDefaultWindow(rng int64) Option { return func(o *Options) { o.DefaultWindow = rng } }
+
+// WithBuiltins overrides the built-in predicate/function registry.
+func WithBuiltins(reg *Registry) Option { return func(o *Options) { o.Registry = reg } }
+
+// WithNaiveJoin retains full-scan window stores (A/B benchmarking).
+func WithNaiveJoin() Option { return func(o *Options) { o.NaiveJoin = true } }
+
+// WithBatchLinks enables batched link transport.
+func WithBatchLinks() Option { return func(o *Options) { o.BatchLinks = true } }
+
+// WithTrace attaches a trace ring buffer retaining up to capacity
+// events.
+func WithTrace(capacity int) Option { return func(o *Options) { o.TraceCapacity = capacity } }
+
+// Topology describes the network shape a program deploys onto; build
+// one with Grid or Random and pass it to Deploy.
+type Topology struct {
+	build func(opt *Options) (*nsim.Network, error)
+	desc  string
 }
 
-// DeployGrid compiles src onto an m×m grid network (the paper's
-// evaluation topology).
-func DeployGrid(m int, src string, opt Options) (*Cluster, error) {
-	nw := topo.Grid(m, nsim.Config{
+// String describes the topology ("grid 8x8").
+func (t Topology) String() string { return t.desc }
+
+// Grid is an m×m unit-spaced grid — the paper's evaluation topology.
+func Grid(m int) Topology {
+	return Topology{
+		desc: fmt.Sprintf("grid %dx%d", m, m),
+		build: func(opt *Options) (*nsim.Network, error) {
+			return topo.Grid(m, simConfig(opt)), nil
+		},
+	}
+}
+
+// Random places n nodes uniformly at random in a side×side square with
+// the given radio range, retrying until the topology is connected. The
+// geographic band width defaults to 1.5× the radio range under the
+// Perpendicular scheme, matching the GPA generalization.
+func Random(n int, side, radioRange float64) Topology {
+	return Topology{
+		desc: fmt.Sprintf("random n=%d side=%g range=%g", n, side, radioRange),
+		build: func(opt *Options) (*nsim.Network, error) {
+			if opt.BandWidth == 0 && opt.Scheme == Perpendicular {
+				opt.BandWidth = 1.5 * radioRange
+			}
+			return topo.RandomGeometric(n, side, radioRange, opt.Seed+1, simConfig(opt))
+		},
+	}
+}
+
+func simConfig(opt *Options) nsim.Config {
+	return nsim.Config{
 		Seed:     opt.Seed,
 		LossRate: opt.LossRate,
 		MaxSkew:  nsim.Time(opt.MaxSkew),
-	})
-	return deploy(nw, src, opt)
+		Retries:  opt.Retries,
+	}
+}
+
+// Cluster is a deployed program: a simulated network running the
+// compiled per-node code, plus its observability layer (reg/trace).
+type Cluster struct {
+	Engine  *core.Engine
+	Network *nsim.Network
+
+	reg   *obs.Registry
+	trace *obs.Trace
+}
+
+// Deploy compiles src onto the given topology:
+//
+//	cluster, err := snlog.Deploy(snlog.Grid(8), src,
+//	    snlog.WithScheme(snlog.Perpendicular),
+//	    snlog.WithLoss(0.1), snlog.WithRetries(2),
+//	    snlog.WithTrace(1<<16))
+//
+// Every deployment carries a counter registry (see Snapshot); a trace
+// ring buffer is attached only with WithTrace.
+func Deploy(t Topology, src string, opts ...Option) (*Cluster, error) {
+	var o Options
+	for _, f := range opts {
+		f(&o)
+	}
+	return deployTopo(t, src, o)
+}
+
+// DeployGrid compiles src onto an m×m grid network.
+//
+// Deprecated: use Deploy(Grid(m), src, opts...).
+func DeployGrid(m int, src string, opt Options) (*Cluster, error) {
+	return deployTopo(Grid(m), src, opt)
 }
 
 // DeployRandom compiles src onto n nodes placed uniformly at random in a
 // side×side square with the given radio range (retrying until connected).
+//
+// Deprecated: use Deploy(Random(n, side, radioRange), src, opts...).
 func DeployRandom(n int, side, radioRange float64, src string, opt Options) (*Cluster, error) {
-	nw, err := topo.RandomGeometric(n, side, radioRange, opt.Seed+1, nsim.Config{
-		Seed:     opt.Seed,
-		LossRate: opt.LossRate,
-		MaxSkew:  nsim.Time(opt.MaxSkew),
-	})
+	return deployTopo(Random(n, side, radioRange), src, opt)
+}
+
+func deployTopo(t Topology, src string, opt Options) (*Cluster, error) {
+	nw, err := t.build(&opt)
 	if err != nil {
 		return nil, err
-	}
-	if opt.BandWidth == 0 && opt.Scheme == Perpendicular {
-		opt.BandWidth = 1.5 * radioRange
 	}
 	return deploy(nw, src, opt)
 }
@@ -244,31 +371,43 @@ func deploy(nw *nsim.Network, src string, opt Options) (*Cluster, error) {
 		DefaultWindow: opt.DefaultWindow,
 		Registry:      opt.Registry,
 		NaiveJoin:     opt.NaiveJoin,
+		BatchLinks:    opt.BatchLinks,
 	})
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
+	var trace *obs.Trace
+	if opt.TraceCapacity > 0 {
+		trace = obs.NewTrace(opt.TraceCapacity)
+	}
+	nw.Observe(reg, trace)
+	eng.Observe(reg, trace)
 	nw.Finalize()
 	eng.Start()
-	return &Cluster{Engine: eng, Network: nw}, nil
+	return &Cluster{Engine: eng, Network: nw, reg: reg, trace: trace}, nil
 }
 
 // Size returns the number of nodes.
 func (c *Cluster) Size() int { return c.Network.Len() }
 
-// Inject generates a base fact at a node, now.
-func (c *Cluster) Inject(node int, t Tuple) {
-	c.Engine.Inject(nsim.NodeID(node), t)
+// Inject generates a base fact at a node, now. It returns an error —
+// and injects nothing — for out-of-range nodes, non-ground tuples,
+// derived or unknown predicates, and arity mismatches.
+func (c *Cluster) Inject(node int, t Tuple) error {
+	return c.Engine.Inject(nsim.NodeID(node), t)
 }
 
-// InjectAt generates a base fact at a node at an absolute virtual time.
-func (c *Cluster) InjectAt(at int64, node int, t Tuple) {
-	c.Engine.InjectAt(nsim.Time(at), nsim.NodeID(node), t)
+// InjectAt generates a base fact at a node at an absolute virtual
+// time. Validation errors are reported immediately (see Inject).
+func (c *Cluster) InjectAt(at int64, node int, t Tuple) error {
+	return c.Engine.InjectAt(nsim.Time(at), nsim.NodeID(node), t)
 }
 
 // DeleteAt deletes a previously injected base fact at its source node.
-func (c *Cluster) DeleteAt(at int64, node int, t Tuple) {
-	c.Engine.InjectDeleteAt(nsim.Time(at), nsim.NodeID(node), t)
+// Validation errors are reported immediately (see Inject).
+func (c *Cluster) DeleteAt(at int64, node int, t Tuple) error {
+	return c.Engine.InjectDeleteAt(nsim.Time(at), nsim.NodeID(node), t)
 }
 
 // Run processes the network to quiescence and returns the virtual end
@@ -297,32 +436,76 @@ func (c *Cluster) AggregateResult(pred string) []Tuple {
 // ResultDB snapshots all derived predicates.
 func (c *Cluster) ResultDB() *Database { return c.Engine.DerivedDB() }
 
+// Observability re-exports: the counter snapshot and trace types of
+// internal/obs, so applications can consume Cluster.Snapshot and
+// Cluster.Trace without importing internal packages.
+type (
+	// Snapshot is a point-in-time view of every cluster metric, keyed
+	// by dotted counter names ("nsim.messages", "core.derivations", ...;
+	// the full list is documented in the README and in the Observe
+	// methods of internal/nsim and internal/core).
+	Snapshot = obs.Snapshot
+	// TraceEvent is one recorded send/recv/drop/derive/delete/settle.
+	TraceEvent = obs.Event
+	// TraceFilter selects trace events for export (zero Node matches
+	// only node 0; use AnyNode for no node constraint).
+	TraceFilter = obs.Filter
+)
+
+// AnyNode is the TraceFilter wildcard for the Node field.
+const AnyNode = obs.AnyNode
+
+// Snapshot samples every registered metric of the deployment: the
+// simulator's accounting ("nsim." prefix), the deductive engine's work
+// and memory counters ("core." prefix), and the routing cache
+// ("routing." prefix).
+func (c *Cluster) Snapshot() Snapshot { return c.reg.Snapshot() }
+
+// Trace returns the trace ring buffer, or nil unless the cluster was
+// deployed with WithTrace.
+func (c *Cluster) Trace() *obs.Trace { return c.trace }
+
+// WriteTrace exports the retained trace events passing f as JSONL (one
+// object per line) and returns how many were written. An error is
+// returned when no trace is attached.
+func (c *Cluster) WriteTrace(w io.Writer, f TraceFilter) (int, error) {
+	if c.trace == nil {
+		return 0, fmt.Errorf("snlog: no trace attached; deploy with WithTrace")
+	}
+	return c.trace.WriteJSONL(w, f)
+}
+
 // Stats summarizes communication and memory costs.
 type Stats struct {
 	Messages    int64
 	Bytes       int64
 	Dropped     int64
+	Retries     int64
 	MaxNodeLoad int64
 	ByKind      map[string]int64
 	MaxMemory   int
 	AvgMemory   float64
 }
 
-// Stats reads the cluster's accumulated cost counters.
+// Stats reads the cluster's accumulated cost counters. It is a fixed
+// view over Snapshot — every field is a renamed snapshot counter —
+// retained for the tables the experiments print; new code should
+// prefer Snapshot, which exposes strictly more.
 func (c *Cluster) Stats() Stats {
-	maxMem, avgMem := c.Engine.MaxMemoryTuples()
-	byKind := make(map[string]int64, len(c.Network.KindCounts))
-	for k, v := range c.Network.KindCounts {
-		byKind[k] = v
+	s := c.Snapshot()
+	avg := 0.0
+	if nodes := s.Get("nsim.nodes"); nodes > 0 {
+		avg = float64(s.Get("core.mem.total_tuples")) / float64(nodes)
 	}
 	return Stats{
-		Messages:    c.Network.TotalSent,
-		Bytes:       c.Network.TotalBytes,
-		Dropped:     c.Network.TotalDropped,
-		MaxNodeLoad: c.Network.MaxNodeLoad(),
-		ByKind:      byKind,
-		MaxMemory:   maxMem,
-		AvgMemory:   avgMem,
+		Messages:    s.Get("nsim.messages"),
+		Bytes:       s.Get("nsim.bytes"),
+		Dropped:     s.Get("nsim.dropped"),
+		Retries:     s.Get("nsim.retries"),
+		MaxNodeLoad: s.Get("nsim.max_node_load"),
+		ByKind:      s.Prefix("nsim.messages."),
+		MaxMemory:   int(s.Get("core.mem.max_tuples")),
+		AvgMemory:   avg,
 	}
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench joinbench bench-sim obs-guard profile trace-e1 verify
+.PHONY: all build test vet race bench joinbench bench-sim obs-guard fuzz-smoke profile trace-e1 verify
 
 all: verify
 
@@ -37,6 +37,13 @@ bench-sim:
 obs-guard:
 	$(GO) test -run TestObsDisabledOverheadE1 -v ./internal/experiments/
 
+# A short coverage-guided fuzz pass over the Datalog front-end: Parse
+# must never panic, and everything it accepts must pretty-print to
+# re-parseable source and survive semantic analysis. The 5s budget is
+# a smoke test; run with a longer -fuzztime to actually hunt.
+fuzz-smoke:
+	$(GO) test ./internal/datalog/parser -run '^$$' -fuzz FuzzParse -fuzztime 5s
+
 # CPU + heap profiles of the two headline hot loops (the E1 join
 # pipeline and the E13 batched-link simulator). Inspect with
 # `go tool pprof profiles/<name>.cpu.pprof`.
@@ -53,4 +60,4 @@ profile:
 trace-e1:
 	$(GO) run ./cmd/snbench -trace trace_e1.jsonl
 
-verify: build test vet race obs-guard bench-sim
+verify: build test vet race obs-guard fuzz-smoke bench-sim

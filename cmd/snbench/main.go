@@ -1,5 +1,5 @@
 // Command snbench regenerates every table and figure of the paper's
-// evaluation section (experiments E1..E13 of DESIGN.md) and prints them
+// evaluation section (experiments E1..E14 of DESIGN.md) and prints them
 // in the plain-text form recorded in EXPERIMENTS.md.
 //
 // Usage:
@@ -32,12 +32,12 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run only this experiment (E1..E13)")
+	only := flag.String("only", "", "run only this experiment (E1..E14)")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
 	joinJSON := flag.String("joinjson", "", "write the indexed-vs-naive join benchmark to this JSON file and exit")
 	simJSON := flag.String("simjson", "", "write the simulator fast-path benchmark to this JSON file and exit")
 	traceOut := flag.String("trace", "", "write an observed-E1 JSONL trace to this file and exit")
-	traceKinds := flag.String("trace-kinds", "", "comma-separated event kinds to export (send,recv,drop,derive,delete,settle); empty = all")
+	traceKinds := flag.String("trace-kinds", "", "comma-separated event kinds to export (send,recv,drop,derive,delete,settle,crash,recover,linkdown,linkup,dup,reorder); empty = all")
 	traceNode := flag.Int("trace-node", -1, "export only events touching this node (-1 = all)")
 	tracePred := flag.String("trace-pred", "", "export only events for this predicate / wire kind")
 	flag.Parse()
@@ -163,6 +163,12 @@ func main() {
 				return experiments.E13Batching([]int{6, 10, 14}, 6, 4)
 			}
 			return experiments.E13Batching([]int{6, 10}, 4, 3)
+		}},
+		{"E14", func() *metrics.Table {
+			if full {
+				return experiments.E14Churn([]int{0, 1, 2, 4, 8}, 6)
+			}
+			return experiments.E14Churn([]int{0, 2, 4}, 3)
 		}},
 	}
 

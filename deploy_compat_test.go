@@ -1,0 +1,67 @@
+package snlog
+
+import (
+	"reflect"
+	"testing"
+)
+
+const compatSrc = `
+.base ra/2.
+.base rb/2.
+out(X, Z) :- ra(X, Y), rb(Y, Z).
+.query out/2.
+`
+
+// runCompatWorkload deploys via the given constructor, drives a fixed
+// workload, and returns the cluster's Stats plus its derived results.
+func runCompatWorkload(t *testing.T, deploy func() (*Cluster, error)) (Stats, []Tuple) {
+	t.Helper()
+	c, err := deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		c.InjectAt(int64(i*40), (i*5)%c.Size(), NewTuple("ra", Int(int64(i)), Int(int64(i%3))))
+		c.InjectAt(int64(i*40+15), (i*7+2)%c.Size(), NewTuple("rb", Int(int64(i%3)), Int(int64(i))))
+	}
+	c.DeleteAt(900, (3*5)%c.Size(), NewTuple("ra", Int(3), Int(0)))
+	c.Run()
+	return c.Stats(), c.Results("out/2")
+}
+
+// The deprecated deployment entry points are thin wrappers over
+// Deploy(Topology, ...); they must stay bit-for-bit equivalent — same
+// topology build, same seed threading, same Stats — or migrating
+// callers would silently change their measurements.
+func TestDeployGridMatchesDeploy(t *testing.T) {
+	opt := Options{Seed: 21, MaxSkew: 3, LossRate: 0.05, Retries: 2}
+	oldStats, oldRes := runCompatWorkload(t, func() (*Cluster, error) {
+		return DeployGrid(6, compatSrc, opt)
+	})
+	newStats, newRes := runCompatWorkload(t, func() (*Cluster, error) {
+		return Deploy(Grid(6), compatSrc,
+			WithSeed(21), WithMaxSkew(3), WithLoss(0.05), WithRetries(2))
+	})
+	if !reflect.DeepEqual(oldStats, newStats) {
+		t.Errorf("DeployGrid stats diverge from Deploy(Grid):\nold %+v\nnew %+v", oldStats, newStats)
+	}
+	if !reflect.DeepEqual(oldRes, newRes) {
+		t.Errorf("DeployGrid results diverge: %v vs %v", oldRes, newRes)
+	}
+}
+
+func TestDeployRandomMatchesDeploy(t *testing.T) {
+	opt := Options{Seed: 9, MaxSkew: 2}
+	oldStats, oldRes := runCompatWorkload(t, func() (*Cluster, error) {
+		return DeployRandom(30, 8, 2.8, compatSrc, opt)
+	})
+	newStats, newRes := runCompatWorkload(t, func() (*Cluster, error) {
+		return Deploy(Random(30, 8, 2.8), compatSrc, WithSeed(9), WithMaxSkew(2))
+	})
+	if !reflect.DeepEqual(oldStats, newStats) {
+		t.Errorf("DeployRandom stats diverge from Deploy(Random):\nold %+v\nnew %+v", oldStats, newStats)
+	}
+	if !reflect.DeepEqual(oldRes, newRes) {
+		t.Errorf("DeployRandom results diverge: %v vs %v", oldRes, newRes)
+	}
+}

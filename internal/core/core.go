@@ -87,6 +87,13 @@ type Config struct {
 	// NodeTerm names a node as a term for placement-based storage; the
 	// default is the symbol n<id>.
 	NodeTerm func(n *nsim.Node) ast.Term
+	// ReplayLog keeps a per-node log of every generation (insert or
+	// delete, base or cascaded derived) so Engine.ReplayAt can repair
+	// state lost to injected faults by re-executing the log with the
+	// original stamps (see replay.go). Default off: the log is pure
+	// overhead on fault-free runs and would perturb the allocation
+	// baselines.
+	ReplayLog bool
 }
 
 func (c *Config) fill(nw *nsim.Network) {
@@ -225,6 +232,14 @@ type Engine struct {
 
 	// ResultLog records finalized transitions of query predicates.
 	ResultLog []ResultEvent
+
+	// finalizeFloor lifts finalize deadlines of candidates carrying
+	// pre-floor update stamps, so a replay's re-issued candidates (old
+	// stamps, deadlines long past) all buffer until the repair traffic
+	// settles and then apply in one stamp-ordered drain — restoring the
+	// Theorem 3 ordering that the original deadlines enforced. Raised to
+	// the current time by each ReplayAt; zero until then.
+	finalizeFloor nsim.Time
 }
 
 // ResultEvent is one visible transition of a query predicate.
@@ -475,23 +490,28 @@ func (e *Engine) Start() {
 		t := eval.Tuple{Pred: f.Head.PredKey(), Args: f.Head.Args}
 		nodeID := e.homeFor(t)
 		if e.prog.IsDerived(t.Pred) {
-			// A program fact of a derived predicate seeds the derivation
-			// store at its home (a nullary derivation), so it shows up in
-			// the derived state like any rule-derived tuple.
 			e.nw.ScheduleAt(e.nw.Now(), func() {
-				rt := e.rts[nodeID]
-				key := t.Key()
-				if rt.derivs[key] == nil {
-					rt.derivs[key] = make(map[string]bool)
-				}
-				rt.derivs[key][fmt.Sprintf("fact:r%d", f.ID)] = true
-				rt.derivedLive[key] = t
-				rt.derivedIDs[key] = rt.generate(t, nil)
+				e.seedDerivedFact(f.ID, t, nodeID)
 			})
 			continue
 		}
 		e.Inject(nodeID, t)
 	}
+}
+
+// seedDerivedFact seeds a program fact of a derived predicate as a
+// nullary derivation at its home, so it shows up in the derived state
+// like any rule-derived tuple. Shared by Start and the replay pass
+// (which wipes derivation state and must re-seed).
+func (e *Engine) seedDerivedFact(ruleID int, t eval.Tuple, nodeID nsim.NodeID) {
+	rt := e.rts[nodeID]
+	key := t.Key()
+	if rt.derivs[key] == nil {
+		rt.derivs[key] = make(map[string]bool)
+	}
+	rt.derivs[key][fmt.Sprintf("fact:r%d", ruleID)] = true
+	rt.derivedLive[key] = t
+	rt.derivedIDs[key] = rt.generate(t, nil)
 }
 
 // homeFor returns the node where tuple t should originate: its placement

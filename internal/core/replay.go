@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datalog/eval"
+	"repro/internal/nsim"
+	"repro/internal/routing"
+	"repro/internal/window"
+)
+
+// Replay (and ReplayAt) is the engine's anti-entropy repair pass for
+// runs that lost messages to injected faults: crashes, partitions and
+// link churn can permanently drop replication walkers, join sweeps and
+// result candidates, leaving the distributed derived set short of —
+// or, through missed negated-stream retractions, in excess of — the
+// program's true fixpoint.
+//
+// The repair is a full re-execution of the base timeline. Every node
+// drops its distributed state (replica store, set-of-derivations store,
+// flood dedup sets, buffered candidates), the routing cache is
+// invalidated (entries computed while a node was down would keep
+// routing around it after recovery), and every logged base generation —
+// insert or delete — is re-launched with its ORIGINAL stamps. The join
+// machinery then re-derives the IDB from scratch; derived cascades run
+// with fresh stamps, which all order after every base stamp.
+//
+// Stamp preservation is what makes the re-execution equivalent to
+// evaluating the program over the surviving base set:
+//
+//   - replica visibility is decided by stamps alone (VisibleAt), so a
+//     replayed sweep at visibility stamp tau sees exactly the replicas
+//     the original timeline would have shown a fault-free sweep at tau
+//     — a re-launched deletion marker (original deletion stamp) hides
+//     the tuple from every later tau, however the repair traffic
+//     interleaves;
+//   - derivation keys are (rule ID, positive body tuple stamps), so
+//     the add emitted by a replayed insert and the remove emitted by a
+//     replayed delete name the same derivation, exactly as they did
+//     (or would have, had their walkers survived) the first time;
+//   - re-issued candidates carry their original update stamps, and the
+//     finalize floor (bufferCand) holds them until the repair traffic
+//     settles, so one drain applies them in stamp order — the same
+//     Theorem 3 ordering the original deadlines enforced.
+//
+// A wholesale wipe may look heavy-handed next to an incremental patch,
+// but incremental repair is unsound for negation: a derivation added
+// because a sweep could not see a blocked replica of a negated
+// predicate is never named by any logged removal, so no amount of
+// re-adding retracts it. Re-deriving from the base log uses the
+// paper's own maintenance machinery as the repair path — negated-
+// stream triggers re-emit exactly the retractions the faults ate.
+//
+// Preconditions: call at quiescence (fault schedule healed, event
+// queue otherwise drained — in-flight walkers would re-apply stale
+// partial state after the wipe), and with unbounded windows (expiry
+// reclaims old-stamp replicas before the re-execution can use them).
+// Cascades through k rule strata settle within the replayed drains;
+// the differential harness in internal/check runs the network dry
+// after each pass and re-checks, repeating while the derived set still
+// disagrees with the oracle.
+
+// Replay schedules a repair pass now. It requires Config.ReplayLog.
+func (e *Engine) Replay() error { return e.ReplayAt(e.nw.Now()) }
+
+// ReplayAt schedules a repair pass at the given simulation time (see
+// the package comment above for the preconditions).
+func (e *Engine) ReplayAt(at nsim.Time) error {
+	if !e.cfg.ReplayLog {
+		return fmt.Errorf("core: ReplayAt needs Config.ReplayLog (the generation log is off)")
+	}
+	e.nw.ScheduleAt(at, e.replayNow)
+	return nil
+}
+
+// ReplayLogLen returns the total logged base generations across all
+// nodes (0 unless Config.ReplayLog).
+func (e *Engine) ReplayLogLen() int {
+	n := 0
+	for _, rt := range e.rts {
+		n += len(rt.genLog)
+	}
+	return n
+}
+
+func (e *Engine) replayNow() {
+	e.finalizeFloor = e.nw.Now()
+	e.router.Invalidate()
+	for _, rt := range e.rts {
+		st := window.NewStore()
+		st.Naive = e.cfg.NaiveJoin
+		rt.store = st
+		rt.derivs = make(map[string]map[string]bool)
+		rt.derivedLive = make(map[string]eval.Tuple)
+		rt.derivedIDs = make(map[string]window.Stamp)
+		rt.aggSessions = make(map[string]*aggSession)
+		rt.pendingCands = rt.pendingCands[:0]
+		rt.outbox = rt.outbox[:0]
+		rt.dedup = routing.Dedup{}
+	}
+	// Program facts of derived predicates are not rule-derived, so the
+	// base replay cannot restore them; re-seed them (fresh stamps).
+	for _, f := range e.prog.Facts() {
+		t := eval.Tuple{Pred: f.Head.PredKey(), Args: f.Head.Args}
+		if e.prog.IsDerived(t.Pred) {
+			e.seedDerivedFact(f.ID, t, e.homeFor(t))
+		}
+	}
+	for _, rt := range e.rts {
+		for _, rec := range rt.genLog {
+			if rec.IsDel {
+				del := rec.Del
+				rt.launch(rec.Tuple, rec.ID, &del, del)
+			} else {
+				rt.launch(rec.Tuple, rec.ID, nil, rec.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/eval"
+	"repro/internal/gpa"
+	"repro/internal/nsim"
+)
+
+// Replay without the generation log must fail fast, not silently
+// repair nothing.
+func TestReplayRequiresLog(t *testing.T) {
+	e, nw := buildGrid(t, 4, joinSrc, Config{Scheme: gpa.Perpendicular}, nsim.Config{Seed: 1})
+	nw.Run(0)
+	if err := e.Replay(); err == nil {
+		t.Fatal("Replay without Config.ReplayLog succeeded")
+	}
+}
+
+// A replay on a healthy, quiescent run must be a semantic no-op: the
+// derived state still equals the oracle afterwards (the re-execution
+// collapses into the already-present state by stamp idempotency).
+func TestReplayNoOpOnHealthyRun(t *testing.T) {
+	e, nw := buildGrid(t, 5, joinSrc,
+		Config{Scheme: gpa.Perpendicular, ReplayLog: true}, nsim.Config{Seed: 2})
+	var base []eval.Tuple
+	for i := 0; i < 6; i++ {
+		ra := eval.NewTuple("ra", ast.Int64(int64(i)), ast.Int64(int64(i%3)))
+		rb := eval.NewTuple("rb", ast.Int64(int64(i%3)), ast.Int64(int64(i)))
+		e.InjectAt(nsim.Time(i*90), nsim.NodeID((i*5)%nw.Len()), ra)
+		e.InjectAt(nsim.Time(i*90+30), nsim.NodeID((i*9+2)%nw.Len()), rb)
+		base = append(base, ra, rb)
+	}
+	nw.Run(0)
+	oracleCompare(t, e, joinSrc, base, "out/2")
+	if err := e.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(0)
+	oracleCompare(t, e, joinSrc, base, "out/2")
+}
+
+// Crashing a third of the grid while the workload runs loses walkers
+// and candidates for good; a replay pass after the nodes recover must
+// restore oracle equality. Deletions are part of the workload so the
+// repair also replays deletion markers.
+func TestReplayRepairsCrashLoss(t *testing.T) {
+	e, nw := buildGrid(t, 6, joinSrc,
+		Config{Scheme: gpa.Perpendicular, ReplayLog: true}, nsim.Config{Seed: 3})
+	// Take a band of the grid down for the middle of the workload.
+	var downed []nsim.NodeID
+	for id := 6; id < 18; id++ {
+		downed = append(downed, nsim.NodeID(id))
+	}
+	nw.ScheduleAt(100, func() {
+		for _, id := range downed {
+			nw.Node(id).Down = true
+		}
+	})
+	nw.ScheduleAt(900, func() {
+		for _, id := range downed {
+			nw.Node(id).Down = false
+		}
+	})
+	live := map[string]eval.Tuple{}
+	for i := 0; i < 8; i++ {
+		ra := eval.NewTuple("ra", ast.Int64(int64(i)), ast.Int64(int64(i%4)))
+		rb := eval.NewTuple("rb", ast.Int64(int64(i%4)), ast.Int64(int64(i)))
+		e.InjectAt(nsim.Time(40+i*110), nsim.NodeID((i*7)%nw.Len()), ra)
+		e.InjectAt(nsim.Time(70+i*110), nsim.NodeID((i*13+4)%nw.Len()), rb)
+		live[ra.Key()] = ra
+		live[rb.Key()] = rb
+	}
+	// Delete two tuples, one while the band is down.
+	del1 := eval.NewTuple("ra", ast.Int64(0), ast.Int64(0))
+	del2 := eval.NewTuple("rb", ast.Int64(1), ast.Int64(5))
+	e.InjectDeleteAt(600, nsim.NodeID(0), del1)
+	e.InjectDeleteAt(1200, nsim.NodeID((5*13+4)%nw.Len()), del2)
+	delete(live, del1.Key())
+	delete(live, del2.Key())
+	nw.Run(0)
+
+	var base []eval.Tuple
+	for _, tup := range live {
+		base = append(base, tup)
+	}
+	if err := e.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(0)
+	oracleCompare(t, e, joinSrc, base, "out/2")
+}
+
+// Only base generations are logged: cascaded derived generations would
+// grow the log without adding replayable information.
+func TestReplayLogCountsBaseGenerationsOnly(t *testing.T) {
+	e, nw := buildGrid(t, 4, joinSrc,
+		Config{Scheme: gpa.Perpendicular, ReplayLog: true}, nsim.Config{Seed: 4})
+	e.InjectAt(10, 0, eval.NewTuple("ra", ast.Int64(1), ast.Int64(2)))
+	e.InjectAt(20, 1, eval.NewTuple("rb", ast.Int64(2), ast.Int64(3)))
+	nw.Run(0)
+	if len(e.Derived("out/2")) != 1 {
+		t.Fatalf("expected one derived tuple, got %d", len(e.Derived("out/2")))
+	}
+	if got := e.ReplayLogLen(); got != 2 {
+		t.Fatalf("ReplayLogLen = %d, want 2 (base generations only)", got)
+	}
+	e.InjectDeleteAt(2000, 0, eval.NewTuple("ra", ast.Int64(1), ast.Int64(2)))
+	nw.Run(0)
+	if got := e.ReplayLogLen(); got != 3 {
+		t.Fatalf("ReplayLogLen after delete = %d, want 3", got)
+	}
+}

@@ -154,6 +154,10 @@ type nodeRT struct {
 	// deadline tick cannot apply a removal before the add it targets.
 	pendingCands []pendingCand
 
+	// genLog records every base generation at this node
+	// (Config.ReplayLog) for fault-repair replay; see Engine.ReplayAt.
+	genLog []genRec
+
 	// Store-probe scratch, reused across subgoal expansions. Safe because
 	// each node runtime is driven by one simulator event at a time and no
 	// probe result outlives the loop that consumes it. The fixed arrays
@@ -264,6 +268,15 @@ func (rt *nodeRT) dispatch(src nsim.NodeID, kind string, payload interface{}) {
 
 // --- generation: a tuple is inserted or deleted at this node ---
 
+// genRec is one logged base generation (Config.ReplayLog): enough to
+// re-execute the storage and join phases with the original stamps.
+type genRec struct {
+	Tuple eval.Tuple
+	ID    window.Stamp // generation stamp of the tuple
+	Del   window.Stamp // deletion stamp; meaningful when IsDel
+	IsDel bool
+}
+
 // generate starts the storage phase of an insertion (del == nil) or a
 // deletion of the tuple with original stamp *del. It returns the
 // generation stamp (for inserts) or the deletion stamp (for deletes).
@@ -291,7 +304,27 @@ func (rt *nodeRT) generate(t eval.Tuple, del *window.Stamp) window.Stamp {
 			Tuple: t, Insert: del == nil, At: rt.node.Now(), Node: rt.node.ID,
 		})
 	}
+	if rt.e.cfg.ReplayLog && rt.e.prog.IsBase(t.Pred) {
+		// Only base generations are logged: replay re-executes the base
+		// timeline and lets the join machinery re-derive everything else,
+		// so logging cascaded derived generations would only grow the log.
+		rec := genRec{Tuple: t, ID: id}
+		if delStamp != nil {
+			rec.Del = *delStamp
+			rec.IsDel = true
+		}
+		rt.genLog = append(rt.genLog, rec)
+	}
+	rt.launch(t, id, delStamp, stamp)
+	return stamp
+}
 
+// launch executes the storage and join-computation phases of a
+// generation with the given stamps. Split from generate so ReplayAt
+// can re-execute logged generations stamp-for-stamp (replication is
+// idempotent by stamp and derivation keys are stamp-determined, so a
+// re-launch repairs lost state without creating divergent duplicates).
+func (rt *nodeRT) launch(t eval.Tuple, id window.Stamp, delStamp *window.Stamp, tau window.Stamp) {
 	// Storage phase.
 	rt.applyStoreLocal(t, id, delStamp)
 	if pl, ok := rt.e.placements[t.Pred]; ok {
@@ -322,9 +355,9 @@ func (rt *nodeRT) generate(t eval.Tuple, del *window.Stamp) window.Stamp {
 				}
 				rt.forwardStore(sm)
 			} else {
-				rt.serverJoin(t, id, stamp, delStamp != nil)
+				rt.serverJoin(t, id, tau, delStamp != nil)
 			}
-			return stamp // no per-source join phase in the centralized scheme
+			return // no per-source join phase in the centralized scheme
 		default:
 			plan := rt.e.planner.Storage(rt.node)
 			switch {
@@ -350,9 +383,8 @@ func (rt *nodeRT) generate(t eval.Tuple, del *window.Stamp) window.Stamp {
 	}
 
 	// Join-computation phase after the storage settle delay (Thm 3).
-	rec := &updateRec{Tuple: t, ID: id, Tau: stamp, Del: delStamp != nil}
+	rec := &updateRec{Tuple: t, ID: id, Tau: tau, Del: delStamp != nil}
 	rt.node.SetTimer(rt.e.cfg.TauS+rt.e.cfg.TauC, timerJoinPhase, rec)
-	return stamp
 }
 
 // applyStoreLocal stores a replica or records a deletion stamp.
@@ -847,6 +879,15 @@ func (rt *nodeRT) onResult(rm *resultMsg) {
 // delay" extensions of Section IV.
 func (rt *nodeRT) bufferCand(c *candR) {
 	deadline := rt.e.finalizeDeadline(c.Update.TS, c.Head.Pred)
+	if fl := rt.e.finalizeFloor; fl > 0 && c.Update.TS < int64(fl) {
+		// Replay re-issues candidates whose update stamps — and hence
+		// deadlines — are long past. Treating their timestamps as the
+		// replay start keeps them buffered until the repair traffic
+		// settles; the drain then applies everything in stamp order.
+		if fd := rt.e.finalizeDeadline(int64(fl), c.Head.Pred); fd > deadline {
+			deadline = fd
+		}
+	}
 	delay := deadline - rt.node.LocalTime()
 	if delay < 1 {
 		delay = 1

@@ -304,6 +304,16 @@ func (t Term) AppendKey(b []byte) []byte {
 	return b
 }
 
+// isArithOp reports whether functor is one of the infix arithmetic
+// operators the expression grammar builds compound terms from.
+func isArithOp(functor string) bool {
+	switch functor {
+	case "+", "-", "*", "/", "mod":
+		return true
+	}
+	return false
+}
+
 // String renders t in source syntax. Lists render as [a, b, c] or [H|T].
 func (t Term) String() string {
 	var b strings.Builder
@@ -330,6 +340,24 @@ func (t Term) appendString(b *strings.Builder) {
 	case KindCompound:
 		if t.Str == ListFunctor && len(t.Args) == 2 {
 			t.appendListString(b)
+			return
+		}
+		// Arithmetic operators lex as operator tokens, not identifiers,
+		// so functor form +(D, 1) would not re-parse; print them infix,
+		// fully parenthesized (the grammar's primary accepts '(' expr ')').
+		if isArithOp(t.Str) && len(t.Args) == 2 {
+			b.WriteByte('(')
+			t.Args[0].appendString(b)
+			b.WriteByte(' ')
+			b.WriteString(t.Str)
+			b.WriteByte(' ')
+			t.Args[1].appendString(b)
+			b.WriteByte(')')
+			return
+		}
+		if t.Str == "-" && len(t.Args) == 1 {
+			b.WriteByte('-')
+			t.Args[0].appendString(b)
 			return
 		}
 		b.WriteString(t.Str)

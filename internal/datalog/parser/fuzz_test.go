@@ -1,0 +1,105 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/datalog/analysis"
+)
+
+// fuzzSeeds spans the surface syntax the examples exercise: base
+// declarations, storage directives, windows, joins, negation,
+// aggregates, comparisons and arithmetic built-ins, facts, queries,
+// and comments. The fuzzer mutates from here into the weeds.
+var fuzzSeeds = []string{
+	// Two-stream join (E1 workload shape).
+	`
+.base ra/2.
+.base rb/2.
+out(X, Z) :- ra(X, Y), rb(Y, Z).
+`,
+	// Aggregates over a base stream.
+	`
+.base reading/3.
+coldest(min<T>)    :- reading(N, Z, T).
+hot(count<N>)      :- reading(N, Z, T), T > 90.
+zonemax(Z, max<T>) :- reading(N, Z, T).
+`,
+	// Storage directives, comparisons, negation-free boundary program.
+	`
+.base reading/2.
+.base g/2.
+.store reading/2 at 0 hops 1.
+.store g/2 at 0 hops 1.
+.store boundary/2 at 0.
+
+inside(N)  :- reading(N, T), T >= 70.
+outside(N) :- reading(N, T), T < 70.
+% boundary edge: inside node adjacent to an outside node
+boundary(X, Y) :- inside(X), g(X, Y), outside(Y).
+
+.query boundary/2.
+`,
+	// XY-stratified negation with arithmetic (spanning-tree shape).
+	`
+.base g/2.
+.store g/2 at 0 hops 1.
+j(n0, 0).
+jp(Y, D1) :- j(Y, Dp), D1 = D + 1, D1 > Dp, j(X, D), g(X, Y).
+j(Y, D1) :- g(X, Y), j(X, D), D1 = D + 1, NOT jp(Y, D1).
+`,
+	// Windows and a simple alert rule.
+	`
+.base temp/2.
+.window temp/2 100.
+alert(N, T) :- temp(N, T), T > 90.
+.query alert/2.
+`,
+	// Negation over a derived predicate plus a union.
+	`
+.base b0/2.
+.base b2/2.
+d1(X, Z) :- b0(X, Y), b2(Y, Z).
+d4(X, Y) :- b0(X, Y).
+d4(X, Y) :- b2(X, Y).
+d6(X, Y) :- b0(X, Y), NOT d1(X, Y).
+`,
+	// Facts, spatial built-in, string constants.
+	`
+.base sensor/2.
+near(A, B) :- sensor(A, L), sensor(B, L2), dist(L, L2) <= 5.
+label(n3, "hot spot").
+`,
+	// Degenerate inputs that should error cleanly, not crash.
+	`out(X :- ra(X.`,
+	`.base`,
+	`%% only a comment`,
+	``,
+}
+
+// FuzzParse feeds arbitrary bytes through the full front-end. The
+// invariants are crash-freedom, not acceptance: Parse must return a
+// program or an error (never panic), and anything it accepts must
+// survive semantic analysis and pretty-printing — the two consumers
+// every accepted program reaches.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted programs must print without panicking, and the
+		// printed form must itself parse (String is fed back to users
+		// and to test oracles as re-parseable source).
+		printed := prog.String()
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("String() of an accepted program no longer parses: %v\n--- printed ---\n%s\n--- original ---\n%s",
+				err, printed, src)
+		}
+		// Analysis may reject (unsafe rules, bad stratification) but
+		// must not panic on any parser-accepted input.
+		_, _ = analysis.Analyze(prog)
+	})
+}

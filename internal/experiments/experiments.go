@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"repro/internal/baseline"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/datalog/ast"
 	"repro/internal/datalog/eval"
@@ -660,6 +661,44 @@ func E13Batching(sizes []int, bursts, perBurst int) *metrics.Table {
 			100*(1-float64(on.TotalSent)/float64(off.TotalSent)),
 			off.TotalBytes, on.TotalBytes,
 			100*(1-float64(on.TotalBytes)/float64(off.TotalBytes)))
+	}
+	return t
+}
+
+// E14Churn — derived-set convergence and message cost as fault churn
+// scales, driven by the differential harness (internal/check): each
+// run generates a seeded (program, workload, fault schedule) triple,
+// executes it on the simulated grid, and counts the repair rounds and
+// repair traffic Engine.Replay needs to restore oracle equality after
+// the faults heal. Churn 0 is the control: it must converge without
+// repair, pinning the harness itself as a no-op on clean runs.
+func E14Churn(churns []int, seeds int) *metrics.Table {
+	t := metrics.NewTable(
+		"E14: derived-set convergence and repair cost vs fault churn",
+		"churn", "runs", "converged", "avg rounds", "avg msgs", "avg repair msgs", "blocked", "dups", "reorders")
+	for _, c := range churns {
+		var conv, rounds int
+		var msgs, repair, blocked, dups, reorders int64
+		for s := 0; s < seeds; s++ {
+			res, err := check.Run(check.Config{Seed: int64(1000*c + s), Churn: c})
+			if err != nil {
+				panic(fmt.Sprintf("E14 churn %d seed %d: %v", c, s, err))
+			}
+			if res.Converged {
+				conv++
+			}
+			rounds += res.Rounds
+			msgs += res.Messages
+			repair += res.RepairMessages
+			blocked += res.Faults.Blocked
+			dups += res.Faults.Duplicated
+			reorders += res.Faults.Reordered
+		}
+		n := float64(seeds)
+		t.AddRow(c, seeds, conv,
+			fmt.Sprintf("%.2f", float64(rounds)/n),
+			int64(float64(msgs)/n), int64(float64(repair)/n),
+			blocked, dups, reorders)
 	}
 	return t
 }

@@ -221,3 +221,32 @@ func TestE11ShapeTAGBeatsNaive(t *testing.T) {
 		t.Errorf("TAG advantage should widen: %v -> %v", g1, g2)
 	}
 }
+
+func TestE14ShapeChurnConvergesAndZeroChurnNeedsNoRepair(t *testing.T) {
+	rows := E14Churn([]int{0, 2}, 3).Rows()
+	// Columns: churn, runs, converged, avg rounds, avg msgs,
+	// avg repair msgs, blocked, dups, reorders.
+	for i := range rows {
+		if runs, conv := cell(t, rows, i, 1), cell(t, rows, i, 2); conv != runs {
+			t.Errorf("row %d: %v of %v runs converged", i, conv, runs)
+		}
+	}
+	// The fault-free baseline never diverges from the oracle: no repair
+	// rounds, no repair traffic, nothing blocked.
+	if r := cell(t, rows, 0, 3); r != 0 {
+		t.Errorf("churn 0: avg repair rounds = %v, want 0", r)
+	}
+	if m := cell(t, rows, 0, 5); m != 0 {
+		t.Errorf("churn 0: avg repair msgs = %v, want 0", m)
+	}
+	if b := cell(t, rows, 0, 6); b != 0 {
+		t.Errorf("churn 0: blocked deliveries = %v, want 0", b)
+	}
+	// Churn must actually exercise the fault paths and force repair.
+	if b := cell(t, rows, 1, 6); b == 0 {
+		t.Error("churn 2 blocked no deliveries; the schedule is inert")
+	}
+	if r := cell(t, rows, 1, 3); r == 0 {
+		t.Error("churn 2 never needed a repair round; the sweep is not stressing repair")
+	}
+}

@@ -1,0 +1,156 @@
+// Package fault is the deterministic fault-injection layer of the
+// robustness-testing harness (see internal/check). A Schedule scripts
+// faults against simulated time — node crash/recover, per-link churn
+// windows, temporary partitions, and probabilistic message duplication
+// and reordering windows — and an Injector applies it to a
+// nsim.Network through the simulator's FaultController hooks.
+//
+// Everything is deterministic: scripted transitions fire as ordinary
+// scheduled events, and the probabilistic windows draw from the
+// injector's own seeded rng, never the network's, so (a) the same
+// (schedule, seed) pair replays byte-identically and (b) attaching an
+// empty schedule perturbs nothing — the unfaulted run stays
+// byte-identical too.
+//
+// The failure model is fail-stop with stable storage: a crashed node
+// neither sends, receives, nor fires timers, but its store and
+// derivation state survive into recovery (motes keep tables in flash;
+// what a crash loses is every frame addressed to it in the meantime).
+package fault
+
+import "repro/internal/nsim"
+
+// nodeEvent is one scripted node transition.
+type nodeEvent struct {
+	At   nsim.Time
+	Node nsim.NodeID
+}
+
+// linkWindow cuts the (symmetric) link a–b during [From, To).
+type linkWindow struct {
+	From, To nsim.Time
+	A, B     nsim.NodeID
+}
+
+// partWindow separates Group from the rest of the network during
+// [From, To): frames crossing the cut are blocked in both directions.
+type partWindow struct {
+	From, To nsim.Time
+	Group    []nsim.NodeID
+}
+
+// probWindow applies a per-delivery probability during [From, To).
+// MaxExtra bounds the reordering delay (unused for duplication).
+type probWindow struct {
+	From, To nsim.Time
+	Prob     float64
+	MaxExtra nsim.Time
+}
+
+// Schedule is a script of faults against simulated time. The zero
+// value is an empty schedule; the builder methods return the receiver
+// for chaining. Build the whole script before Attach — later edits are
+// not seen by an already-attached injector.
+type Schedule struct {
+	crashes  []nodeEvent
+	recovers []nodeEvent
+	links    []linkWindow
+	parts    []partWindow
+	dups     []probWindow
+	reorders []probWindow
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// Crash takes the given nodes down at time at.
+func (s *Schedule) Crash(at nsim.Time, nodes ...nsim.NodeID) *Schedule {
+	for _, n := range nodes {
+		s.crashes = append(s.crashes, nodeEvent{At: at, Node: n})
+	}
+	return s
+}
+
+// Recover brings the given nodes back up at time at.
+func (s *Schedule) Recover(at nsim.Time, nodes ...nsim.NodeID) *Schedule {
+	for _, n := range nodes {
+		s.recovers = append(s.recovers, nodeEvent{At: at, Node: n})
+	}
+	return s
+}
+
+// CrashWindow crashes the nodes at from and recovers them at to.
+func (s *Schedule) CrashWindow(from, to nsim.Time, nodes ...nsim.NodeID) *Schedule {
+	return s.Crash(from, nodes...).Recover(to, nodes...)
+}
+
+// LinkDown cuts the symmetric link a–b during [from, to) — one churn
+// interval; call repeatedly for a flapping link.
+func (s *Schedule) LinkDown(from, to nsim.Time, a, b nsim.NodeID) *Schedule {
+	s.links = append(s.links, linkWindow{From: from, To: to, A: a, B: b})
+	return s
+}
+
+// Partition separates group from the rest of the network during
+// [from, to); frames crossing the cut are blocked in both directions.
+func (s *Schedule) Partition(from, to nsim.Time, group ...nsim.NodeID) *Schedule {
+	g := append([]nsim.NodeID(nil), group...)
+	s.parts = append(s.parts, partWindow{From: from, To: to, Group: g})
+	return s
+}
+
+// Duplicate duplicates each surviving delivery with probability prob
+// during [from, to).
+func (s *Schedule) Duplicate(from, to nsim.Time, prob float64) *Schedule {
+	s.dups = append(s.dups, probWindow{From: from, To: to, Prob: prob})
+	return s
+}
+
+// Reorder delays each surviving delivery by 1..maxExtra additional
+// ticks with probability prob during [from, to), pushing it behind
+// traffic sent after it.
+func (s *Schedule) Reorder(from, to nsim.Time, prob float64, maxExtra nsim.Time) *Schedule {
+	if maxExtra < 1 {
+		maxExtra = 1
+	}
+	s.reorders = append(s.reorders, probWindow{From: from, To: to, Prob: prob, MaxExtra: maxExtra})
+	return s
+}
+
+// Empty reports whether the schedule scripts no faults at all.
+func (s *Schedule) Empty() bool {
+	return len(s.crashes) == 0 && len(s.recovers) == 0 && len(s.links) == 0 &&
+		len(s.parts) == 0 && len(s.dups) == 0 && len(s.reorders) == 0
+}
+
+// End returns the time by which every scripted fault has healed: the
+// maximum transition time across the schedule. Running the network
+// past End and draining the queue leaves a fault-free, quiescent
+// system — the precondition for the differential check.
+func (s *Schedule) End() nsim.Time {
+	var end nsim.Time
+	max := func(t nsim.Time) {
+		if t > end {
+			end = t
+		}
+	}
+	for _, e := range s.crashes {
+		max(e.At)
+	}
+	for _, e := range s.recovers {
+		max(e.At)
+	}
+	for _, w := range s.links {
+		max(w.To)
+	}
+	for _, w := range s.parts {
+		max(w.To)
+	}
+	for _, w := range s.dups {
+		max(w.To)
+	}
+	for _, w := range s.reorders {
+		max(w.To)
+	}
+	return end
+}

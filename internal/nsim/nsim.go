@@ -28,6 +28,23 @@ type NodeID int
 // Time is virtual simulation time in ticks.
 type Time int64
 
+// FaultController injects scripted faults into the radio substrate
+// (see internal/fault). The simulator consults it on the paths the
+// loss/death models already instrument, so an attached controller with
+// no active fault perturbs nothing: LinkBlocked extends the loss check
+// and DeliveryFault extends the delay draw, and neither consumes the
+// network's rng stream (controllers carry their own seeded source).
+type FaultController interface {
+	// LinkBlocked reports whether a frame from src to dst is cut by an
+	// active link fault or partition. Blocked attempts are accounted as
+	// drops; ARQ re-attempts them like lost frames.
+	LinkBlocked(src, dst NodeID, now Time) bool
+	// DeliveryFault perturbs a delivery that survived the loss process:
+	// extra is added to the drawn per-hop delay (reordering it behind
+	// later traffic) and dup schedules that many duplicate deliveries.
+	DeliveryFault(src, dst NodeID, now Time) (extra Time, dup int)
+}
+
 // Message is one link-level radio transmission.
 type Message struct {
 	Src, Dst NodeID
@@ -208,6 +225,10 @@ type Network struct {
 	// trace, when non-nil, records send/recv/drop events (observe.go).
 	trace *obs.Trace
 
+	// faults, when non-nil, is consulted on every transmission attempt
+	// and delivery (SetFaults).
+	faults FaultController
+
 	// Energy-model outcomes.
 	Deaths         int64
 	FirstDeath     Time // 0 until a node dies
@@ -227,6 +248,20 @@ func New(cfg Config) *Network {
 
 // Config returns the network's configuration.
 func (nw *Network) Config() Config { return nw.cfg }
+
+// SetFaults attaches (or, with nil, detaches) a fault controller. The
+// controller sees every transmission attempt and surviving delivery;
+// detaching restores the fault-free paths exactly.
+func (nw *Network) SetFaults(fc FaultController) { nw.faults = fc }
+
+// TraceRecord forwards an event to the attached trace ring (no-op
+// without one). Fault controllers use it to log crash/recover and
+// link-state transitions next to the radio events they perturb.
+func (nw *Network) TraceRecord(e obs.Event) {
+	if nw.trace != nil {
+		nw.trace.Record(e)
+	}
+}
 
 // AddNode places a node at (x, y). Must be called before Finalize.
 func (nw *Network) AddNode(x, y float64) *Node {
@@ -313,6 +348,19 @@ func (nw *Network) transmit(src *Node, dst NodeID, kind string, payload interfac
 				}
 			}
 		}
+		// A faulted link (cut or partition) eats the frame before the loss
+		// model sees it; the attempt is accounted as a drop and ARQ
+		// re-attempts it like any lost frame.
+		if nw.faults != nil && nw.faults.LinkBlocked(src.ID, dst, nw.now) {
+			nw.TotalDropped++
+			if nw.trace != nil {
+				nw.trace.Record(obs.Event{At: int64(nw.now), Node: int32(src.ID), Peer: int32(dst), Kind: obs.EvDrop, Pred: kind, Size: int32(size)})
+			}
+			if src.Down {
+				return
+			}
+			continue
+		}
 		if nw.cfg.LossRate > 0 && nw.rng.Float64() < nw.cfg.LossRate {
 			nw.TotalDropped++
 			if nw.trace != nil {
@@ -332,6 +380,26 @@ func (nw *Network) transmit(src *Node, dst NodeID, kind string, payload interfac
 	delay := nw.cfg.MinDelay
 	if nw.cfg.MaxDelay > nw.cfg.MinDelay {
 		delay += Time(nw.rng.Int63n(int64(nw.cfg.MaxDelay - nw.cfg.MinDelay + 1)))
+	}
+	if nw.faults != nil {
+		// Delivery faults: extra delay pushes the frame behind later
+		// traffic (reordering); dup schedules link-layer duplicate
+		// deliveries of the same frame. Handlers tolerate duplicates by
+		// construction — replication is stamp-idempotent and derivations
+		// are sets — which is exactly the property the harness probes.
+		extra, dup := nw.faults.DeliveryFault(src.ID, dst, nw.now)
+		if extra > 0 {
+			delay += extra
+			if nw.trace != nil {
+				nw.trace.Record(obs.Event{At: int64(nw.now), Node: int32(src.ID), Peer: int32(dst), Kind: obs.EvReorder, Pred: kind, Size: int32(size)})
+			}
+		}
+		for i := 0; i < dup; i++ {
+			if nw.trace != nil {
+				nw.trace.Record(obs.Event{At: int64(nw.now), Node: int32(src.ID), Peer: int32(dst), Kind: obs.EvDup, Pred: kind, Size: int32(size)})
+			}
+			nw.scheduleDelivery(nw.now+delay, src.ID, dst, kind, payload, size)
+		}
 	}
 	nw.scheduleDelivery(nw.now+delay, src.ID, dst, kind, payload, size)
 }

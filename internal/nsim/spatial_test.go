@@ -1,10 +1,32 @@
 package nsim
 
 import (
+	"flag"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
+
+// -seed replays one failing case of the randomized quick-check tests:
+// each property logs the seed it failed under, and
+// `go test ./internal/nsim -run TestGridNeighbors -seed N` reruns
+// exactly that case instead of quick.Check's random sweep.
+var seedFlag = flag.Int64("seed", -1, "replay a single quick-check seed instead of the random sweep")
+
+// quickSeeded runs prop under testing/quick, or — when -seed is set —
+// once with exactly that seed.
+func quickSeeded(t *testing.T, prop func(seed int64) bool, maxCount int) {
+	t.Helper()
+	if *seedFlag >= 0 {
+		if !prop(*seedFlag) {
+			t.Errorf("property failed for -seed %d", *seedFlag)
+		}
+		return
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: maxCount}); err != nil {
+		t.Error(err)
+	}
+}
 
 // randomNet builds an unfinalized network with n nodes placed uniformly
 // in a side×side box.
@@ -64,9 +86,7 @@ func TestGridNeighborsMatchBruteForce(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
-		t.Error(err)
-	}
+	quickSeeded(t, prop, 40)
 }
 
 // TestNearestNodeMatchesBruteForce: the expanding-ring walk returns the
@@ -128,9 +148,7 @@ func TestNearestNodeMatchesBruteForce(t *testing.T) {
 		}
 		return nw.NearestNode(0, 0) == nil && nw.nearestBrute(0, 0) == nil
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
-		t.Error(err)
-	}
+	quickSeeded(t, prop, 25)
 }
 
 // TestNearestNodeTieBreaksToLowerID pins the tie-break rule the ring

@@ -26,11 +26,27 @@ const (
 	EvDelete
 	// EvSettle is a join candidate applied at its finalize deadline.
 	EvSettle
+	// EvCrash is a node taken down by fault injection.
+	EvCrash
+	// EvRecover is a crashed node brought back up by fault injection.
+	EvRecover
+	// EvLinkDown is a link (or partition cut) starting to block frames.
+	EvLinkDown
+	// EvLinkUp is a blocked link (or partition) healing.
+	EvLinkUp
+	// EvDup is a delivery duplicated by the fault model.
+	EvDup
+	// EvReorder is a delivery delayed past its natural slot by the fault
+	// model (reordering it behind later traffic).
+	EvReorder
 
 	numEventKinds = iota
 )
 
-var kindNames = [numEventKinds]string{"send", "recv", "drop", "derive", "delete", "settle"}
+var kindNames = [numEventKinds]string{
+	"send", "recv", "drop", "derive", "delete", "settle",
+	"crash", "recover", "linkdown", "linkup", "dup", "reorder",
+}
 
 // String returns the lowercase wire name of the kind.
 func (k EventKind) String() string {

@@ -119,6 +119,16 @@ func NewEngine(nw *nsim.Network) *Engine {
 	return &Engine{nw: nw, nearest: make(map[[2]float64]nsim.NodeID)}
 }
 
+// Invalidate drops every cached nearest-node entry (the counters are
+// kept). The Down-check revalidation above is sound only while Down
+// transitions are monotone; fault injection recovers nodes, and a cache
+// entry computed while the true nearest node was down would otherwise
+// keep routing around it forever. Core's replay pass calls this after
+// the fault schedule heals.
+func (e *Engine) Invalidate() {
+	clear(e.nearest)
+}
+
 // NearestNode returns the live node closest to (x, y), memoized per
 // target point.
 func (e *Engine) NearestNode(x, y float64) *nsim.Node {

@@ -45,6 +45,7 @@ import (
 	"repro/internal/datalog/eval"
 	"repro/internal/datalog/magic"
 	"repro/internal/datalog/parser"
+	"repro/internal/fault"
 	"repro/internal/gpa"
 	"repro/internal/nsim"
 	"repro/internal/obs"
@@ -65,7 +66,18 @@ type (
 	Analysis = analysis.Result
 	// Registry holds built-in predicates and functions.
 	Registry = builtin.Registry
+	// FaultSchedule scripts deterministic faults — crash/recover,
+	// link churn, partitions, duplication and reordering windows —
+	// against virtual time (see WithFaults).
+	FaultSchedule = fault.Schedule
+	// FaultCounts is the fault injector's bookkeeping.
+	FaultCounts = fault.Counts
 )
+
+// NewFaultSchedule returns an empty fault schedule; chain its builder
+// methods (CrashWindow, LinkDown, Partition, Duplicate, Reorder) and
+// pass it to WithFaults.
+func NewFaultSchedule() *FaultSchedule { return fault.NewSchedule() }
 
 // Scheme selects the in-network join strategy.
 type Scheme = gpa.Scheme
@@ -209,9 +221,17 @@ type Options struct {
 	// into batch frames (see core.Config.BatchLinks).
 	BatchLinks bool
 	// TraceCapacity, when positive, attaches a trace ring buffer
-	// retaining up to this many send/recv/drop/derive/delete/settle
-	// events, readable via Cluster.Trace and Cluster.WriteTrace.
+	// retaining up to this many trace events (send/recv/... plus the
+	// fault kinds), readable via Cluster.Trace and Cluster.WriteTrace.
 	TraceCapacity int
+	// FaultSchedule, when non-nil, is applied to the deployment by a
+	// deterministic fault injector seeded with FaultSeed.
+	FaultSchedule *FaultSchedule
+	// FaultSeed seeds the injector's probabilistic windows.
+	FaultSeed int64
+	// ReplayLog keeps per-node generation logs so Cluster.Replay can
+	// repair state lost to faults (see core.Config.ReplayLog).
+	ReplayLog bool
 }
 
 // Option is a functional deployment option for Deploy.
@@ -257,6 +277,18 @@ func WithNaiveJoin() Option { return func(o *Options) { o.NaiveJoin = true } }
 
 // WithBatchLinks enables batched link transport.
 func WithBatchLinks() Option { return func(o *Options) { o.BatchLinks = true } }
+
+// WithFaults applies a deterministic fault schedule to the deployment.
+// The injector's probabilistic windows draw from their own rng seeded
+// with seed, so the same (schedule, seed) replays byte-identically and
+// an empty schedule perturbs nothing.
+func WithFaults(s *FaultSchedule, seed int64) Option {
+	return func(o *Options) { o.FaultSchedule, o.FaultSeed = s, seed }
+}
+
+// WithReplayLog keeps per-node generation logs so Cluster.Replay can
+// repair state lost to injected faults.
+func WithReplayLog() Option { return func(o *Options) { o.ReplayLog = true } }
 
 // WithTrace attaches a trace ring buffer retaining up to capacity
 // events.
@@ -313,8 +345,9 @@ type Cluster struct {
 	Engine  *core.Engine
 	Network *nsim.Network
 
-	reg   *obs.Registry
-	trace *obs.Trace
+	reg    *obs.Registry
+	trace  *obs.Trace
+	faults *fault.Injector
 }
 
 // Deploy compiles src onto the given topology:
@@ -372,6 +405,7 @@ func deploy(nw *nsim.Network, src string, opt Options) (*Cluster, error) {
 		Registry:      opt.Registry,
 		NaiveJoin:     opt.NaiveJoin,
 		BatchLinks:    opt.BatchLinks,
+		ReplayLog:     opt.ReplayLog,
 	})
 	if err != nil {
 		return nil, err
@@ -385,7 +419,12 @@ func deploy(nw *nsim.Network, src string, opt Options) (*Cluster, error) {
 	eng.Observe(reg, trace)
 	nw.Finalize()
 	eng.Start()
-	return &Cluster{Engine: eng, Network: nw, reg: reg, trace: trace}, nil
+	c := &Cluster{Engine: eng, Network: nw, reg: reg, trace: trace}
+	if opt.FaultSchedule != nil {
+		c.faults = fault.Attach(nw, opt.FaultSchedule, opt.FaultSeed)
+		c.faults.Observe(reg)
+	}
+	return c, nil
 }
 
 // Size returns the number of nodes.
@@ -416,6 +455,21 @@ func (c *Cluster) Run() int64 { return int64(c.Network.Run(0)) }
 
 // RunUntil processes events up to the given virtual time.
 func (c *Cluster) RunUntil(t int64) int64 { return int64(c.Network.Run(nsim.Time(t))) }
+
+// Replay schedules a repair pass that re-executes the logged base
+// timeline to restore state lost to injected faults; run the cluster
+// dry afterwards. Requires WithReplayLog. Call at quiescence, after
+// the fault schedule has healed (FaultSchedule.End).
+func (c *Cluster) Replay() error { return c.Engine.Replay() }
+
+// FaultCounts reports the fault injector's bookkeeping (zero without
+// WithFaults).
+func (c *Cluster) FaultCounts() FaultCounts {
+	if c.faults == nil {
+		return FaultCounts{}
+	}
+	return c.faults.Counts
+}
 
 // Results returns the live derived tuples of a predicate ("name/arity").
 func (c *Cluster) Results(pred string) []Tuple { return c.Engine.Derived(pred) }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench joinbench bench-sim obs-guard fuzz-smoke profile trace-e1 verify
+.PHONY: all build test vet race bench joinbench bench-sim bench-check obs-guard fuzz-smoke profile trace-e1 verify
 
 all: verify
 
@@ -32,10 +32,18 @@ bench-sim:
 	$(GO) test -run '^$$' -bench 'E13' -benchmem .
 	$(GO) run ./cmd/snbench -simjson BENCH_sim.json
 
-# The disabled-observability overhead guard: the E1 m=18 hot loop must
-# stay at the PR 2 allocation baseline when Observe was never called.
+# Gate the regenerated simulator metrics against the committed
+# baseline: events must match exactly, allocs/event within ±10%,
+# throughput within the timing-noise floor. After an intentional perf
+# change, refresh the baseline: cp BENCH_sim.json BENCH_baseline.json.
+bench-check: bench-sim
+	$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json -candidate BENCH_sim.json
+
+# The disabled-observability overhead guards: the E1 m=18 hot loop must
+# stay at the PR 2 allocation baseline both when Observe was never
+# called and when metrics are on but provenance is off.
 obs-guard:
-	$(GO) test -run TestObsDisabledOverheadE1 -v ./internal/experiments/
+	$(GO) test -run 'TestObsDisabledOverheadE1|TestProvDisabledOverheadE1' -v ./internal/experiments/
 
 # A short coverage-guided fuzz pass over the Datalog front-end: Parse
 # must never panic, and everything it accepts must pretty-print to
@@ -60,4 +68,4 @@ profile:
 trace-e1:
 	$(GO) run ./cmd/snbench -trace trace_e1.jsonl
 
-verify: build test vet race obs-guard fuzz-smoke bench-sim
+verify: build test vet race obs-guard fuzz-smoke bench-check

@@ -1,0 +1,118 @@
+// Command benchcheck gates the simulator benchmark against a committed
+// baseline: `make bench-check` regenerates BENCH_sim.json and fails the
+// build when the fast path drifted from BENCH_baseline.json.
+//
+// Three metrics are gated:
+//
+//   - events: the deterministic workload size — any difference means the
+//     benchmark is no longer measuring the same run and the baseline is
+//     meaningless, so equality is required.
+//   - allocs_per_event_fast: allocation count per event is deterministic
+//     for a fixed workload, so the tolerance (default ±10%) exists only
+//     to absorb intentional small shifts; both directions fail, because
+//     an improvement beyond tolerance means the committed baseline is
+//     stale and should be refreshed along with the change that earned it.
+//   - events_per_sec_fast: wall-clock throughput is noisy on shared
+//     machines, so only a regression beyond the (wider) throughput
+//     tolerance fails; improvements always pass.
+//
+// Usage:
+//
+//	benchcheck -baseline BENCH_baseline.json -candidate BENCH_sim.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// simBench mirrors the gated subset of experiments.SimBenchResult's
+// JSON; unknown fields are ignored so the baseline survives additions.
+type simBench struct {
+	Events            int64   `json:"events"`
+	AllocsPerEvent    float64 `json:"allocs_per_event_fast"`
+	EventsPerSecFast  float64 `json:"events_per_sec_fast"`
+}
+
+func load(path string) (*simBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b simBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &b, nil
+}
+
+func relDiff(base, cand float64) float64 {
+	if base == 0 {
+		return math.Inf(1)
+	}
+	return (cand - base) / base
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline metrics")
+	candidate := flag.String("candidate", "BENCH_sim.json", "freshly generated metrics to gate")
+	tol := flag.Float64("tolerance", 0.10, "allowed relative drift in allocs_per_event_fast, either direction")
+	thrTol := flag.Float64("throughput-tolerance", 0.35, "allowed relative throughput regression (timing noise headroom)")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+	cand, err := load(*candidate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	fail := func(format string, args ...interface{}) {
+		failed = true
+		fmt.Printf("FAIL  "+format+"\n", args...)
+	}
+
+	if cand.Events != base.Events {
+		fail("events: %d, baseline %d — the workload changed; regenerate %s deliberately",
+			cand.Events, base.Events, *baseline)
+	} else {
+		fmt.Printf("ok    events: %d (exact match)\n", cand.Events)
+	}
+
+	if d := relDiff(base.AllocsPerEvent, cand.AllocsPerEvent); math.Abs(d) > *tol {
+		verb := "regressed"
+		hint := "find the new allocation"
+		if d < 0 {
+			verb = "improved"
+			hint = "refresh " + *baseline + " to bank the win"
+		}
+		fail("allocs/event: %.3f, baseline %.3f (%+.1f%% — %s beyond ±%.0f%%; %s)",
+			cand.AllocsPerEvent, base.AllocsPerEvent, 100*d, verb, 100**tol, hint)
+	} else {
+		fmt.Printf("ok    allocs/event: %.3f vs baseline %.3f (%+.1f%%, within ±%.0f%%)\n",
+			cand.AllocsPerEvent, base.AllocsPerEvent,
+			100*relDiff(base.AllocsPerEvent, cand.AllocsPerEvent), 100**tol)
+	}
+
+	if d := relDiff(base.EventsPerSecFast, cand.EventsPerSecFast); d < -*thrTol {
+		fail("throughput: %.0f events/s, baseline %.0f (%.1f%% regression beyond %.0f%% noise floor)",
+			cand.EventsPerSecFast, base.EventsPerSecFast, -100*d, 100**thrTol)
+	} else {
+		fmt.Printf("ok    throughput: %.0f events/s vs baseline %.0f (%+.1f%%)\n",
+			cand.EventsPerSecFast, base.EventsPerSecFast,
+			100*relDiff(base.EventsPerSecFast, cand.EventsPerSecFast))
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: candidate within baseline envelope")
+}

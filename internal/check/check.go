@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/datalog/eval"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/gpa"
 	"repro/internal/nsim"
 	"repro/internal/obs"
+	"repro/internal/obs/provenance"
 	"repro/internal/topo"
 )
 
@@ -54,6 +56,12 @@ type Result struct {
 	RepairMessages   int64 // frames sent by the repair rounds alone
 	Faults           fault.Counts
 	Trace            *obs.Trace
+	// ExplainDump, set on the first failed comparison (before any
+	// repair round rewrites history), renders both sides' view of the
+	// first divergent tuple: the engine's distributed provenance tree
+	// and the oracle's centralized proof tree over the surviving base
+	// facts. Empty when the run matched on the first try.
+	ExplainDump string
 }
 
 // Run executes one differential check: generate a program and a
@@ -91,6 +99,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	nw.Observe(reg, res.Trace)
 	e.Observe(reg, res.Trace)
+	// Provenance is always on for differential runs: when the engine
+	// and oracle disagree, the dump below explains the divergent tuple
+	// from both sides, which is the whole point of the harness.
+	e.ObserveProvenance(reg, provenance.NewGraph())
 	nw.Finalize()
 	e.Start()
 
@@ -168,6 +180,9 @@ func Run(cfg Config) (*Result, error) {
 
 	preRepair := nw.TotalSent
 	res.Mismatch = diff(g.Deriveds, want, e)
+	if res.Mismatch != "" {
+		res.ExplainDump = explainDump(g.Src, base, g.Deriveds, want, e)
+	}
 	for res.Mismatch != "" && res.Rounds < cfg.MaxRepair {
 		res.Rounds++
 		if err := e.Replay(); err != nil {
@@ -274,4 +289,81 @@ func diff(preds []string, want *eval.Database, e *core.Engine) string {
 		}
 	}
 	return ""
+}
+
+// firstDivergent identifies the concrete tuple behind a failed diff:
+// the first tuple (in the deriveds' declaration order, then database
+// order) present on exactly one side.
+func firstDivergent(preds []string, want, got *eval.Database) (eval.Tuple, string, bool) {
+	for _, pred := range preds {
+		w, g := want.Tuples(pred), got.Tuples(pred)
+		wk := make(map[string]bool, len(w))
+		for _, t := range w {
+			wk[t.Key()] = true
+		}
+		gk := make(map[string]bool, len(g))
+		for _, t := range g {
+			gk[t.Key()] = true
+		}
+		for _, t := range g {
+			if !wk[t.Key()] {
+				return t, "the engine derives it, the oracle does not", true
+			}
+		}
+		for _, t := range w {
+			if !gk[t.Key()] {
+				return t, "the oracle derives it, the engine does not", true
+			}
+		}
+	}
+	return eval.Tuple{}, "", false
+}
+
+// explainDump renders both sides' explanation of the first divergent
+// tuple — the engine's provenance tree (or the reason it has none) and
+// the oracle's proof tree over the surviving base facts — so a
+// divergence report shows *why* each side believes what it believes,
+// not just that they disagree.
+func explainDump(src string, base []eval.Tuple, preds []string, want *eval.Database, e *core.Engine) string {
+	tup, side, ok := firstDivergent(preds, want, e.DerivedDB())
+	if !ok {
+		// The diff tripped on a count/order artifact without a set
+		// difference; nothing to explain.
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "first divergent tuple: %s (%s)\n", tup.Key(), side)
+	b.WriteString("--- engine (distributed provenance) ---\n")
+	if tree, err := e.Explain(tup.Pred, tup.Args...); err != nil {
+		fmt.Fprintf(&b, "%v\n", err)
+	} else {
+		b.WriteString(tree.String())
+	}
+	b.WriteString("--- oracle (centralized proof tree) ---\n")
+	b.WriteString(oracleProof(src, base, tup))
+	return b.String()
+}
+
+// oracleProof rebuilds the oracle state with a SetOfDerivations
+// maintainer (the Run oracle uses plain semi-naive evaluation, which
+// keeps no witness structure) and unfolds the tuple's proof tree.
+func oracleProof(src string, base []eval.Tuple, tup eval.Tuple) string {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return fmt.Sprintf("oracle parse: %v\n", err)
+	}
+	m, err := eval.NewMaintainer(prog, eval.SetOfDerivations, eval.Options{})
+	if err != nil {
+		return fmt.Sprintf("oracle maintainer: %v\n", err)
+	}
+	for _, t := range base {
+		if _, err := m.Insert(t); err != nil {
+			return fmt.Sprintf("oracle insert %s: %v\n", t.Key(), err)
+		}
+	}
+	pt, err := m.ProofTree(tup)
+	if err != nil {
+		return fmt.Sprintf("%v\n", err)
+	}
+	return pt.String()
 }

@@ -60,6 +60,12 @@ func TestDifferentialSweep(t *testing.T) {
 			if churn == 0 && res.Rounds != 0 {
 				t.Errorf("seed %d: fault-free run needed %d repair rounds", seed, res.Rounds)
 			}
+			if res.Rounds > 0 && res.ExplainDump == "" {
+				t.Errorf("seed %d: divergence needed %d repair rounds but captured no explain dump", seed, res.Rounds)
+			}
+			if res.Rounds > 0 {
+				t.Logf("seed %d divergence dump:\n%s", seed, res.ExplainDump)
+			}
 			partitionDeletes += res.PartitionDeletes
 			t.Logf("seed %d churn %d: rounds=%d msgs=%d repair=%d faults=%+v",
 				seed, churn, res.Rounds, res.Messages, res.RepairMessages, res.Faults)

@@ -32,6 +32,7 @@ import (
 	"repro/internal/gpa"
 	"repro/internal/nsim"
 	"repro/internal/obs"
+	"repro/internal/obs/provenance"
 	"repro/internal/routing"
 	"repro/internal/window"
 )
@@ -224,6 +225,14 @@ type Engine struct {
 	cDeletions   *obs.Counter
 	predDerive   map[string]*obs.Counter
 	predDelete   map[string]*obs.Counter
+	// Histograms (Observe with a registry): settle latency, candidate
+	// routing hops, derivation fan-in. Nil histograms are no-ops.
+	hSettle *obs.Histogram
+	hHops   *obs.Histogram
+	hFanin  *obs.Histogram
+	// prov captures per-derivation lineage (ObserveProvenance). Nil
+	// until attached; every capture site is nil-guarded.
+	prov *provenance.Graph
 
 	// TAG aggregation state.
 	aggRules   map[string]*aggRule     // head pred -> plan
@@ -509,7 +518,15 @@ func (e *Engine) seedDerivedFact(ruleID int, t eval.Tuple, nodeID nsim.NodeID) {
 	if rt.derivs[key] == nil {
 		rt.derivs[key] = make(map[string]bool)
 	}
-	rt.derivs[key][fmt.Sprintf("fact:r%d", ruleID)] = true
+	dk := fmt.Sprintf("fact:r%d", ruleID)
+	rt.derivs[key][dk] = true
+	if e.prov != nil {
+		now := int64(e.nw.Now())
+		e.prov.Add(provenance.Record{
+			Rule: int32(ruleID), Producer: int32(nodeID), Settler: int32(nodeID),
+			SentAt: now, SettledAt: now, Head: key, DerivKey: dk,
+		}, nil)
+	}
 	rt.derivedLive[key] = t
 	rt.derivedIDs[key] = rt.generate(t, nil)
 }

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/eval"
+	"repro/internal/obs/provenance"
+)
+
+// ErrNoProvenance is returned by Explain/Blame when ObserveProvenance
+// was never called (or was detached).
+var ErrNoProvenance = errors.New("core: provenance not attached (call ObserveProvenance before Start)")
+
+// Provenance returns the attached provenance graph (nil when off).
+func (e *Engine) Provenance() *provenance.Graph { return e.prov }
+
+// Explain answers "why is this tuple in the database": the derivation
+// DAG from the tuple down to base facts, built from the live records
+// of the provenance graph. pred is the predicate name with or without
+// the "/arity" suffix; args must be ground terms. Recursive programs
+// are handled by cycle cut-off (a tuple already on the path renders as
+// a [cycle] leaf).
+//
+// A base tuple explains as a single [base] leaf if it is live. A
+// derived tuple with no live derivation — never derived, or derived
+// and then deleted (negation flip, window expiry, cascaded removal) —
+// returns an error: the set-of-derivations store is the ground truth,
+// and provenance is garbage-collected on the same deletion path.
+func (e *Engine) Explain(pred string, args ...ast.Term) (*provenance.Tree, error) {
+	if e.prov == nil {
+		return nil, ErrNoProvenance
+	}
+	t, err := e.resolveQuery(pred, args)
+	if err != nil {
+		return nil, err
+	}
+	key := t.Key()
+	if e.prog.IsBase(t.Pred) {
+		if _, live := e.baseIDs[key]; !live {
+			return nil, fmt.Errorf("core: base tuple %s is not live", key)
+		}
+		return &provenance.Tree{Key: key, Base: true}, nil
+	}
+	if !e.prov.Live(key) {
+		return nil, fmt.Errorf("core: no live derivation of %s (not derived, deleted, or derived before provenance was attached)", key)
+	}
+	return e.prov.Explain(key, e.isBaseKey), nil
+}
+
+// Blame answers "why did this tuple settle when it did": the critical
+// path of derivations below the tuple — at each step the derivation
+// that made the tuple true, descending into the prerequisite that
+// settled last — with per-edge route time, hop count, and wait time.
+func (e *Engine) Blame(pred string, args ...ast.Term) (*provenance.Blame, error) {
+	if e.prov == nil {
+		return nil, ErrNoProvenance
+	}
+	t, err := e.resolveQuery(pred, args)
+	if err != nil {
+		return nil, err
+	}
+	key := t.Key()
+	if e.prog.IsBase(t.Pred) {
+		return nil, fmt.Errorf("core: %s is a base fact; Blame explains derived tuples", key)
+	}
+	bl := e.prov.Blame(key, e.isBaseKey)
+	if bl == nil {
+		return nil, fmt.Errorf("core: no live derivation of %s", key)
+	}
+	return bl, nil
+}
+
+// resolveQuery builds the ground tuple a provenance query names.
+func (e *Engine) resolveQuery(pred string, args []ast.Term) (eval.Tuple, error) {
+	name := pred
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	for _, a := range args {
+		if !a.Ground() {
+			return eval.Tuple{}, fmt.Errorf("core: provenance query %s needs ground arguments", pred)
+		}
+	}
+	t := eval.NewTuple(name, args...)
+	if !e.knownPreds[t.Pred] {
+		return eval.Tuple{}, fmt.Errorf("core: unknown predicate %s", t.Pred)
+	}
+	return t, nil
+}
+
+// isBaseKey classifies a tuple key ("pred/arity|args") as EDB for the
+// tree expansion.
+func (e *Engine) isBaseKey(key string) bool {
+	if i := strings.IndexByte(key, '|'); i >= 0 {
+		return e.prog.IsBase(key[:i])
+	}
+	return false
+}

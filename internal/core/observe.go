@@ -1,6 +1,23 @@
 package core
 
-import "repro/internal/obs"
+import (
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/obs/provenance"
+)
+
+// Default histogram bucket ladders (inclusive upper bounds).
+var (
+	// settleBuckets covers update-visibility → finalize-application
+	// latency in virtual ticks: τs+τc+τj sums land in the khz range on
+	// the standard grids.
+	settleBuckets = obs.ExpBuckets(64, 2, 9) // 64 .. 16384
+	// hopBuckets covers candidate routing producer→home.
+	hopBuckets = obs.ExpBuckets(1, 2, 7) // 1 .. 64
+	// faninBuckets covers positive-body join width (rules are short).
+	faninBuckets = []int64{1, 2, 3, 4, 6, 8}
+)
 
 // Observe attaches the observability layer to the engine. Call any
 // time after New (before or after Start); passing both arguments nil
@@ -25,6 +42,15 @@ import "repro/internal/obs"
 //
 //	core.mem.max_tuples      max per-node stored tuples (replicas+derivations)
 //	core.mem.total_tuples    network-wide stored tuples (avg = total/nodes)
+//	core.mem.max             alias of max_tuples (per-node memory family)
+//	core.mem.p50             median per-node stored tuples
+//
+// Histograms (recorded per settled candidate, flattened by Snapshot
+// into .count/.sum/.max/.p50/.p95/.le_<bound>):
+//
+//	core.settle_ticks        update visibility → finalize application
+//	core.fanin               positive-body join width
+//	core.result_hops         candidate routing hops (needs ObserveProvenance)
 //	core.derived_live        live derived tuples across all home nodes
 //	core.derived_live.<pred> ditto, split by predicate
 //	core.results_logged      finalized transitions of query predicates
@@ -59,18 +85,37 @@ func (e *Engine) Observe(reg *obs.Registry, trace *obs.Trace) {
 		e.predDelete[p] = del.With(p)
 	}
 
+	// Histograms: settle latency (update visibility → finalize), join
+	// fan-in per settled candidate, and — once provenance stamps hops —
+	// candidate routing hop counts. Recorded at the drainFinalize hook;
+	// nil handles keep the unobserved path at one branch per settle.
+	e.hSettle = reg.Histogram("core.settle_ticks", settleBuckets)
+	e.hHops = reg.Histogram("core.result_hops", hopBuckets)
+	e.hFanin = reg.Histogram("core.fanin", faninBuckets)
+
 	reg.Provide(func(emit func(name string, v int64)) {
 		maxMem := 0
 		var total int64
+		mems := make([]int, 0, len(e.nw.Nodes()))
 		for _, n := range e.nw.Nodes() {
 			m := e.StoredReplicas(n.ID) + e.DerivationEntries(n.ID)
 			total += int64(m)
+			mems = append(mems, m)
 			if m > maxMem {
 				maxMem = m
 			}
 		}
 		emit("core.mem.max_tuples", int64(maxMem))
 		emit("core.mem.total_tuples", total)
+		// Per-node memory distribution for E9/E12-style reporting, so
+		// harnesses read the snapshot instead of scraping engine
+		// internals. core.mem.max aliases max_tuples under the new
+		// dotted family.
+		emit("core.mem.max", int64(maxMem))
+		if len(mems) > 0 {
+			sort.Ints(mems)
+			emit("core.mem.p50", int64(mems[len(mems)/2]))
+		}
 
 		var live int64
 		perPred := make(map[string]int64)
@@ -88,4 +133,33 @@ func (e *Engine) Observe(reg *obs.Registry, trace *obs.Trace) {
 		emit("routing.nearest_hits", e.router.Hits)
 		emit("routing.nearest_misses", e.router.Misses)
 	})
+}
+
+// ObserveProvenance attaches a provenance graph to the engine: every
+// settled derivation is captured as a (rule, head, body, producer,
+// settler, send/settle time, hop count) record, queryable through
+// Engine.Explain and Engine.Blame. Attach before Start so the seeded
+// derived facts are captured too. Enables hop stamping on the
+// simulator (candidate payloads get one bump per transmitted frame).
+//
+// reg, if non-nil, gains two gauges sampled at Snapshot time:
+//
+//	core.prov.live      live (head, derivation) pairs in the graph
+//	core.prov.captured  derivations ever captured (slab length)
+//
+// Passing g == nil detaches provenance (capture sites return to the
+// single nil-check no-op). The graph is wiped and rebuilt by Replay —
+// pre-replay records would attribute tuples to derivations the
+// re-executed timeline never produced (same unsoundness argument as
+// incremental replay, DESIGN.md §11).
+func (e *Engine) ObserveProvenance(reg *obs.Registry, g *provenance.Graph) {
+	e.prov = g
+	if g == nil {
+		return
+	}
+	e.nw.EnableHopStamps()
+	if reg != nil {
+		reg.Gauge("core.prov.live", g.LiveCount)
+		reg.Gauge("core.prov.captured", g.Captured)
+	}
 }

@@ -86,6 +86,12 @@ func (e *Engine) ReplayLogLen() int {
 func (e *Engine) replayNow() {
 	e.finalizeFloor = e.nw.Now()
 	e.router.Invalidate()
+	// Provenance is wiped with the derivation state it mirrors: keeping
+	// pre-replay records would let Explain cite derivations the replayed
+	// timeline never produced (the §11 unsoundness argument again). The
+	// re-execution below rebuilds the graph through the normal capture
+	// hooks.
+	e.prov.Reset()
 	for _, rt := range e.rts {
 		st := window.NewStore()
 		st.Naive = e.cfg.NaiveJoin

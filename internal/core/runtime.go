@@ -12,6 +12,7 @@ import (
 	"repro/internal/gpa"
 	"repro/internal/nsim"
 	"repro/internal/obs"
+	"repro/internal/obs/provenance"
 	"repro/internal/routing"
 	"repro/internal/window"
 )
@@ -81,6 +82,30 @@ type candR struct {
 	// candidate rides along the sweep.
 	pendSubst unify.Subst
 	pendSkip  int
+	// Prov carries the provenance capture for this candidate (nil when
+	// provenance is off, and on remove candidates — a removal only needs
+	// the deriv key it shares with the add it cancels).
+	Prov *candProv
+}
+
+// candProv is the lineage captured at candidate emission: the ground
+// body tuple keys (positive subgoals, body order — matching the deriv
+// key's stamp order), the producing node, the virtual emission time,
+// and the hop count stamped by the transport (nsim.HopCounter).
+type candProv struct {
+	Body     []string
+	Producer int32
+	SentAt   int64
+	Hops     int32
+}
+
+// BumpHop implements nsim.HopCounter: the simulator calls it once per
+// transmitted frame when hop stamping is enabled, so a settled
+// candidate knows how many radio transmissions its route took.
+func (rm *resultMsg) BumpHop() {
+	if rm.Cand != nil && rm.Cand.Prov != nil {
+		rm.Cand.Prov.Hops++
+	}
 }
 
 // joinMsg is a join-computation walker (or flood).
@@ -820,10 +845,32 @@ func (rt *nodeRT) mkCand(p *partialR, rec *updateRec, negFromStart bool) (*candR
 	if p.pinned < 0 {
 		add = rec.Del
 	}
-	return &candR{
+	c := &candR{
 		cr: p.cr, Head: head, DerivKey: dk, Add: add, Update: rec.Tau,
 		negCheckedFromStart: negFromStart,
-	}, true
+	}
+	if rt.e.prov != nil && add {
+		c.Prov = rt.captureProv(p, ordered)
+	}
+	return c, true
+}
+
+// captureProv reconstructs the ground body tuples of a complete
+// partial — the substitution binds every variable of the positive
+// subgoals — in the same sorted-index order as the deriv key's stamps,
+// so record and key describe the same instantiation. Only runs with
+// provenance attached; the disabled path never reaches it.
+func (rt *nodeRT) captureProv(p *partialR, ordered []posStamp) *candProv {
+	body := make([]string, 0, len(ordered))
+	for _, u := range ordered {
+		lit := p.cr.rule.Body[u.idx]
+		args := make([]ast.Term, len(lit.Args))
+		for i, a := range lit.Args {
+			args[i] = p.subst.Apply(a)
+		}
+		body = append(body, eval.Tuple{Pred: lit.PredKey(), Args: args}.Key())
+	}
+	return &candProv{Body: body, Producer: int32(rt.node.ID), SentAt: int64(rt.node.Now())}
 }
 
 // routeCand sends a candidate toward its home node.
@@ -924,6 +971,18 @@ func (rt *nodeRT) drainFinalize() {
 		if tr := rt.e.trace; tr != nil {
 			tr.Record(obs.Event{At: int64(rt.node.Now()), Node: int32(rt.node.ID), Peer: -1, Kind: obs.EvSettle, Pred: c.Head.Pred})
 		}
+		if rt.e.hSettle != nil {
+			// Settle latency: triggering update's visibility stamp to
+			// finalize application. Local stamps can run slightly ahead of
+			// global time (clock skew), so clamp into the first bucket.
+			rt.e.hSettle.Observe(int64(rt.node.Now()) - c.Update.TS)
+			if c.cr != nil {
+				rt.e.hFanin.Observe(int64(len(c.cr.posIdx)))
+			}
+			if c.Prov != nil {
+				rt.e.hHops.Observe(int64(c.Prov.Hops))
+			}
+		}
 		rt.finalize(c)
 	}
 }
@@ -951,6 +1010,28 @@ func (rt *nodeRT) finalize(c *candR) {
 			rt.derivs[key] = set
 		}
 		was := len(set)
+		if !set[c.DerivKey] && rt.e.prov != nil {
+			rec := provenance.Record{
+				Settler: int32(rt.node.ID), SettledAt: int64(rt.node.Now()),
+				Head: key, DerivKey: c.DerivKey,
+			}
+			if c.cr != nil {
+				rec.Rule = int32(c.cr.rule.ID)
+			}
+			var body []string
+			if c.Prov != nil {
+				rec.Producer = c.Prov.Producer
+				rec.SentAt = c.Prov.SentAt
+				rec.Hops = c.Prov.Hops
+				body = c.Prov.Body
+			} else {
+				// Candidate emitted before provenance was attached: record
+				// what the settle site knows.
+				rec.Producer = int32(rt.node.ID)
+				rec.SentAt = rec.SettledAt
+			}
+			rt.e.prov.Add(rec, body)
+		}
 		set[c.DerivKey] = true
 		if was == 0 {
 			rt.e.cDerivations.Add(1)
@@ -967,6 +1048,7 @@ func (rt *nodeRT) finalize(c *candR) {
 		return // unknown derivation: harmless no-op (Section IV-A)
 	}
 	delete(set, c.DerivKey)
+	rt.e.prov.Remove(key, c.DerivKey)
 	if len(set) == 0 {
 		delete(rt.derivs, key)
 		if _, live := rt.derivedLive[key]; live {

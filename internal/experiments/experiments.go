@@ -19,6 +19,7 @@ import (
 	"repro/internal/gpa"
 	"repro/internal/metrics"
 	"repro/internal/nsim"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -420,16 +421,27 @@ uncov(L, T) :- NOT cov(L, T), veh(enemy, L, T).
 func E9Memory(m int) *metrics.Table {
 	t := metrics.NewTable(
 		"E9: per-node memory (tuples stored: replicas + derivations)",
-		"workload", "max node", "avg node", "max/degree")
+		"workload", "max node", "p50 node", "avg node", "max/degree")
 	maxDegree := 4.0
+	// Memory is read through the obs provider path (core.mem.max/p50/
+	// total_tuples) rather than by scraping engine internals; providers
+	// sample at Snapshot time, so attaching the registry after the run
+	// reads the same state.
+	memRow := func(label string, e *core.Engine, nw *nsim.Network) {
+		reg := obs.NewRegistry()
+		nw.Observe(reg, nil)
+		e.Observe(reg, nil)
+		s := reg.Snapshot()
+		maxMem := s.Get("core.mem.max")
+		avg := float64(s.Get("core.mem.total_tuples")) / float64(s.Get("nsim.nodes"))
+		t.AddRow(label, maxMem, s.Get("core.mem.p50"), avg, float64(maxMem)/maxDegree)
+	}
 
-	eJ, _ := runSPTProgram(m, logicJSrc, 81)
-	maxJ, avgJ := eJ.MaxMemoryTuples()
-	t.AddRow("logicJ SPT", maxJ, avgJ, float64(maxJ)/maxDegree)
+	eJ, nwJ := runSPTProgram(m, logicJSrc, 81)
+	memRow("logicJ SPT", eJ, nwJ)
 
-	eH, _ := runSPTProgram(m, logicHSrc, 83)
-	maxH, avgH := eH.MaxMemoryTuples()
-	t.AddRow("logicH SPT", maxH, avgH, float64(maxH)/maxDegree)
+	eH, nwH := runSPTProgram(m, logicHSrc, 83)
+	memRow("logicH SPT", eH, nwH)
 
 	const winSrc = `
 .base ra/2.
@@ -453,8 +465,7 @@ out(X, Z) :- ra(X, Y), rb(Y, Z).
 	e, nw := deployGrid(m, winSrc, core.Config{Scheme: gpa.Perpendicular}, nsim.Config{Seed: 85})
 	injectLong(e, nw)
 	nw.Run(0)
-	maxW, avgW := e.MaxMemoryTuples()
-	t.AddRow("windowed join (range 400)", maxW, avgW, float64(maxW)/maxDegree)
+	memRow("windowed join (range 400)", e, nw)
 
 	const nowinSrc = `
 .base ra/2.
@@ -464,8 +475,7 @@ out(X, Z) :- ra(X, Y), rb(Y, Z).
 	e2, nw2 := deployGrid(m, nowinSrc, core.Config{Scheme: gpa.Perpendicular}, nsim.Config{Seed: 85})
 	injectLong(e2, nw2)
 	nw2.Run(0)
-	maxU, avgU := e2.MaxMemoryTuples()
-	t.AddRow("unbounded join (no window)", maxU, avgU, float64(maxU)/maxDegree)
+	memRow("unbounded join (no window)", e2, nw2)
 	return t
 }
 

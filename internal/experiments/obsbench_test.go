@@ -1,13 +1,17 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/datalog/ast"
 	"repro/internal/gpa"
 	"repro/internal/nsim"
 	"repro/internal/obs"
+	"repro/internal/obs/provenance"
+	"repro/internal/topo"
 )
 
 // TestTraceE1CountersMatchTrace pins the trace/counter contract the
@@ -15,11 +19,13 @@ import (
 // hooks, so the aggregated trace counts must equal the registry
 // counters exactly.
 func TestTraceE1CountersMatchTrace(t *testing.T) {
-	res := TraceE1(6, 10, 1<<16)
-	if res.Trace.Dropped() != 0 {
-		t.Fatal("trace ring overflowed; raise the test capacity")
+	// A deliberately tiny ring: TotalKinds counts the run's lifetime,
+	// so the trace/counter equality must hold even after eviction.
+	res := TraceE1(6, 10, 64)
+	if res.Trace.Dropped() == 0 {
+		t.Fatal("the tiny ring should have wrapped; the test no longer covers eviction")
 	}
-	agg := res.Trace.CountKinds()
+	agg := res.Trace.TotalKinds()
 	snap := res.Registry.Snapshot()
 	checks := map[obs.EventKind]string{
 		obs.EvSend:   "nsim.messages",
@@ -89,5 +95,147 @@ func TestObsDisabledOverheadE1(t *testing.T) {
 	perEvent := float64(after.Mallocs-before.Mallocs) / float64(nw.EventsProcessed)
 	if perEvent > 3.2 {
 		t.Errorf("disabled-obs path allocates %.2f/event, baseline is 2.81 (BENCH_sim.json)", perEvent)
+	}
+}
+
+// TestProvDisabledOverheadE1 guards the provenance-disabled path on the
+// same E1 m=18 hot loop, but with the counter/histogram registry
+// attached (the common production shape: metrics on, provenance off).
+// Counters are plain atomic adds and every provenance hook is a nil
+// check, so allocations per event must stay at the same baseline as
+// the fully-unobserved run.
+func TestProvDisabledOverheadE1(t *testing.T) {
+	nw := topo.Grid(18, nsim.Config{Seed: 11})
+	e, err := core.New(nw, mustProg(twoStreamSrc), core.Config{Scheme: gpa.Perpendicular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	nw.Observe(reg, nil)
+	e.Observe(reg, nil)
+	nw.Finalize()
+	e.Start()
+	injectJoinWorkload(e, nw, 40, 17)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	nw.Run(0)
+	runtime.ReadMemStats(&after)
+	if nw.EventsProcessed == 0 {
+		t.Fatal("no events processed")
+	}
+	if e.Provenance() != nil {
+		t.Fatal("provenance should be off in this guard")
+	}
+	perEvent := float64(after.Mallocs-before.Mallocs) / float64(nw.EventsProcessed)
+	if perEvent > 3.2 {
+		t.Errorf("provenance-off path allocates %.2f/event, baseline is 2.81 (BENCH_sim.json)", perEvent)
+	}
+}
+
+// TestProvE5ExplainTree validates Explain against the hand-computed
+// shortest-path derivation structure of the 4x4 logicJ run. Node n_k
+// sits at grid cell (k%4, k/4) with 4-neighbor adjacency, so:
+//
+//   - j(n0,0) is the rule-0 root fact (no body);
+//   - j(n1,1) has exactly one derivation, from g(n0,n1) and j(n0,0);
+//   - j(n5,2) has exactly two, one through n1 and one through n4.
+func TestProvE5ExplainTree(t *testing.T) {
+	res := ProvE5(4)
+
+	root, err := res.Engine.Explain("j", ast.Symbol("n0"), ast.Int64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Derivs) != 1 || len(root.Derivs[0].Body) != 0 {
+		t.Fatalf("j(n0,0) should be the bodyless root fact: %+v", root)
+	}
+
+	one, err := res.Engine.Explain("j", ast.Symbol("n1"), ast.Int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Derivs) != 1 {
+		t.Fatalf("j(n1,1) should have exactly one derivation, got %d", len(one.Derivs))
+	}
+	d := one.Derivs[0]
+	if len(d.Body) != 2 {
+		t.Fatalf("j(n1,1) body = %+v", d.Body)
+	}
+	var g, j *provenance.Tree
+	for _, b := range d.Body {
+		switch {
+		case b.Base:
+			g = b
+		default:
+			j = b
+		}
+	}
+	if g == nil || g.Key != `g/2|a"n0",a"n1"` {
+		t.Fatalf("adjacency leaf = %+v", g)
+	}
+	if j == nil || j.Key != "j/2|a\"n0\",i0" || len(j.Derivs) != 1 || len(j.Derivs[0].Body) != 0 {
+		t.Fatalf("recursive body should be the root fact: %+v", j)
+	}
+
+	two, err := res.Engine.Explain("j", ast.Symbol("n5"), ast.Int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two.Derivs) != 2 {
+		t.Fatalf("j(n5,2) should derive through both n1 and n4, got %d derivations", len(two.Derivs))
+	}
+	via := map[string]bool{}
+	for _, dv := range two.Derivs {
+		for _, b := range dv.Body {
+			if !b.Base {
+				via[b.Key] = true
+			}
+		}
+	}
+	if !via[`j/2|a"n1",i1`] || !via[`j/2|a"n4",i1`] {
+		t.Fatalf("paths go via %v, want both j(n1,1) and j(n4,1)", via)
+	}
+
+	// No node settles at a wrong distance: the full live j set matches
+	// BFS over the injected adjacency.
+	dist := map[string]int64{"n0": 0}
+	frontier := []nsim.NodeID{0}
+	for len(frontier) > 0 {
+		var next []nsim.NodeID
+		for _, id := range frontier {
+			for _, nb := range res.Network.Node(id).Neighbors() {
+				key := fmt.Sprintf("n%d", nb)
+				if _, seen := dist[key]; !seen {
+					dist[key] = dist[fmt.Sprintf("n%d", id)] + 1
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier = next
+	}
+	live := res.Engine.Derived("j/2")
+	if len(live) != len(dist) {
+		t.Fatalf("engine has %d j tuples, BFS says %d", len(live), len(dist))
+	}
+	for _, tup := range live {
+		name, d := tup.Args[0].Str, tup.Args[1].Int
+		if dist[name] != d {
+			t.Fatalf("j(%s,%d) settled, BFS distance is %d", name, d, dist[name])
+		}
+	}
+
+	// Blame walks the tree monotonically back to the root fact.
+	bl, err := res.Engine.Blame("j", ast.Symbol("n5"), ast.Int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Steps[len(bl.Steps)-1].Key != "j/2|a\"n0\",i0" {
+		t.Fatalf("critical path should end at the root fact: %+v", bl.Steps)
+	}
+	for i := 0; i+1 < len(bl.Steps); i++ {
+		if bl.Steps[i].SettledAt < bl.Steps[i+1].SettledAt {
+			t.Fatalf("critical path settle times should be non-increasing: %+v", bl.Steps)
+		}
 	}
 }

@@ -53,6 +53,19 @@ type Message struct {
 	Size     int // accounted bytes (headers included by convention)
 }
 
+// HopCounter is implemented by payloads that want one bump per frame
+// transmission (ARQ retries of a frame count once). Stamping is off by
+// default — EnableHopStamps turns it on — so the unobserved transmit
+// path pays a single bool check and never a type assertion.
+type HopCounter interface {
+	BumpHop()
+}
+
+// EnableHopStamps makes transmit bump every HopCounter payload once
+// per frame sent. Used by the provenance layer to attribute per-edge
+// hop counts to result candidates.
+func (nw *Network) EnableHopStamps() { nw.hopStamp = true }
+
 // Handler is the application running on every node (the compiled user
 // program plus system layers, per Figure 2).
 type Handler interface {
@@ -224,6 +237,12 @@ type Network struct {
 
 	// trace, when non-nil, records send/recv/drop events (observe.go).
 	trace *obs.Trace
+	// hQueue, when non-nil, samples the event-queue depth once per
+	// dispatched event (attached by Observe when given a registry).
+	hQueue *obs.Histogram
+	// hopStamp, when true, bumps HopCounter payloads once per frame
+	// transmission (EnableHopStamps; provenance hop attribution).
+	hopStamp bool
 
 	// faults, when non-nil, is consulted on every transmission attempt
 	// and delivery (SetFaults).
@@ -322,6 +341,11 @@ func (nw *Network) Finalize() {
 func (nw *Network) transmit(src *Node, dst NodeID, kind string, payload interface{}, size int) {
 	if src.Down {
 		return
+	}
+	if nw.hopStamp {
+		if hc, ok := payload.(HopCounter); ok {
+			hc.BumpHop()
+		}
 	}
 	delivered := false
 	for attempt := 0; attempt <= nw.cfg.Retries; attempt++ {
@@ -496,6 +520,7 @@ func (nw *Network) Run(until Time) Time {
 			nw.now = ev.at
 		}
 		nw.EventsProcessed++
+		nw.hQueue.Observe(int64(len(nw.queue)))
 		switch ev.kind {
 		case evTimer:
 			n := nw.nodes[ev.node]
@@ -524,6 +549,7 @@ func (nw *Network) runLegacy(until Time) Time {
 			nw.now = ev.at
 		}
 		nw.EventsProcessed++
+		nw.hQueue.Observe(int64(nw.legacy.Len()))
 		ev.fn()
 	}
 	return nw.now

@@ -25,6 +25,8 @@ import "repro/internal/obs"
 //	nsim.retries          ARQ re-attempts (TotalRetries)
 //	nsim.events           events dispatched by Run
 //	nsim.queue_depth      events still queued at snapshot time
+//	nsim.queue_hist.*     queue-depth histogram sampled per dispatched
+//	                      event (count/sum/max/p50/p95/le_<bound>)
 //	nsim.max_node_load    max per-node sent+received (E2 hotspot)
 //	nsim.nodes            node count
 //	nsim.deaths           nodes dead from energy depletion
@@ -34,8 +36,13 @@ import "repro/internal/obs"
 func (nw *Network) Observe(reg *obs.Registry, trace *obs.Trace) {
 	nw.trace = trace
 	if reg == nil {
+		nw.hQueue = nil
 		return
 	}
+	// Event-queue depth, sampled once per dispatched event. Unlike
+	// nsim.queue_depth (a point-in-time gauge), the histogram shows the
+	// backlog distribution over the whole run.
+	nw.hQueue = reg.Histogram("nsim.queue_hist", obs.ExpBuckets(1, 2, 12))
 	reg.Provide(func(emit func(name string, v int64)) {
 		emit("nsim.messages", nw.TotalSent)
 		emit("nsim.bytes", nw.TotalBytes)

@@ -26,6 +26,7 @@ package obs
 
 import (
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -62,6 +63,7 @@ type Registry struct {
 	mu        sync.Mutex
 	counters  map[string]*Counter
 	gauges    map[string]func() int64
+	hists     map[string]*Histogram
 	providers []func(emit func(name string, v int64))
 }
 
@@ -175,6 +177,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, fn := range r.gauges {
 		gauges[name] = fn
 	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
 	providers := make([]func(emit func(name string, v int64)), len(r.providers))
 	copy(providers, r.providers)
 	r.mu.Unlock()
@@ -183,6 +189,24 @@ func (r *Registry) Snapshot() Snapshot {
 	// takes its own locks or (pathologically) registers new metrics.
 	for name, c := range counters {
 		s.Counters[name] = c.Value()
+	}
+	// Histograms flatten into "<name>.count/.sum/.max/.p50/.p95" plus
+	// cumulative "<name>.le_<bound>" bucket counters.
+	for name, h := range hists {
+		s.Counters[name+".count"] = h.Count()
+		if h.Count() == 0 {
+			continue
+		}
+		s.Counters[name+".sum"] = h.Sum()
+		s.Counters[name+".max"] = h.Max()
+		s.Counters[name+".p50"] = h.Quantile(0.50)
+		s.Counters[name+".p95"] = h.Quantile(0.95)
+		bounds, counts := h.Buckets()
+		var cum int64
+		for i, b := range bounds {
+			cum += counts[i]
+			s.Counters[name+".le_"+strconv.FormatInt(b, 10)] = cum
+		}
 	}
 	for name, fn := range gauges {
 		s.Counters[name] = fn()

@@ -82,11 +82,12 @@ type Event struct {
 // evicted events is known. The nil trace is a valid disabled trace:
 // Record on nil is a single branch.
 type Trace struct {
-	mu    sync.Mutex
-	buf   []Event
-	start int   // index of the oldest retained event
-	n     int   // retained events
-	total int64 // events ever recorded
+	mu     sync.Mutex
+	buf    []Event
+	start  int   // index of the oldest retained event
+	n      int   // retained events
+	total  int64 // events ever recorded
+	totals [numEventKinds]int64 // lifetime per-kind counts, eviction-proof
 }
 
 // NewTrace returns a ring buffer retaining up to capacity events
@@ -113,6 +114,9 @@ func (t *Trace) Record(e Event) {
 		t.start = (t.start + 1) % len(t.buf)
 	}
 	t.total++
+	if int(e.Kind) < numEventKinds {
+		t.totals[e.Kind]++
+	}
 	t.mu.Unlock()
 }
 
@@ -161,7 +165,10 @@ func (t *Trace) Events() []Event {
 	return out
 }
 
-// CountKinds aggregates the retained events by kind.
+// CountKinds aggregates the *retained* events by kind — the window the
+// ring still holds, not the run's history. Once the ring wraps
+// (Dropped() > 0) these counts undercount every kind that had events
+// evicted; use TotalKinds for lifetime totals that survive eviction.
 func (t *Trace) CountKinds() map[EventKind]int64 {
 	out := make(map[EventKind]int64)
 	if t == nil {
@@ -171,6 +178,26 @@ func (t *Trace) CountKinds() map[EventKind]int64 {
 	defer t.mu.Unlock()
 	for i := 0; i < t.n; i++ {
 		out[t.buf[(t.start+i)%len(t.buf)].Kind]++
+	}
+	return out
+}
+
+// TotalKinds returns lifetime per-kind event counts, including events
+// later evicted by capacity pressure. Kinds that never occurred are
+// omitted. This is the right aggregate to compare against registry
+// counters — it matches them at any ring capacity, where CountKinds
+// only matches while Dropped() == 0.
+func (t *Trace) TotalKinds() map[EventKind]int64 {
+	out := make(map[EventKind]int64)
+	if t == nil {
+		return out
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, n := range t.totals {
+		if n != 0 {
+			out[EventKind(k)] = n
+		}
 	}
 	return out
 }
@@ -224,9 +251,10 @@ func (f Filter) Match(e Event) bool {
 //
 //	{"at":120,"kind":"send","node":4,"peer":7,"pred":"join","size":42}
 //
-// Lines are hand-built from value fields (the only string is Pred,
-// which never needs escaping: predicate keys and wire kinds are
-// identifier-shaped), keeping the export loop allocation-light.
+// Lines are hand-built from value fields, keeping the export loop
+// allocation-light; Pred — the only string — is quoted with full JSON
+// escaping, though in practice predicate keys and wire kinds are
+// identifier-shaped.
 func (t *Trace) WriteJSONL(w io.Writer, f Filter) (int, error) {
 	bw := bufio.NewWriter(w)
 	written := 0

@@ -106,3 +106,111 @@ func TestWriteJSONL(t *testing.T) {
 		t.Fatalf("filtered WriteJSONL = (%d, %v), want (1, nil)", n, err)
 	}
 }
+
+// TotalKinds must survive ring eviction; CountKinds, by documented
+// contract, only reflects the retained window.
+func TestTraceTotalKindsSurvivesWrap(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 9; i++ {
+		tr.Record(Event{Kind: EvSend})
+	}
+	tr.Record(Event{Kind: EvDrop})
+	total := tr.TotalKinds()
+	if total[EvSend] != 9 || total[EvDrop] != 1 {
+		t.Fatalf("TotalKinds = %v, want 9 sends and 1 drop", total)
+	}
+	if _, present := total[EvRecv]; present {
+		t.Fatal("TotalKinds should omit kinds that never occurred")
+	}
+	window := tr.CountKinds()
+	if window[EvSend] >= 9 {
+		t.Fatalf("CountKinds sends = %d; the wrapped ring should undercount the lifetime 9", window[EvSend])
+	}
+	if window[EvSend]+window[EvDrop] != int64(tr.Len()) {
+		t.Fatalf("CountKinds should sum to the retained window %d, got %v", tr.Len(), window)
+	}
+}
+
+// An empty Kinds slice and an explicitly exhaustive one must agree.
+func TestFilterEmptyKindsEqualsAllKinds(t *testing.T) {
+	all := make([]EventKind, 0, numEventKinds)
+	for k := EventKind(0); k < numEventKinds; k++ {
+		all = append(all, k)
+	}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		e := Event{Kind: k, Node: 2, Peer: -1}
+		empty := Filter{Node: AnyNode}.Match(e)
+		explicit := Filter{Node: AnyNode, Kinds: all}.Match(e)
+		if empty != explicit {
+			t.Fatalf("kind %v: empty-kinds match %v, all-kinds match %v", k, empty, explicit)
+		}
+		if !empty {
+			t.Fatalf("kind %v should match an unconstrained filter", k)
+		}
+	}
+}
+
+// The zero Node is a real constraint (node 0), not a wildcard, and it
+// matches on either endpoint.
+func TestFilterNodeZero(t *testing.T) {
+	f := Filter{Node: 0}
+	if !f.Match(Event{Node: 0, Peer: 4}) {
+		t.Fatal("Node 0 filter should match events at node 0")
+	}
+	if !f.Match(Event{Node: 4, Peer: 0}) {
+		t.Fatal("Node 0 filter should match events whose peer is node 0")
+	}
+	if f.Match(Event{Node: 4, Peer: 5}) {
+		t.Fatal("Node 0 filter matched an unrelated event")
+	}
+}
+
+// Exporting a wrapped ring emits exactly the retained window,
+// oldest-first.
+func TestWriteJSONLAfterRingWrap(t *testing.T) {
+	tr := NewTrace(3)
+	for i := 0; i < 8; i++ {
+		tr.Record(Event{At: int64(i), Kind: EvSend, Peer: -1})
+	}
+	var buf bytes.Buffer
+	n, err := tr.WriteJSONL(&buf, Filter{Node: AnyNode})
+	if err != nil || n != 3 {
+		t.Fatalf("WriteJSONL = (%d, %v), want (3, nil)", n, err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want the 3 retained events", len(lines))
+	}
+	for i, line := range lines {
+		var rec struct {
+			At int64 `json:"at"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		if rec.At != int64(5+i) {
+			t.Fatalf("line %d has at=%d, want %d (oldest retained first)", i, rec.At, 5+i)
+		}
+	}
+}
+
+// Pred strings with JSON-hostile characters must still export as valid
+// JSON (the writer quotes with strconv.AppendQuote).
+func TestWriteJSONLEscaping(t *testing.T) {
+	hostile := `he said "hi"\` + "\n\ttab"
+	tr := NewTrace(4)
+	tr.Record(Event{At: 1, Kind: EvDerive, Peer: -1, Pred: hostile})
+	var buf bytes.Buffer
+	if n, err := tr.WriteJSONL(&buf, Filter{Node: AnyNode}); err != nil || n != 1 {
+		t.Fatalf("WriteJSONL = (%d, %v)", n, err)
+	}
+	var rec struct {
+		Pred string `json:"pred"`
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &rec); err != nil {
+		t.Fatalf("hostile pred produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if rec.Pred != hostile {
+		t.Fatalf("pred round trip: %q != %q", rec.Pred, hostile)
+	}
+}

@@ -84,12 +84,10 @@ func TestTraceEquivalenceE1(t *testing.T) {
 		}
 	}
 
-	// (3) Trace totals equal counter totals.
-	agg := observed.Trace().CountKinds()
+	// (3) Trace totals equal counter totals. TotalKinds counts the
+	// run's lifetime, so the equality holds at any ring capacity.
+	agg := observed.Trace().TotalKinds()
 	snap := observed.Snapshot()
-	if observed.Trace().Dropped() != 0 {
-		t.Fatal("trace ring overflowed; raise the test capacity")
-	}
 	pairs := map[string]struct {
 		kind    obs.EventKind
 		counter string
@@ -120,7 +118,7 @@ func TestTraceEquivalenceLossy(t *testing.T) {
 	injectPairs(t, c, 10)
 	c.Run()
 	snap := c.Snapshot()
-	agg := c.Trace().CountKinds()
+	agg := c.Trace().TotalKinds()
 	if snap.Get("nsim.dropped") == 0 || snap.Get("nsim.retries") == 0 {
 		t.Fatalf("lossy run recorded no drops/retries: %v", snap.Counters)
 	}

@@ -49,6 +49,7 @@ import (
 	"repro/internal/gpa"
 	"repro/internal/nsim"
 	"repro/internal/obs"
+	"repro/internal/obs/provenance"
 	"repro/internal/topo"
 )
 
@@ -232,6 +233,9 @@ type Options struct {
 	// ReplayLog keeps per-node generation logs so Cluster.Replay can
 	// repair state lost to faults (see core.Config.ReplayLog).
 	ReplayLog bool
+	// Provenance attaches a per-derivation lineage graph, queryable
+	// through Cluster.Explain and Cluster.Blame (see WithProvenance).
+	Provenance bool
 }
 
 // Option is a functional deployment option for Deploy.
@@ -294,6 +298,14 @@ func WithReplayLog() Option { return func(o *Options) { o.ReplayLog = true } }
 // events.
 func WithTrace(capacity int) Option { return func(o *Options) { o.TraceCapacity = capacity } }
 
+// WithProvenance captures, for every settled derivation, which rule
+// instantiation produced it from which body tuples, at which nodes and
+// times, over how many radio hops. Cluster.Explain then answers "why
+// is this tuple in the database" and Cluster.Blame "why did it settle
+// when it did". Off by default: capture allocates per derivation, and
+// every published baseline is produced with provenance off.
+func WithProvenance() Option { return func(o *Options) { o.Provenance = true } }
+
 // Topology describes the network shape a program deploys onto; build
 // one with Grid or Random and pass it to Deploy.
 type Topology struct {
@@ -348,6 +360,7 @@ type Cluster struct {
 	reg    *obs.Registry
 	trace  *obs.Trace
 	faults *fault.Injector
+	prov   *provenance.Graph
 }
 
 // Deploy compiles src onto the given topology:
@@ -417,9 +430,15 @@ func deploy(nw *nsim.Network, src string, opt Options) (*Cluster, error) {
 	}
 	nw.Observe(reg, trace)
 	eng.Observe(reg, trace)
+	var prov *provenance.Graph
+	if opt.Provenance {
+		// Attach before Start so seeded derived facts are captured.
+		prov = provenance.NewGraph()
+		eng.ObserveProvenance(reg, prov)
+	}
 	nw.Finalize()
 	eng.Start()
-	c := &Cluster{Engine: eng, Network: nw, reg: reg, trace: trace}
+	c := &Cluster{Engine: eng, Network: nw, reg: reg, trace: trace, prov: prov}
 	if opt.FaultSchedule != nil {
 		c.faults = fault.Attach(nw, opt.FaultSchedule, opt.FaultSeed)
 		c.faults.Observe(reg)
@@ -474,6 +493,43 @@ func (c *Cluster) FaultCounts() FaultCounts {
 // Results returns the live derived tuples of a predicate ("name/arity").
 func (c *Cluster) Results(pred string) []Tuple { return c.Engine.Derived(pred) }
 
+// Explain returns the derivation DAG of a derived tuple down to base
+// facts — which rule instantiations support it, produced where, from
+// which body tuples, settled when. Requires WithProvenance; a tuple
+// with no live derivation (never derived, or derived then deleted)
+// returns an error. Render the tree with its String method, or export
+// it with WriteExplainDOT / WriteExplainJSONL.
+func (c *Cluster) Explain(pred string, args ...Term) (*ExplainTree, error) {
+	return c.Engine.Explain(pred, args...)
+}
+
+// Blame returns the critical path of a derived tuple: the chain of
+// derivations it was gated on, with per-edge hop counts, route times
+// and settle-to-settle waits. Requires WithProvenance.
+func (c *Cluster) Blame(pred string, args ...Term) (*BlameResult, error) {
+	return c.Engine.Blame(pred, args...)
+}
+
+// WriteExplainDOT writes a tuple's derivation DAG as a Graphviz
+// digraph.
+func (c *Cluster) WriteExplainDOT(w io.Writer, pred string, args ...Term) error {
+	t, err := c.Explain(pred, args...)
+	if err != nil {
+		return err
+	}
+	return provenance.WriteDOT(w, t)
+}
+
+// WriteExplainJSONL writes a tuple's derivation DAG as JSONL, one node
+// per line with parent links.
+func (c *Cluster) WriteExplainJSONL(w io.Writer, pred string, args ...Term) error {
+	t, err := c.Explain(pred, args...)
+	if err != nil {
+		return err
+	}
+	return provenance.WriteJSONL(w, t)
+}
+
 // CollectAggregate schedules a TAG-style in-network collection epoch for
 // an aggregate rule's head predicate, rooted at the sink node. The
 // result is readable with AggregateResult after Run.
@@ -504,6 +560,13 @@ type (
 	// TraceFilter selects trace events for export (zero Node matches
 	// only node 0; use AnyNode for no node constraint).
 	TraceFilter = obs.Filter
+	// ExplainTree is a derived tuple's derivation DAG down to base
+	// facts (Cluster.Explain; render with String).
+	ExplainTree = provenance.Tree
+	// BlameResult is a derived tuple's critical path — the chain of
+	// latest-settling derivations with per-edge attribution
+	// (Cluster.Blame; render with String).
+	BlameResult = provenance.Blame
 )
 
 // AnyNode is the TraceFilter wildcard for the Node field.

@@ -285,3 +285,77 @@ coldest(min<T>) :- reading(N, T).
 		t.Error("unknown aggregate should error")
 	}
 }
+
+func TestDeployWithProvenance(t *testing.T) {
+	c, err := DeployGrid(5, `
+.base ra/2.
+.base rb/2.
+out(X, Z) :- ra(X, Y), rb(Y, Z).
+.query out/2.
+`, Options{Seed: 7, Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Inject(3, NewTuple("ra", Int(1), Int(2)))
+	c.Inject(9, NewTuple("rb", Int(2), Int(3)))
+	c.Run()
+	if got := c.Results("out/2"); len(got) != 1 {
+		t.Fatalf("results = %v", got)
+	}
+
+	tree, err := c.Explain("out", Int(1), Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := tree.String()
+	for _, part := range []string{"out/2|i1,i3", "<- rule", "ra/2|i1,i2", "rb/2|i2,i3", "[base]"} {
+		if !strings.Contains(rendered, part) {
+			t.Errorf("explain render missing %q:\n%s", part, rendered)
+		}
+	}
+
+	bl, err := c.Blame("out", Int(1), Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bl.Steps) == 0 || !strings.Contains(bl.String(), "critical path") {
+		t.Fatalf("blame = %+v", bl)
+	}
+
+	var dot, jsonl strings.Builder
+	if err := c.WriteExplainDOT(&dot, "out", Int(1), Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "digraph explain") {
+		t.Errorf("DOT output:\n%s", dot.String())
+	}
+	if err := c.WriteExplainJSONL(&jsonl, "out", Int(1), Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Root tuple, one derivation node, two base leaves.
+	if n := strings.Count(strings.TrimSpace(jsonl.String()), "\n") + 1; n != 4 {
+		t.Errorf("JSONL export has %d lines, want 4:\n%s", n, jsonl.String())
+	}
+
+	// The registry gauges report the captured graph.
+	snap := c.Snapshot()
+	if snap.Get("core.prov.live") == 0 || snap.Get("core.prov.captured") == 0 {
+		t.Errorf("provenance gauges missing: live=%d captured=%d",
+			snap.Get("core.prov.live"), snap.Get("core.prov.captured"))
+	}
+}
+
+func TestExplainWithoutProvenanceErrors(t *testing.T) {
+	c, err := DeployGrid(4, `
+.base a/2.
+d(X, Y) :- a(X, Y).
+.query d/2.
+`, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if _, err := c.Explain("d", Int(1), Int(2)); err == nil {
+		t.Fatal("Explain without WithProvenance should error")
+	}
+}

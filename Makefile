@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench joinbench bench-sim bench-check obs-guard fuzz-smoke profile trace-e1 verify
+.PHONY: all build test vet race race-shards bench joinbench bench-sim bench-check obs-guard fuzz-smoke profile trace-e1 verify
 
 all: verify
 
@@ -17,6 +17,13 @@ vet:
 # shared per node runtime; prove them race-free on every verify.
 race:
 	$(GO) test -race ./internal/livenet/... ./internal/core/...
+
+# The sharded scheduler runs shard windows on concurrent goroutines;
+# prove the parallel path race-free on its gates: the nsim partition
+# property tests, the E1/E5/E7 determinism gates, and the Shards=4
+# differential sweep.
+race-shards:
+	$(GO) test -race -count=1 -run 'Shard' ./internal/nsim/ ./internal/experiments/ ./internal/check/
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
@@ -68,4 +75,4 @@ profile:
 trace-e1:
 	$(GO) run ./cmd/snbench -trace trace_e1.jsonl
 
-verify: build test vet race obs-guard fuzz-smoke bench-check
+verify: build test vet race race-shards obs-guard fuzz-smoke bench-check

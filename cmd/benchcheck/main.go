@@ -31,10 +31,15 @@ import (
 
 // simBench mirrors the gated subset of experiments.SimBenchResult's
 // JSON; unknown fields are ignored so the baseline survives additions.
+// Fields are pointers so a key that is absent from a file (an old
+// baseline predating a new metric) is distinguishable from a zero: a
+// missing baseline key warns instead of failing, so adding a gated
+// metric does not break the build before the baseline is refreshed —
+// present keys keep their full gates.
 type simBench struct {
-	Events            int64   `json:"events"`
-	AllocsPerEvent    float64 `json:"allocs_per_event_fast"`
-	EventsPerSecFast  float64 `json:"events_per_sec_fast"`
+	Events           *int64   `json:"events"`
+	AllocsPerEvent   *float64 `json:"allocs_per_event_fast"`
+	EventsPerSecFast *float64 `json:"events_per_sec_fast"`
 }
 
 func load(path string) (*simBench, error) {
@@ -79,36 +84,57 @@ func main() {
 		failed = true
 		fmt.Printf("FAIL  "+format+"\n", args...)
 	}
-
-	if cand.Events != base.Events {
-		fail("events: %d, baseline %d — the workload changed; regenerate %s deliberately",
-			cand.Events, base.Events, *baseline)
-	} else {
-		fmt.Printf("ok    events: %d (exact match)\n", cand.Events)
-	}
-
-	if d := relDiff(base.AllocsPerEvent, cand.AllocsPerEvent); math.Abs(d) > *tol {
-		verb := "regressed"
-		hint := "find the new allocation"
-		if d < 0 {
-			verb = "improved"
-			hint = "refresh " + *baseline + " to bank the win"
+	// missing reports a gate whose key one side lacks. Absent from the
+	// baseline: warn only — the metric is new and the baseline predates
+	// it; refresh to start gating it. Absent from the candidate while
+	// the baseline has it: fail — a gated metric disappeared.
+	missing := func(name string, inBase, inCand bool) bool {
+		switch {
+		case !inBase && !inCand:
+			fmt.Printf("warn  %s: absent from both files; nothing to gate\n", name)
+		case !inBase:
+			fmt.Printf("warn  %s: absent from baseline %s — refresh it to gate this metric\n", name, *baseline)
+		case !inCand:
+			fail("%s: present in baseline but missing from candidate %s", name, *candidate)
 		}
-		fail("allocs/event: %.3f, baseline %.3f (%+.1f%% — %s beyond ±%.0f%%; %s)",
-			cand.AllocsPerEvent, base.AllocsPerEvent, 100*d, verb, 100**tol, hint)
-	} else {
-		fmt.Printf("ok    allocs/event: %.3f vs baseline %.3f (%+.1f%%, within ±%.0f%%)\n",
-			cand.AllocsPerEvent, base.AllocsPerEvent,
-			100*relDiff(base.AllocsPerEvent, cand.AllocsPerEvent), 100**tol)
+		return !inBase || !inCand
 	}
 
-	if d := relDiff(base.EventsPerSecFast, cand.EventsPerSecFast); d < -*thrTol {
-		fail("throughput: %.0f events/s, baseline %.0f (%.1f%% regression beyond %.0f%% noise floor)",
-			cand.EventsPerSecFast, base.EventsPerSecFast, -100*d, 100**thrTol)
-	} else {
-		fmt.Printf("ok    throughput: %.0f events/s vs baseline %.0f (%+.1f%%)\n",
-			cand.EventsPerSecFast, base.EventsPerSecFast,
-			100*relDiff(base.EventsPerSecFast, cand.EventsPerSecFast))
+	if !missing("events", base.Events != nil, cand.Events != nil) {
+		if *cand.Events != *base.Events {
+			fail("events: %d, baseline %d — the workload changed; regenerate %s deliberately",
+				*cand.Events, *base.Events, *baseline)
+		} else {
+			fmt.Printf("ok    events: %d (exact match)\n", *cand.Events)
+		}
+	}
+
+	if !missing("allocs/event", base.AllocsPerEvent != nil, cand.AllocsPerEvent != nil) {
+		if d := relDiff(*base.AllocsPerEvent, *cand.AllocsPerEvent); math.Abs(d) > *tol {
+			verb := "regressed"
+			hint := "find the new allocation"
+			if d < 0 {
+				verb = "improved"
+				hint = "refresh " + *baseline + " to bank the win"
+			}
+			fail("allocs/event: %.3f, baseline %.3f (%+.1f%% — %s beyond ±%.0f%%; %s)",
+				*cand.AllocsPerEvent, *base.AllocsPerEvent, 100*d, verb, 100**tol, hint)
+		} else {
+			fmt.Printf("ok    allocs/event: %.3f vs baseline %.3f (%+.1f%%, within ±%.0f%%)\n",
+				*cand.AllocsPerEvent, *base.AllocsPerEvent,
+				100*relDiff(*base.AllocsPerEvent, *cand.AllocsPerEvent), 100**tol)
+		}
+	}
+
+	if !missing("throughput", base.EventsPerSecFast != nil, cand.EventsPerSecFast != nil) {
+		if d := relDiff(*base.EventsPerSecFast, *cand.EventsPerSecFast); d < -*thrTol {
+			fail("throughput: %.0f events/s, baseline %.0f (%.1f%% regression beyond %.0f%% noise floor)",
+				*cand.EventsPerSecFast, *base.EventsPerSecFast, -100*d, 100**thrTol)
+		} else {
+			fmt.Printf("ok    throughput: %.0f events/s vs baseline %.0f (%+.1f%%)\n",
+				*cand.EventsPerSecFast, *base.EventsPerSecFast,
+				100*relDiff(*base.EventsPerSecFast, *cand.EventsPerSecFast))
+		}
 	}
 
 	if failed {

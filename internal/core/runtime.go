@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/datalog/ast"
 	"repro/internal/datalog/builtin"
@@ -101,10 +102,13 @@ type candProv struct {
 
 // BumpHop implements nsim.HopCounter: the simulator calls it once per
 // transmitted frame when hop stamping is enabled, so a settled
-// candidate knows how many radio transmissions its route took.
+// candidate knows how many radio transmissions its route took. The
+// count is atomic: a duplicated delivery can put two references to the
+// same candidate in flight, and under the sharded scheduler those can
+// migrate to different shards and transmit concurrently.
 func (rm *resultMsg) BumpHop() {
 	if rm.Cand != nil && rm.Cand.Prov != nil {
-		rm.Cand.Prov.Hops++
+		atomic.AddInt32(&rm.Cand.Prov.Hops, 1)
 	}
 }
 
@@ -156,6 +160,10 @@ type updateRec struct {
 type nodeRT struct {
 	e    *Engine
 	node *nsim.Node
+	// es points at this node's shard state under the sharded scheduler
+	// (shard.go): a per-shard routing cache plus result/trace buffers.
+	// Nil on single-threaded runs.
+	es *engineShard
 
 	store *window.Store
 	seq   int64
@@ -325,7 +333,7 @@ func (rt *nodeRT) generate(t eval.Tuple, del *window.Stamp) window.Stamp {
 		}
 	}
 	if rt.e.queryPreds[t.Pred] {
-		rt.e.ResultLog = append(rt.e.ResultLog, ResultEvent{
+		rt.logResult(ResultEvent{
 			Tuple: t, Insert: del == nil, At: rt.node.Now(), Node: rt.node.ID,
 		})
 	}
@@ -447,6 +455,9 @@ func stampFlagKey(prefix string, id window.Stamp, flag bool) string {
 func (rt *nodeRT) atTarget(x, y float64) bool {
 	if rt.e.cfg.LegacyRouting {
 		return routing.AtTarget(rt.e.nw, rt.node.ID, x, y)
+	}
+	if rt.es != nil {
+		return rt.es.router.AtTarget(rt.node.ID, x, y)
 	}
 	return rt.e.router.AtTarget(rt.node.ID, x, y)
 }
@@ -968,9 +979,7 @@ func (rt *nodeRT) drainFinalize() {
 	})
 	for _, c := range due {
 		rt.e.cSettles.Add(1)
-		if tr := rt.e.trace; tr != nil {
-			tr.Record(obs.Event{At: int64(rt.node.Now()), Node: int32(rt.node.ID), Peer: -1, Kind: obs.EvSettle, Pred: c.Head.Pred})
-		}
+		rt.recordTrace(obs.Event{At: int64(rt.node.Now()), Node: int32(rt.node.ID), Peer: -1, Kind: obs.EvSettle, Pred: c.Head.Pred})
 		if rt.e.hSettle != nil {
 			// Settle latency: triggering update's visibility stamp to
 			// finalize application. Local stamps can run slightly ahead of
@@ -980,7 +989,7 @@ func (rt *nodeRT) drainFinalize() {
 				rt.e.hFanin.Observe(int64(len(c.cr.posIdx)))
 			}
 			if c.Prov != nil {
-				rt.e.hHops.Observe(int64(c.Prov.Hops))
+				rt.e.hHops.Observe(int64(atomic.LoadInt32(&c.Prov.Hops)))
 			}
 		}
 		rt.finalize(c)
@@ -1022,7 +1031,7 @@ func (rt *nodeRT) finalize(c *candR) {
 			if c.Prov != nil {
 				rec.Producer = c.Prov.Producer
 				rec.SentAt = c.Prov.SentAt
-				rec.Hops = c.Prov.Hops
+				rec.Hops = atomic.LoadInt32(&c.Prov.Hops)
 				body = c.Prov.Body
 			} else {
 				// Candidate emitted before provenance was attached: record
@@ -1036,9 +1045,7 @@ func (rt *nodeRT) finalize(c *candR) {
 		if was == 0 {
 			rt.e.cDerivations.Add(1)
 			rt.e.predDerive[c.Head.Pred].Add(1)
-			if tr := rt.e.trace; tr != nil {
-				tr.Record(obs.Event{At: int64(rt.node.Now()), Node: int32(rt.node.ID), Peer: -1, Kind: obs.EvDerive, Pred: c.Head.Pred})
-			}
+			rt.recordTrace(obs.Event{At: int64(rt.node.Now()), Node: int32(rt.node.ID), Peer: -1, Kind: obs.EvDerive, Pred: c.Head.Pred})
 			rt.derivedLive[key] = c.Head
 			rt.derivedIDs[key] = rt.generate(c.Head, nil)
 		}
@@ -1054,9 +1061,7 @@ func (rt *nodeRT) finalize(c *candR) {
 		if _, live := rt.derivedLive[key]; live {
 			rt.e.cDeletions.Add(1)
 			rt.e.predDelete[c.Head.Pred].Add(1)
-			if tr := rt.e.trace; tr != nil {
-				tr.Record(obs.Event{At: int64(rt.node.Now()), Node: int32(rt.node.ID), Peer: -1, Kind: obs.EvDelete, Pred: c.Head.Pred})
-			}
+			rt.recordTrace(obs.Event{At: int64(rt.node.Now()), Node: int32(rt.node.ID), Peer: -1, Kind: obs.EvDelete, Pred: c.Head.Pred})
 			delete(rt.derivedLive, key)
 			id := rt.derivedIDs[key]
 			delete(rt.derivedIDs, key)

@@ -1,0 +1,152 @@
+// Engine-side support for the simulator's sharded scheduler (see
+// internal/nsim/shard.go and DESIGN.md §13). Per-node runtime state is
+// already shard-safe — each node lives in exactly one shard and its
+// store, window, and derivation maps are only touched by that shard's
+// goroutine — but a handful of engine-global structures are not: the
+// nearest-node routing cache, the ResultLog, the engine trace, and the
+// aggregation results map. This file gives each shard its own routing
+// cache and buffers ResultLog/trace appends per shard, folding them in
+// shard order (stable-sorted by finalize time) at every window barrier,
+// so sharded runs stay deterministic for a fixed (seed, shard count).
+package core
+
+import (
+	"sort"
+
+	"repro/internal/nsim"
+	"repro/internal/obs"
+	"repro/internal/routing"
+)
+
+// engineShard is the engine's per-shard state.
+type engineShard struct {
+	// router is this shard's private nearest-node cache. The cache is a
+	// plain map, so shards cannot share one; each shard warms its own
+	// from the same immutable geometry.
+	router *routing.Engine
+	// results and trace buffer ResultLog appends and engine trace events
+	// produced inside parallel windows, drained by flushShards.
+	results []ResultEvent
+	trace   []obs.Event
+}
+
+// attachShards wires the engine to a sharded network: one routing cache
+// per shard, every node runtime bound to its shard's state, and the
+// barrier hook that folds the buffers. No-op (leaving every rt.es nil,
+// which routes appends straight to the engine) when the network is
+// single-threaded.
+func (e *Engine) attachShards() {
+	k := e.nw.ShardCount()
+	if k < 2 || len(e.shards) > 0 {
+		return
+	}
+	e.shards = make([]engineShard, k)
+	for i := range e.shards {
+		e.shards[i].router = routing.NewEngine(e.nw)
+	}
+	for _, rt := range e.rts {
+		rt.es = &e.shards[rt.node.Shard()]
+	}
+	e.nw.OnBarrier(e.flushShards)
+}
+
+// flushShards folds the per-shard result and trace buffers into the
+// engine-global ResultLog and trace. It runs at every window barrier
+// (and once more when Run returns), on the scheduler goroutine with no
+// shard in flight. Buffers are concatenated in shard-ID order and
+// stable-sorted by finalize time: a tuple's insert/delete transitions
+// all originate at its home node — one shard — so the stable sort
+// never swaps the transitions of one tuple, and the fold is
+// deterministic run to run.
+func (e *Engine) flushShards() {
+	var nres, ntr int
+	for i := range e.shards {
+		nres += len(e.shards[i].results)
+		ntr += len(e.shards[i].trace)
+	}
+	if nres > 0 {
+		at := len(e.ResultLog)
+		for i := range e.shards {
+			e.ResultLog = append(e.ResultLog, e.shards[i].results...)
+			e.shards[i].results = e.shards[i].results[:0]
+		}
+		batch := e.ResultLog[at:]
+		sort.SliceStable(batch, func(a, b int) bool { return batch[a].At < batch[b].At })
+	}
+	if ntr > 0 {
+		buf := e.traceScratch[:0]
+		for i := range e.shards {
+			buf = append(buf, e.shards[i].trace...)
+			e.shards[i].trace = e.shards[i].trace[:0]
+		}
+		sort.SliceStable(buf, func(a, b int) bool { return buf[a].At < buf[b].At })
+		for _, ev := range buf {
+			e.trace.Record(ev)
+		}
+		e.traceScratch = buf[:0]
+	}
+}
+
+// The walker messages implement nsim.PayloadCloner: their receivers
+// mutate them in place (Visited sets, leg indexes, partial/pending
+// lists), so the sharded transmit hands every recipient — broadcast
+// neighbor or fault duplicate — its own snapshot instead of the legacy
+// shared pointer. Clones are shallow except for the receiver-mutated
+// parts: the Visited map and the Partials/Pending slice headers.
+// Elements stay shared — partials and candidates are copied on
+// extension, never mutated in place — and so does candR.Prov, whose
+// hop counter is atomic precisely because clones share it.
+
+func cloneVisited(v map[nsim.NodeID]bool) map[nsim.NodeID]bool {
+	if v == nil {
+		return nil
+	}
+	nv := make(map[nsim.NodeID]bool, len(v))
+	for k, b := range v {
+		nv[k] = b
+	}
+	return nv
+}
+
+func (sm *storeMsg) ClonePayload() interface{} {
+	c := *sm
+	c.Visited = cloneVisited(sm.Visited)
+	return &c
+}
+
+func (jm *joinMsg) ClonePayload() interface{} {
+	c := *jm
+	c.Visited = cloneVisited(jm.Visited)
+	c.Partials = append([]*partialR(nil), jm.Partials...)
+	c.Pending = append([]*candR(nil), jm.Pending...)
+	return &c
+}
+
+func (rm *resultMsg) ClonePayload() interface{} {
+	c := *rm
+	c.Visited = cloneVisited(rm.Visited)
+	return &c
+}
+
+// logResult appends a query-predicate transition: to the node's shard
+// buffer under sharding, straight to the ResultLog otherwise.
+func (rt *nodeRT) logResult(ev ResultEvent) {
+	if rt.es != nil {
+		rt.es.results = append(rt.es.results, ev)
+		return
+	}
+	rt.e.ResultLog = append(rt.e.ResultLog, ev)
+}
+
+// recordTrace records an engine trace event (no-op without an attached
+// trace): buffered per shard under sharding, direct otherwise.
+func (rt *nodeRT) recordTrace(ev obs.Event) {
+	if rt.e.trace == nil {
+		return
+	}
+	if rt.es != nil {
+		rt.es.trace = append(rt.es.trace, ev)
+		return
+	}
+	rt.e.trace.Record(ev)
+}

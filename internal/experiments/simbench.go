@@ -34,6 +34,18 @@ type SimBatchRow struct {
 	ByteReduxPct float64 `json:"byte_redux_pct"`
 }
 
+// SimShardRow is one shard count of the parallel-scheduler scaling
+// sweep: throughput, speedup over the single-threaded row, and the
+// window-barrier accounting (nsim.shard.barriers / .crossings).
+type SimShardRow struct {
+	Shards       int     `json:"shards"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup"`
+	Barriers     int64   `json:"barriers"`
+	Crossings    int64   `json:"crossings"`
+}
+
 // SimBenchResult is the simulator fast-path A/B comparison snbench
 // emits as BENCH_sim.json (DESIGN.md §9). The "before" columns run the
 // retained legacy paths (LegacyScan, LegacyEvents, LegacyRouting); both
@@ -53,6 +65,19 @@ type SimBenchResult struct {
 	AllocReduxPct        float64 `json:"alloc_redux_pct"`
 
 	Batching []SimBatchRow `json:"batching"`
+
+	// Cores is runtime.NumCPU() on the measuring machine. The sharded
+	// scaling rows below cannot beat it: on a single-core box every
+	// shard count measures the same serial execution plus barrier
+	// overhead, so judge Sharding speedups against this number.
+	Cores int `json:"cores"`
+
+	// Sharding scales the E1 m=18 workload across the parallel sharded
+	// scheduler (core.Config.Shards; DESIGN.md §13). Event counts are
+	// recorded per row, not asserted equal: per-shard RNG streams draw
+	// different delays, so shard counts are distinct (deterministic)
+	// schedules of the same workload.
+	Sharding []SimShardRow `json:"sharding"`
 
 	// Counters is the obs.Snapshot of an observed run of the same E1
 	// m=18 workload (collected outside the timed regions, which stay
@@ -141,6 +166,40 @@ func SimBench(reps int) SimBenchResult {
 			BytesOff:    offBytes, BytesOn: onBytes,
 			ByteReduxPct: 100 * (1 - float64(onBytes)/float64(offBytes)),
 		})
+	}
+
+	// Sharded scaling sweep. MinDelay 4 widens the conservative
+	// lookahead window (W = MinDelay), giving each barrier more events
+	// to run concurrently; Shards=1 stays on the single-threaded path
+	// and anchors the speedup column.
+	res.Cores = runtime.NumCPU()
+	var shardBase float64
+	for _, n := range []int{1, 2, 4, 8} {
+		var events, barriers, crossings int64
+		var secs float64
+		for r := 0; r < reps; r++ {
+			e, nw := deployGrid(18, twoStreamSrc,
+				core.Config{Scheme: gpa.Perpendicular, Shards: n},
+				nsim.Config{Seed: 11, MinDelay: 4, MaxDelay: 8, Shards: n})
+			injectJoinWorkload(e, nw, 40, 17)
+			runtime.GC()
+			start := time.Now()
+			nw.Run(0)
+			secs += time.Since(start).Seconds()
+			events = nw.EventsProcessed
+			barriers, crossings = nw.ShardBarriers, nw.ShardCrossings
+		}
+		row := SimShardRow{
+			Shards: n, Events: events, Barriers: barriers, Crossings: crossings,
+			EventsPerSec: float64(events) / (secs / float64(reps)),
+		}
+		if n == 1 {
+			shardBase = row.EventsPerSec
+		}
+		if shardBase > 0 {
+			row.Speedup = row.EventsPerSec / shardBase
+		}
+		res.Sharding = append(res.Sharding, row)
 	}
 
 	res.Counters = TraceE1(18, 20, 1).Registry.Snapshot().Counters

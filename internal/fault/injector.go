@@ -2,6 +2,7 @@ package fault
 
 import (
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/nsim"
 	"repro/internal/obs"
@@ -44,6 +45,7 @@ type Injector struct {
 	nw    *nsim.Network
 	sched *Schedule
 	rng   *rand.Rand
+	seed  int64 // Attach seed; per-shard forks derive their streams from it
 
 	cuts     map[linkKey]int // active cut multiplicity per link
 	cutCount int             // total active cuts (fast path gate)
@@ -63,6 +65,7 @@ func Attach(nw *nsim.Network, s *Schedule, seed int64) *Injector {
 		nw:    nw,
 		sched: s,
 		rng:   rand.New(rand.NewSource(seed)),
+		seed:  seed,
 		cuts:  make(map[linkKey]int),
 	}
 	for _, e := range s.crashes {
@@ -152,12 +155,12 @@ func (in *Injector) partClose(idx int) {
 // an active cut on its link or by crossing an open partition boundary.
 func (in *Injector) LinkBlocked(src, dst nsim.NodeID, now nsim.Time) bool {
 	if in.cutCount > 0 && in.cuts[mkLinkKey(src, dst)] > 0 {
-		in.Counts.Blocked++
+		atomic.AddInt64(&in.Counts.Blocked, 1)
 		return true
 	}
 	for _, p := range in.active {
 		if p.members[src] != p.members[dst] {
-			in.Counts.Blocked++
+			atomic.AddInt64(&in.Counts.Blocked, 1)
 			return true
 		}
 	}
@@ -171,21 +174,60 @@ func (in *Injector) LinkBlocked(src, dst nsim.NodeID, now nsim.Time) bool {
 // draws come from the injector's rng and only happen while a window is
 // active, so an idle schedule consumes nothing.
 func (in *Injector) DeliveryFault(src, dst nsim.NodeID, now nsim.Time) (extra nsim.Time, dup int) {
+	return in.deliveryFault(in.rng, now)
+}
+
+// deliveryFault is DeliveryFault against an explicit rng, shared with
+// the per-shard forks. Schedule windows are read-only after Attach;
+// only the counters are mutated, atomically, because forks of the same
+// injector run on concurrent shard goroutines.
+func (in *Injector) deliveryFault(rng *rand.Rand, now nsim.Time) (extra nsim.Time, dup int) {
 	for _, w := range in.sched.reorders {
-		if now >= w.From && now < w.To && in.rng.Float64() < w.Prob {
-			extra += 1 + nsim.Time(in.rng.Int63n(int64(w.MaxExtra)))
+		if now >= w.From && now < w.To && rng.Float64() < w.Prob {
+			extra += 1 + nsim.Time(rng.Int63n(int64(w.MaxExtra)))
 		}
 	}
 	if extra > 0 {
-		in.Counts.Reordered++
+		atomic.AddInt64(&in.Counts.Reordered, 1)
 	}
 	for _, w := range in.sched.dups {
-		if now >= w.From && now < w.To && in.rng.Float64() < w.Prob {
+		if now >= w.From && now < w.To && rng.Float64() < w.Prob {
 			dup++
 		}
 	}
-	in.Counts.Duplicated += int64(dup)
+	if dup > 0 {
+		atomic.AddInt64(&in.Counts.Duplicated, int64(dup))
+	}
 	return extra, dup
+}
+
+// ForkShard implements nsim.ShardForker: it returns a view of the
+// injector for one shard of the parallel scheduler, with its own rng
+// stream (deterministically derived from the Attach seed) and shared
+// fault state. Cut/partition state only changes in the scheduler's
+// serial phases — every schedule transition is a global ScheduleAt
+// event — so the shared reads are race-free mid-window, and the shared
+// counters are atomic.
+func (in *Injector) ForkShard(shard int) nsim.FaultController {
+	return &shardFork{
+		in:  in,
+		rng: rand.New(rand.NewSource(in.seed + int64(shard+1)*2654435761)),
+	}
+}
+
+// shardFork is the per-shard FaultController view handed out by
+// ForkShard.
+type shardFork struct {
+	in  *Injector
+	rng *rand.Rand
+}
+
+func (f *shardFork) LinkBlocked(src, dst nsim.NodeID, now nsim.Time) bool {
+	return f.in.LinkBlocked(src, dst, now)
+}
+
+func (f *shardFork) DeliveryFault(src, dst nsim.NodeID, now nsim.Time) (extra nsim.Time, dup int) {
+	return f.in.deliveryFault(f.rng, now)
 }
 
 // Observe registers the injector's bookkeeping as snapshot-time

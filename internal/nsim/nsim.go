@@ -114,6 +114,17 @@ type Config struct {
 	// NearestNode scans every node. Results are bit-identical; retained
 	// for the same A/B benchmarking purpose as LegacyEvents.
 	LegacyScan bool
+
+	// Shards, when ≥ 2, partitions the node set into that many spatial
+	// stripes run concurrently under conservative lookahead windows of
+	// MinDelay ticks (see shard.go). 0 or 1 keeps the single-threaded
+	// scheduler, whose results are byte-identical to previous releases.
+	// Sharded runs are deterministic per (Seed, Shards) pair but draw
+	// delay/loss randomness from per-shard streams, so their traces
+	// differ from the single-threaded ones. Ignored (with the network
+	// staying single-threaded) under LegacyEvents, LegacyScan, or an
+	// energy budget.
+	Shards int
 }
 
 func (c *Config) fill() {
@@ -135,6 +146,7 @@ type Node struct {
 	App  Handler
 
 	net       *Network
+	sh        *shard // owning shard; nil when the network is unsharded
 	skew      Time
 	neighbors []NodeID
 
@@ -150,11 +162,14 @@ type Node struct {
 }
 
 // LocalTime returns the node's local clock: global time plus fixed skew.
-func (n *Node) LocalTime() Time { return n.net.now + n.skew }
+// Under sharding the base is the owning shard's clock, which runs ahead
+// independently inside a lookahead window.
+func (n *Node) LocalTime() Time { return n.simNow() + n.skew }
 
-// Now returns the global simulation time (not observable by real motes;
-// provided for instrumentation).
-func (n *Node) Now() Time { return n.net.now }
+// Now returns the current simulation time at this node (not observable
+// by real motes; provided for instrumentation). Under sharding this is
+// the owning shard's clock.
+func (n *Node) Now() Time { return n.simNow() }
 
 // Neighbors returns the IDs of nodes within radio range, sorted.
 func (n *Node) Neighbors() []NodeID { return n.neighbors }
@@ -194,8 +209,7 @@ func (n *Node) SetTimer(delay Time, key string, data interface{}) {
 	if delay < 0 {
 		delay = 0
 	}
-	nw := n.net
-	nw.scheduleTimer(nw.now+delay, n.ID, key, data)
+	n.net.scheduleTimer(n.simNow()+delay, n.ID, key, data)
 }
 
 func (n *Node) isNeighbor(id NodeID) bool {
@@ -248,6 +262,21 @@ type Network struct {
 	// and delivery (SetFaults).
 	faults FaultController
 
+	// Sharded-scheduler state (shard.go). shards is non-empty only when
+	// Finalize partitioned the network; parallel is true exactly while a
+	// lookahead window is in flight (it routes counter and trace writes
+	// to shard-local buffers); barrierHooks run after every barrier.
+	shards       []*shard
+	parallel     bool
+	barrierHooks []func()
+	// hWindow, when non-nil, samples the width of each lookahead window
+	// in ticks (nsim.shard.window_ticks).
+	hWindow *obs.Histogram
+	// ShardBarriers counts completed lookahead windows; ShardCrossings
+	// counts deliveries buffered across a shard boundary.
+	ShardBarriers  int64
+	ShardCrossings int64
+
 	// Energy-model outcomes.
 	Deaths         int64
 	FirstDeath     Time // 0 until a node dies
@@ -267,6 +296,17 @@ func New(cfg Config) *Network {
 
 // Config returns the network's configuration.
 func (nw *Network) Config() Config { return nw.cfg }
+
+// SetShards overrides the configured shard count before Finalize, so
+// deployment layers that build the network before reading their own
+// configuration (e.g. core.New) can still opt into the sharded
+// scheduler.
+func (nw *Network) SetShards(n int) {
+	if nw.finalized {
+		panic("nsim: SetShards after Finalize")
+	}
+	nw.cfg.Shards = n
+}
 
 // SetFaults attaches (or, with nil, detaches) a fault controller. The
 // controller sees every transmission attempt and surviving delivery;
@@ -319,6 +359,7 @@ func (nw *Network) Finalize() {
 	} else {
 		nw.buildSpatialIndex()
 		nw.computeNeighbors()
+		nw.partitionShards()
 	}
 	for _, a := range nw.nodes {
 		if nw.cfg.MaxSkew > 0 {
@@ -340,6 +381,10 @@ func (nw *Network) Finalize() {
 // dying), but a dead sender never re-attempts a lost frame.
 func (nw *Network) transmit(src *Node, dst NodeID, kind string, payload interface{}, size int) {
 	if src.Down {
+		return
+	}
+	if src.sh != nil {
+		src.sh.transmit(src, dst, kind, payload, size)
 		return
 	}
 	if nw.hopStamp {
@@ -485,6 +530,11 @@ func (nw *Network) scheduleTimer(t Time, node NodeID, key string, data interface
 		})
 		return
 	}
+	if sh := nw.nodes[node].sh; sh != nil {
+		sh.seq++
+		sh.queue.push(simEvent{at: t, seq: sh.seq, kind: evTimer, node: node, str: key, data: data})
+		return
+	}
 	nw.seq++
 	nw.queue.push(simEvent{at: t, seq: nw.seq, kind: evTimer, node: node, str: key, data: data})
 }
@@ -509,6 +559,9 @@ func (nw *Network) Run(until Time) Time {
 	}
 	if nw.cfg.LegacyEvents {
 		return nw.runLegacy(until)
+	}
+	if len(nw.shards) > 0 {
+		return nw.runSharded(until)
 	}
 	for len(nw.queue) > 0 {
 		if until > 0 && nw.queue[0].at > until {
@@ -555,8 +608,14 @@ func (nw *Network) runLegacy(until Time) Time {
 	return nw.now
 }
 
-// Pending reports the number of queued events.
-func (nw *Network) Pending() int { return len(nw.queue) + nw.legacy.Len() }
+// Pending reports the number of queued events across all queues.
+func (nw *Network) Pending() int {
+	p := len(nw.queue) + nw.legacy.Len()
+	for _, sh := range nw.shards {
+		p += len(sh.queue)
+	}
+	return p
+}
 
 // MaxNodeLoad returns the maximum (sent + received) over all nodes — the
 // hotspot metric of experiment E2.

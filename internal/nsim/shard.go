@@ -1,0 +1,509 @@
+// Conservative parallel discrete-event scheduler. The network is
+// partitioned spatially into shards (contiguous stripes of spatial-index
+// columns), each owning its nodes' timer and delivery queues. Shards run
+// concurrently inside lookahead windows derived from the minimum per-hop
+// delay W = Config.MinDelay: a message transmitted at time t is delivered
+// no earlier than t+W, so if every shard only processes events strictly
+// below horizon = base+W, no transmission inside the window can be
+// received inside the same window — cross-shard deliveries are buffered
+// and exchanged at the window barrier. This is the same per-hop delay
+// bound Theorems 1–3 lean on for settle-latency guarantees, reused as a
+// conservative lookahead (see DESIGN.md §13).
+//
+// Global events scheduled with ScheduleAt (injections, fault
+// transitions, replay, aggregation epochs) stay in the global queue and
+// run serially between windows, so all engine-global mutation (Down
+// flags, base-fact logs, replay state wipes) happens with no shard
+// goroutine in flight.
+package nsim
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// ShardForker is implemented by fault controllers that can produce
+// per-shard views of themselves. The scheduler calls ForkShard once per
+// shard before the first window; each view gets its own RNG stream so
+// concurrent shards never share mutable fault state. A controller that
+// does not implement ShardForker still works — the scheduler then runs
+// windows sequentially on one goroutine (same results, no parallelism)
+// rather than share an unsynchronized controller across goroutines.
+type ShardForker interface {
+	FaultController
+	ForkShard(shard int) FaultController
+}
+
+// PayloadCloner is implemented by payloads that receivers mutate in
+// place (the engine's walker messages: Visited sets, leg indexes,
+// partial-result lists). The sharded scheduler clones such payloads
+// once per transmission, so no two nodes — possibly in different
+// shards — ever share a mutable payload: broadcast recipients and
+// fault-duplicated deliveries each get their own snapshot. The
+// single-threaded scheduler never clones; its receivers run
+// sequentially and the legacy aliasing is part of its byte-exact
+// behavior.
+type PayloadCloner interface {
+	ClonePayload() interface{}
+}
+
+// crossEvent is a delivery bound for a node in another shard, buffered
+// during a parallel window and enqueued at the barrier. Its arrival time
+// is ≥ the window horizon by the lookahead argument, so deferring the
+// enqueue past the barrier never reorders it before events it could
+// have influenced.
+type crossEvent struct {
+	at      Time
+	src     NodeID
+	dst     NodeID
+	size    int
+	kind    string
+	payload interface{}
+}
+
+// shard owns a stripe of nodes: their event queue, clock, RNG stream,
+// message scratch, and counter deltas. Counter deltas and trace events
+// accumulate shard-locally during a window and fold into the Network
+// totals at the barrier, in shard-ID order, so totals and traces are
+// identical run to run for a fixed (seed, shard count) pair.
+type shard struct {
+	id      int
+	nw      *Network
+	now     Time
+	rng     *rand.Rand
+	queue   typedQueue
+	seq     int64
+	scratch Message
+	faults  FaultController
+
+	// window-local counter deltas, folded at the barrier
+	sent, bytes, dropped, retries, events int64
+	kindCounts, kindBytes                 map[string]int64
+	traceBuf                              []obs.Event
+	out                                   []crossEvent
+}
+
+const timeInf = Time(math.MaxInt64)
+
+// partitionShards splits the node set into cfg.Shards contiguous stripes
+// of spatial-index columns, balanced by node count. The spatial cell
+// width strictly exceeds the radio range, so radio neighbors are at most
+// one column apart; the column→shard map advances by at most one shard
+// per column, so neighbors land in the same or adjacent shards — the
+// invariant the cross-shard buffering relies on (a shard only ever
+// exports deliveries, never mutates a foreign queue mid-window).
+//
+// Sharding is skipped (the network stays single-threaded) for legacy
+// event/scan modes and for energy-budget runs: energy deaths flip Down
+// mid-transmission, which the parallel path cannot observe race-free.
+func (nw *Network) partitionShards() {
+	k := nw.cfg.Shards
+	if k < 2 || nw.cfg.LegacyEvents || nw.cfg.LegacyScan || nw.cfg.EnergyBudget > 0 ||
+		nw.index == nil || len(nw.nodes) == 0 {
+		return
+	}
+	if k > nw.index.cols {
+		k = nw.index.cols
+	}
+	if k < 2 {
+		return
+	}
+	colCount := make([]int, nw.index.cols)
+	for _, n := range nw.nodes {
+		colCount[nw.index.colOf(n.X)]++
+	}
+	total := len(nw.nodes)
+	colShard := make([]int, nw.index.cols)
+	// Advance to the next shard when the running count crosses the
+	// balance threshold — but only if the current shard already holds a
+	// node (cum > prev) and nodes remain for the next one (cum < total),
+	// so no shard ever ends up empty however lopsided the columns are.
+	s, cum, prev := 0, 0, 0
+	for c := range colShard {
+		colShard[c] = s
+		cum += colCount[c]
+		if s < k-1 && cum > prev && cum < total && cum*k >= (s+1)*total {
+			s++
+			prev = cum
+		}
+	}
+	k = s + 1
+	if k < 2 {
+		return // everything landed in one stripe: stay single-threaded
+	}
+	nw.shards = make([]*shard, k)
+	for i := range nw.shards {
+		nw.shards[i] = &shard{
+			id:  i,
+			nw:  nw,
+			rng: rand.New(rand.NewSource(nw.cfg.Seed + int64(i+1)*6364136223846793005)),
+		}
+	}
+	for _, n := range nw.nodes {
+		n.sh = nw.shards[colShard[nw.index.colOf(n.X)]]
+	}
+}
+
+// ShardCount returns the number of shards the scheduler runs with, or 0
+// when the network is single-threaded.
+func (nw *Network) ShardCount() int { return len(nw.shards) }
+
+// OnBarrier registers f to run (on the scheduler goroutine, with no
+// shard in flight) after every window barrier and once more when Run
+// returns. The core engine uses this to fold per-shard result and trace
+// buffers deterministically.
+func (nw *Network) OnBarrier(f func()) { nw.barrierHooks = append(nw.barrierHooks, f) }
+
+// Shard returns the shard index owning this node (0 when unsharded).
+func (n *Node) Shard() int {
+	if n.sh == nil {
+		return 0
+	}
+	return n.sh.id
+}
+
+// simNow is the node's scheduler clock: its shard clock while sharded
+// (shard clocks run ahead of each other inside a window), the global
+// clock otherwise.
+func (n *Node) simNow() Time {
+	if n.sh != nil {
+		return n.sh.now
+	}
+	return n.net.now
+}
+
+// setShardedNow raises the global clock and every shard clock to t.
+// Clocks never move backward: a barrier leaves all clocks at the maximum
+// event time of the window, and serial events only run when no shard
+// holds an earlier event.
+func (nw *Network) setShardedNow(t Time) {
+	if t > nw.now {
+		nw.now = t
+	}
+	for _, sh := range nw.shards {
+		if t > sh.now {
+			sh.now = t
+		}
+	}
+}
+
+// runSharded is the sharded counterpart of Run's event loop. It
+// alternates two phases: serial phases pop single global events
+// (ScheduleAt closures — injections, fault transitions, replay) on the
+// scheduler goroutine, and window phases advance all shards concurrently
+// up to horizon = min(base+W, next global event, until+1), where W is
+// the minimum per-hop delay. The window bound keeps every transmission's
+// delivery outside the window that sent it, so shards never need to see
+// each other's state mid-window.
+func (nw *Network) runSharded(until Time) Time {
+	w := nw.cfg.MinDelay
+	var forker ShardForker
+	if nw.faults != nil {
+		forker, _ = nw.faults.(ShardForker)
+		if forker != nil {
+			for _, sh := range nw.shards {
+				if sh.faults == nil {
+					sh.faults = forker.ForkShard(sh.id)
+				}
+			}
+		}
+	}
+	concurrent := nw.faults == nil || forker != nil
+	for {
+		gNext := timeInf
+		if len(nw.queue) > 0 {
+			gNext = nw.queue[0].at
+		}
+		sNext := timeInf
+		for _, sh := range nw.shards {
+			if len(sh.queue) > 0 && sh.queue[0].at < sNext {
+				sNext = sh.queue[0].at
+			}
+		}
+		if gNext == timeInf && sNext == timeInf {
+			nw.barrier()
+			return nw.now
+		}
+		base := gNext
+		if sNext < base {
+			base = sNext
+		}
+		if until > 0 && base > until {
+			nw.setShardedNow(until)
+			nw.barrier()
+			return nw.now
+		}
+		if gNext <= sNext {
+			// Serial phase: one global event, no shard in flight.
+			ev := nw.queue.pop()
+			nw.setShardedNow(ev.at)
+			nw.EventsProcessed++
+			nw.hQueue.Observe(int64(len(nw.queue)))
+			switch ev.kind {
+			case evTimer:
+				n := nw.nodes[ev.node]
+				if !n.Down {
+					n.App.Timer(n, ev.str, ev.data)
+				}
+			case evDelivery:
+				nw.scratch = Message{Src: ev.src, Dst: ev.node, Kind: ev.str, Payload: ev.data, Size: ev.size}
+				nw.deliver(&nw.scratch)
+			default:
+				ev.fn()
+			}
+			continue
+		}
+		// Window phase.
+		horizon := base + w
+		if gNext < horizon {
+			horizon = gNext
+		}
+		if until > 0 && until+1 < horizon {
+			horizon = until + 1
+		}
+		nw.setShardedNow(base)
+		nw.parallel = true
+		if concurrent {
+			var wg sync.WaitGroup
+			for _, sh := range nw.shards {
+				if len(sh.queue) == 0 || sh.queue[0].at >= horizon {
+					continue
+				}
+				wg.Add(1)
+				go func(sh *shard) {
+					defer wg.Done()
+					sh.runWindow(horizon)
+				}(sh)
+			}
+			wg.Wait()
+		} else {
+			for _, sh := range nw.shards {
+				if len(sh.queue) > 0 && sh.queue[0].at < horizon {
+					sh.runWindow(horizon)
+				}
+			}
+		}
+		nw.parallel = false
+		nw.ShardBarriers++
+		nw.hWindow.Observe(int64(horizon - base))
+		nw.barrier()
+	}
+}
+
+// barrier folds every shard's window-local deltas into the Network
+// totals, flushes buffered trace events, enqueues buffered cross-shard
+// deliveries into their destination shards, and runs registered hooks —
+// all in shard-ID order, so the fold is deterministic for a fixed shard
+// count.
+func (nw *Network) barrier() {
+	m := nw.now
+	for _, sh := range nw.shards {
+		if sh.now > m {
+			m = sh.now
+		}
+	}
+	nw.setShardedNow(m)
+	for _, sh := range nw.shards {
+		nw.TotalSent += sh.sent
+		nw.TotalBytes += sh.bytes
+		nw.TotalDropped += sh.dropped
+		nw.TotalRetries += sh.retries
+		nw.EventsProcessed += sh.events
+		sh.sent, sh.bytes, sh.dropped, sh.retries, sh.events = 0, 0, 0, 0, 0
+		for k, v := range sh.kindCounts {
+			nw.KindCounts[k] += v
+		}
+		for k, v := range sh.kindBytes {
+			nw.KindBytes[k] += v
+		}
+		clear(sh.kindCounts)
+		clear(sh.kindBytes)
+		if len(sh.traceBuf) > 0 {
+			for _, e := range sh.traceBuf {
+				nw.trace.Record(e)
+			}
+			sh.traceBuf = sh.traceBuf[:0]
+		}
+	}
+	for _, sh := range nw.shards {
+		for _, ce := range sh.out {
+			dsh := nw.nodes[ce.dst].sh
+			dsh.seq++
+			dsh.queue.push(simEvent{at: ce.at, seq: dsh.seq, kind: evDelivery,
+				node: ce.dst, src: ce.src, size: ce.size, str: ce.kind, data: ce.payload})
+			nw.ShardCrossings++
+		}
+		sh.out = sh.out[:0]
+	}
+	for _, f := range nw.barrierHooks {
+		f()
+	}
+}
+
+// runWindow drains the shard's queue up to (strictly below) horizon.
+// Within the window the shard touches only its own nodes' state plus the
+// race-free observability primitives (atomic histogram buckets); every
+// foreign effect is a buffered crossEvent.
+func (sh *shard) runWindow(horizon Time) {
+	nw := sh.nw
+	for len(sh.queue) > 0 && sh.queue[0].at < horizon {
+		ev := sh.queue.pop()
+		if ev.at > sh.now {
+			sh.now = ev.at
+		}
+		sh.events++
+		nw.hQueue.Observe(int64(len(sh.queue)))
+		switch ev.kind {
+		case evTimer:
+			n := nw.nodes[ev.node]
+			if !n.Down {
+				n.App.Timer(n, ev.str, ev.data)
+			}
+		case evDelivery:
+			sh.scratch = Message{Src: ev.src, Dst: ev.node, Kind: ev.str, Payload: ev.data, Size: ev.size}
+			sh.deliver(&sh.scratch)
+		default:
+			ev.fn()
+		}
+	}
+}
+
+// trace records e through the shard: buffered during parallel windows
+// (flushed in shard order at the barrier), straight through otherwise.
+func (sh *shard) trace(e obs.Event) {
+	if sh.nw.trace == nil {
+		return
+	}
+	if sh.nw.parallel {
+		sh.traceBuf = append(sh.traceBuf, e)
+		return
+	}
+	sh.nw.trace.Record(e)
+}
+
+// transmit is the sharded counterpart of Network.transmit: same ARQ
+// loop, fault hooks, and per-kind accounting, but counters go to the
+// shard's window-local deltas during parallel windows and all randomness
+// comes from the shard's own RNG stream. The energy model is absent by
+// construction — partitionShards refuses to shard energy-budget runs.
+func (sh *shard) transmit(src *Node, dst NodeID, kind string, payload interface{}, size int) {
+	nw := sh.nw
+	if pc, ok := payload.(PayloadCloner); ok {
+		payload = pc.ClonePayload()
+	}
+	if nw.hopStamp {
+		if hc, ok := payload.(HopCounter); ok {
+			hc.BumpHop()
+		}
+	}
+	par := nw.parallel
+	fc := sh.faults
+	if fc == nil {
+		fc = nw.faults
+	}
+	delivered := false
+	for attempt := 0; attempt <= nw.cfg.Retries; attempt++ {
+		src.Sent++
+		src.BytesOut += int64(size)
+		if par {
+			sh.sent++
+			sh.bytes += int64(size)
+			if sh.kindCounts == nil {
+				sh.kindCounts = make(map[string]int64)
+				sh.kindBytes = make(map[string]int64)
+			}
+			sh.kindCounts[kind]++
+			sh.kindBytes[kind] += int64(size)
+			if attempt > 0 {
+				sh.retries++
+			}
+		} else {
+			nw.TotalSent++
+			nw.TotalBytes += int64(size)
+			nw.KindCounts[kind]++
+			nw.KindBytes[kind] += int64(size)
+			if attempt > 0 {
+				nw.TotalRetries++
+			}
+		}
+		sh.trace(obs.Event{At: int64(sh.now), Node: int32(src.ID), Peer: int32(dst),
+			Kind: obs.EvSend, Pred: kind, Size: int32(size)})
+		if fc != nil && fc.LinkBlocked(src.ID, dst, sh.now) {
+			if par {
+				sh.dropped++
+			} else {
+				nw.TotalDropped++
+			}
+			sh.trace(obs.Event{At: int64(sh.now), Node: int32(src.ID), Peer: int32(dst),
+				Kind: obs.EvDrop, Pred: kind, Size: int32(size)})
+			continue
+		}
+		if nw.cfg.LossRate > 0 && sh.rng.Float64() < nw.cfg.LossRate {
+			if par {
+				sh.dropped++
+			} else {
+				nw.TotalDropped++
+			}
+			sh.trace(obs.Event{At: int64(sh.now), Node: int32(src.ID), Peer: int32(dst),
+				Kind: obs.EvDrop, Pred: kind, Size: int32(size)})
+			continue
+		}
+		delivered = true
+		break
+	}
+	if !delivered {
+		return
+	}
+	delay := nw.cfg.MinDelay
+	if nw.cfg.MaxDelay > nw.cfg.MinDelay {
+		delay += Time(sh.rng.Int63n(int64(nw.cfg.MaxDelay - nw.cfg.MinDelay + 1)))
+	}
+	if fc != nil {
+		extra, dup := fc.DeliveryFault(src.ID, dst, sh.now)
+		if extra > 0 {
+			delay += extra
+			sh.trace(obs.Event{At: int64(sh.now), Node: int32(src.ID), Peer: int32(dst),
+				Kind: obs.EvReorder, Pred: kind, Size: int32(size)})
+		}
+		for i := 0; i < dup; i++ {
+			sh.trace(obs.Event{At: int64(sh.now), Node: int32(src.ID), Peer: int32(dst),
+				Kind: obs.EvDup, Pred: kind, Size: int32(size)})
+			sh.scheduleDelivery(sh.now+delay, src.ID, dst, kind, payload, size)
+		}
+	}
+	sh.scheduleDelivery(sh.now+delay, src.ID, dst, kind, payload, size)
+}
+
+// scheduleDelivery enqueues a delivery for dst. During a parallel window
+// a delivery for a foreign shard is buffered as a crossEvent (its
+// arrival time is ≥ the window horizon, so the deferral is invisible);
+// otherwise — own shard, or serial phase — it goes straight into the
+// destination shard's queue.
+func (sh *shard) scheduleDelivery(t Time, src, dst NodeID, kind string, payload interface{}, size int) {
+	dsh := sh.nw.nodes[dst].sh
+	if dsh != sh && sh.nw.parallel {
+		sh.out = append(sh.out, crossEvent{at: t, src: src, dst: dst, size: size, kind: kind, payload: payload})
+		return
+	}
+	dsh.seq++
+	dsh.queue.push(simEvent{at: t, seq: dsh.seq, kind: evDelivery,
+		node: dst, src: src, size: size, str: kind, data: payload})
+}
+
+// deliver hands a message to its destination. Down flags only change in
+// serial phases (fault transitions are global events; energy runs are
+// never sharded), so the read is race-free mid-window.
+func (sh *shard) deliver(m *Message) {
+	d := sh.nw.nodes[m.Dst]
+	if d.Down || d.App == nil {
+		return
+	}
+	d.Received++
+	d.BytesIn += int64(m.Size)
+	sh.trace(obs.Event{At: int64(sh.now), Node: int32(d.ID), Peer: int32(m.Src),
+		Kind: obs.EvRecv, Pred: m.Kind, Size: int32(m.Size)})
+	d.App.Receive(d, m)
+}

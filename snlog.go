@@ -236,6 +236,9 @@ type Options struct {
 	// Provenance attaches a per-derivation lineage graph, queryable
 	// through Cluster.Explain and Cluster.Blame (see WithProvenance).
 	Provenance bool
+	// Shards, when > 1, runs the simulation on the parallel sharded
+	// scheduler (see WithShards).
+	Shards int
 }
 
 // Option is a functional deployment option for Deploy.
@@ -306,6 +309,17 @@ func WithTrace(capacity int) Option { return func(o *Options) { o.TraceCapacity 
 // every published baseline is produced with provenance off.
 func WithProvenance() Option { return func(o *Options) { o.Provenance = true } }
 
+// WithShards partitions the simulation spatially into n shards that run
+// concurrently under conservative lookahead windows derived from the
+// minimum per-hop delay (DESIGN.md §13). Results are equivalent but not
+// byte-identical to the single-threaded schedule (per-shard RNG
+// streams); a fixed (seed, shard count) still replays identically.
+// n <= 1 keeps the default single-threaded scheduler, byte-identical to
+// deployments without this option. Energy-model deployments ignore the
+// option (deaths flip mid-transmission, which the parallel path cannot
+// observe race-free).
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
 // Topology describes the network shape a program deploys onto; build
 // one with Grid or Random and pass it to Deploy.
 type Topology struct {
@@ -348,6 +362,7 @@ func simConfig(opt *Options) nsim.Config {
 		LossRate: opt.LossRate,
 		MaxSkew:  nsim.Time(opt.MaxSkew),
 		Retries:  opt.Retries,
+		Shards:   opt.Shards,
 	}
 }
 
@@ -419,6 +434,7 @@ func deploy(nw *nsim.Network, src string, opt Options) (*Cluster, error) {
 		NaiveJoin:     opt.NaiveJoin,
 		BatchLinks:    opt.BatchLinks,
 		ReplayLog:     opt.ReplayLog,
+		Shards:        opt.Shards,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-shards bench joinbench bench-sim bench-check obs-guard fuzz-smoke profile trace-e1 verify
+.PHONY: all build test vet race race-shards bench bench-shards-smoke joinbench bench-sim bench-check obs-guard fuzz-smoke profile trace-e1 verify
 
 all: verify
 
@@ -27,6 +27,12 @@ race-shards:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Wall-clock-free stand-in for the sharded-scheduler bench: pins the
+# deterministic fold count (barriers per 1k events) and the elision
+# rate on the exact workload the benchcheck sharding gate measures.
+bench-shards-smoke:
+	$(GO) test -run 'TestShardBarrierBudget' -count=1 -v ./internal/experiments/
 
 # Regenerate the headline indexed-vs-naive join metrics.
 joinbench:
@@ -75,4 +81,4 @@ profile:
 trace-e1:
 	$(GO) run ./cmd/snbench -trace trace_e1.jsonl
 
-verify: build test vet race race-shards obs-guard fuzz-smoke bench-check
+verify: build test vet race race-shards bench-shards-smoke obs-guard fuzz-smoke bench-check

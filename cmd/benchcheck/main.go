@@ -2,7 +2,7 @@
 // baseline: `make bench-check` regenerates BENCH_sim.json and fails the
 // build when the fast path drifted from BENCH_baseline.json.
 //
-// Three metrics are gated:
+// Gated metrics:
 //
 //   - events: the deterministic workload size — any difference means the
 //     benchmark is no longer measuring the same run and the baseline is
@@ -15,6 +15,12 @@
 //   - events_per_sec_fast: wall-clock throughput is noisy on shared
 //     machines, so only a regression beyond the (wider) throughput
 //     tolerance fails; improvements always pass.
+//   - sharding rows (matched by shard count, single-threaded row
+//     excluded): speedup is timing-based and gated regression-only like
+//     throughput; barriers_per_1k_events is deterministic and gated
+//     increase-only — more mid-run folds per event means the fold
+//     elision regressed — with a small absolute slack so a zero
+//     baseline stays gateable.
 //
 // Usage:
 //
@@ -37,9 +43,17 @@ import (
 // metric does not break the build before the baseline is refreshed —
 // present keys keep their full gates.
 type simBench struct {
-	Events           *int64   `json:"events"`
-	AllocsPerEvent   *float64 `json:"allocs_per_event_fast"`
-	EventsPerSecFast *float64 `json:"events_per_sec_fast"`
+	Events           *int64     `json:"events"`
+	AllocsPerEvent   *float64   `json:"allocs_per_event_fast"`
+	EventsPerSecFast *float64   `json:"events_per_sec_fast"`
+	Sharding         []shardRow `json:"sharding"`
+}
+
+// shardRow mirrors the gated subset of experiments.SimShardRow.
+type shardRow struct {
+	Shards        *int     `json:"shards"`
+	Speedup       *float64 `json:"speedup"`
+	BarriersPer1k *float64 `json:"barriers_per_1k_events"`
 }
 
 func load(path string) (*simBench, error) {
@@ -134,6 +148,52 @@ func main() {
 			fmt.Printf("ok    throughput: %.0f events/s vs baseline %.0f (%+.1f%%)\n",
 				*cand.EventsPerSecFast, *base.EventsPerSecFast,
 				100*relDiff(*base.EventsPerSecFast, *cand.EventsPerSecFast))
+		}
+	}
+
+	candRows := make(map[int]shardRow)
+	for _, r := range cand.Sharding {
+		if r.Shards != nil {
+			candRows[*r.Shards] = r
+		}
+	}
+	if len(base.Sharding) == 0 {
+		fmt.Printf("warn  sharding: absent from baseline %s — refresh it to gate the sharded scheduler\n", *baseline)
+	} else {
+		for _, br := range base.Sharding {
+			if br.Shards == nil || *br.Shards <= 1 {
+				continue // the single-threaded anchor row gates nothing
+			}
+			n := *br.Shards
+			cr, ok := candRows[n]
+			if !ok {
+				fail("sharding[shards=%d]: present in baseline but missing from candidate %s", n, *candidate)
+				continue
+			}
+			name := fmt.Sprintf("shard%d speedup", n)
+			if !missing(name, br.Speedup != nil, cr.Speedup != nil) {
+				if d := relDiff(*br.Speedup, *cr.Speedup); d < -*thrTol {
+					fail("%s: %.3fx, baseline %.3fx (%.1f%% regression beyond %.0f%% noise floor)",
+						name, *cr.Speedup, *br.Speedup, -100*d, 100**thrTol)
+				} else {
+					fmt.Printf("ok    %s: %.3fx vs baseline %.3fx (%+.1f%%)\n",
+						name, *cr.Speedup, *br.Speedup, 100*relDiff(*br.Speedup, *cr.Speedup))
+				}
+			}
+			name = fmt.Sprintf("shard%d barriers/1k", n)
+			if !missing(name, br.BarriersPer1k != nil, cr.BarriersPer1k != nil) {
+				// Increase-only: the count is deterministic, so growth means
+				// folds the elision used to skip came back. The 0.5 absolute
+				// slack keeps a zero baseline from failing on any nonzero
+				// candidate rounding.
+				limit := *br.BarriersPer1k*(1+*tol) + 0.5
+				if *cr.BarriersPer1k > limit {
+					fail("%s: %.2f, baseline %.2f — fold elision regressed (limit %.2f)",
+						name, *cr.BarriersPer1k, *br.BarriersPer1k, limit)
+				} else {
+					fmt.Printf("ok    %s: %.2f vs baseline %.2f\n", name, *cr.BarriersPer1k, *br.BarriersPer1k)
+				}
+			}
 		}
 	}
 

@@ -53,6 +53,7 @@ func main() {
 	explain := flag.String("explain", "", "explain a derived tuple of the E5 shortest-path run, e.g. 'j(n3,3)': print its derivation tree and critical path, then exit")
 	explainDOT := flag.String("explain-dot", "", "with -explain, also write the derivation DAG as Graphviz DOT to this file")
 	hist := flag.Bool("hist", false, "run the observed E1 workload with provenance attached and print the latency/hop/fan-in/queue histograms, then exit")
+	shards := flag.Int("shards", 0, "with -simjson, sweep the sharded scheduler over {1, N} instead of the default {1, 2, 4, 8}")
 	flag.Parse()
 
 	if *explain != "" {
@@ -84,7 +85,7 @@ func main() {
 		if *quick {
 			reps = 2
 		}
-		res := experiments.SimBench(reps)
+		res := experiments.SimBench(reps, *shards)
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)

@@ -190,14 +190,12 @@ type Engine struct {
 	router *routing.Engine
 	// shards holds the engine's per-shard state when the network runs the
 	// sharded scheduler: a private routing cache per shard (the shared
-	// cache's map would race) plus result/trace buffers drained at window
+	// cache's map would race) plus result buffers drained at real window
 	// barriers (shard.go). Empty on single-threaded runs.
 	shards []engineShard
 	// aggMu serializes writes to aggResults: aggregation sinks finalize
 	// epochs on their own shards' goroutines.
 	aggMu sync.Mutex
-	// traceScratch is the reusable barrier-flush sort buffer (shard.go).
-	traceScratch []obs.Event
 
 	rules     []*compiledRule
 	triggers  map[string][]trigger // predKey -> triggers

@@ -5,9 +5,12 @@
 // goroutine — but a handful of engine-global structures are not: the
 // nearest-node routing cache, the ResultLog, the engine trace, and the
 // aggregation results map. This file gives each shard its own routing
-// cache and buffers ResultLog/trace appends per shard, folding them in
-// shard order (stable-sorted by finalize time) at every window barrier,
-// so sharded runs stay deterministic for a fixed (seed, shard count).
+// cache, routes engine trace events through the simulator's per-shard
+// trace buffers (so radio and engine events fold in one canonical
+// (At, shard, generation) order), and buffers ResultLog appends per
+// shard, folding everything below the barrier's safety bound at real
+// barriers — so sharded runs stay deterministic for a fixed (seed,
+// shard count) pair however many windows a coalesced fold spans.
 package core
 
 import (
@@ -24,15 +27,17 @@ type engineShard struct {
 	// plain map, so shards cannot share one; each shard warms its own
 	// from the same immutable geometry.
 	router *routing.Engine
-	// results and trace buffer ResultLog appends and engine trace events
-	// produced inside parallel windows, drained by flushShards.
+	// results buffers ResultLog appends produced inside parallel
+	// windows, drained below the safety bound by flushShards. Entries
+	// are At-monotone: every append is stamped with the node's shard
+	// clock, which never decreases.
 	results []ResultEvent
-	trace   []obs.Event
 }
 
 // attachShards wires the engine to a sharded network: one routing cache
-// per shard, every node runtime bound to its shard's state, and the
-// barrier hook that folds the buffers. No-op (leaving every rt.es nil,
+// per shard, every node runtime bound to its shard's state, the
+// simulator-side sink for buffered engine trace events, and the barrier
+// hook that folds the result buffers. No-op (leaving every rt.es nil,
 // which routes appends straight to the engine) when the network is
 // single-threaded.
 func (e *Engine) attachShards() {
@@ -47,43 +52,44 @@ func (e *Engine) attachShards() {
 	for _, rt := range e.rts {
 		rt.es = &e.shards[rt.node.Shard()]
 	}
+	e.nw.SetShardTraceSink(func(ev obs.Event) {
+		if e.trace != nil {
+			e.trace.Record(ev)
+		}
+	})
 	e.nw.OnBarrier(e.flushShards)
 }
 
-// flushShards folds the per-shard result and trace buffers into the
-// engine-global ResultLog and trace. It runs at every window barrier
-// (and once more when Run returns), on the scheduler goroutine with no
-// shard in flight. Buffers are concatenated in shard-ID order and
-// stable-sorted by finalize time: a tuple's insert/delete transitions
-// all originate at its home node — one shard — so the stable sort
-// never swaps the transitions of one tuple, and the fold is
-// deterministic run to run.
-func (e *Engine) flushShards() {
-	var nres, ntr int
+// flushShards folds the per-shard result buffers into the engine-global
+// ResultLog. It runs at every fold the scheduler performs (forced folds
+// mid-run, plus once when Run returns), on the scheduler goroutine with
+// no shard in flight.
+// Only entries with At < safe drain — no shard can still produce an
+// event below the safety bound, so the drained prefix is final — and
+// they drain concatenated in shard-ID order, stable-sorted by finalize
+// time: the canonical (At, shard, generation) order, independent of
+// where the barriers fall, which is what keeps a coalesced run's
+// ResultLog byte-identical to a fold-every-window run's. A tuple's
+// insert/delete transitions all originate at its home node — one shard
+// — so the stable sort never swaps the transitions of one tuple.
+func (e *Engine) flushShards(safe nsim.Time) {
+	at := len(e.ResultLog)
 	for i := range e.shards {
-		nres += len(e.shards[i].results)
-		ntr += len(e.shards[i].trace)
-	}
-	if nres > 0 {
-		at := len(e.ResultLog)
-		for i := range e.shards {
-			e.ResultLog = append(e.ResultLog, e.shards[i].results...)
-			e.shards[i].results = e.shards[i].results[:0]
+		sh := &e.shards[i]
+		if len(sh.results) == 0 {
+			continue
 		}
-		batch := e.ResultLog[at:]
+		// At-monotone per shard, so the safe prefix is a binary search.
+		cut := sort.Search(len(sh.results), func(j int) bool { return sh.results[j].At >= safe })
+		if cut == 0 {
+			continue
+		}
+		e.ResultLog = append(e.ResultLog, sh.results[:cut]...)
+		rem := copy(sh.results, sh.results[cut:])
+		sh.results = sh.results[:rem]
+	}
+	if batch := e.ResultLog[at:]; len(batch) > 1 {
 		sort.SliceStable(batch, func(a, b int) bool { return batch[a].At < batch[b].At })
-	}
-	if ntr > 0 {
-		buf := e.traceScratch[:0]
-		for i := range e.shards {
-			buf = append(buf, e.shards[i].trace...)
-			e.shards[i].trace = e.shards[i].trace[:0]
-		}
-		sort.SliceStable(buf, func(a, b int) bool { return buf[a].At < buf[b].At })
-		for _, ev := range buf {
-			e.trace.Record(ev)
-		}
-		e.traceScratch = buf[:0]
 	}
 }
 
@@ -139,13 +145,15 @@ func (rt *nodeRT) logResult(ev ResultEvent) {
 }
 
 // recordTrace records an engine trace event (no-op without an attached
-// trace): buffered per shard under sharding, direct otherwise.
+// trace): through the node's simulator-shard buffer whenever the
+// network is sharded — serial phases included, so the fold interleaves
+// engine and radio events in one canonical order no matter where the
+// folds fall — direct only on unsharded networks.
 func (rt *nodeRT) recordTrace(ev obs.Event) {
 	if rt.e.trace == nil {
 		return
 	}
-	if rt.es != nil {
-		rt.es.trace = append(rt.es.trace, ev)
+	if rt.es != nil && rt.node.BufferShardTrace(ev) {
 		return
 	}
 	rt.e.trace.Record(ev)

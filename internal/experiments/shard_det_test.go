@@ -60,8 +60,14 @@ func shardFingerprint(e *core.Engine, nw *nsim.Network, tr *obs.Trace) shardRunO
 }
 
 // shardE1Run: the E1 two-stream Perpendicular join (TraceE1's workload).
-func shardE1Run(shards int) shardRunOut {
-	nw := topo.Grid(8, nsim.Config{Seed: 11, Shards: shards})
+// tweak, when non-nil, adjusts the simulator config before deployment
+// (the equivalence gates use it to flip the scheduler's A/B toggles).
+func shardE1Run(shards int, tweak func(*nsim.Config)) shardRunOut {
+	sim := nsim.Config{Seed: 11, Shards: shards}
+	if tweak != nil {
+		tweak(&sim)
+	}
+	nw := topo.Grid(8, sim)
 	e, err := core.New(nw, mustProg(twoStreamSrc), core.Config{Scheme: gpa.Perpendicular, Shards: shards})
 	if err != nil {
 		panic(err)
@@ -79,8 +85,12 @@ func shardE1Run(shards int) shardRunOut {
 
 // shardE5Run: the E5 logicJ shortest-path-tree program over grid
 // adjacency (ProvE5's workload, trace instead of provenance).
-func shardE5Run(shards int) shardRunOut {
-	nw := topo.Grid(6, nsim.Config{Seed: 41, Shards: shards})
+func shardE5Run(shards int, tweak func(*nsim.Config)) shardRunOut {
+	sim := nsim.Config{Seed: 41, Shards: shards}
+	if tweak != nil {
+		tweak(&sim)
+	}
+	nw := topo.Grid(6, sim)
 	e, err := core.New(nw, mustProg(logicJSrc), core.Config{Shards: shards})
 	if err != nil {
 		panic(err)
@@ -103,8 +113,12 @@ func shardE5Run(shards int) shardRunOut {
 }
 
 // shardE7Run: the E7 lossy-link join (30% loss, 3 retries).
-func shardE7Run(shards int) shardRunOut {
-	nw := topo.Grid(8, nsim.Config{Seed: 61, LossRate: 0.3, Retries: 3, Shards: shards})
+func shardE7Run(shards int, tweak func(*nsim.Config)) shardRunOut {
+	sim := nsim.Config{Seed: 61, LossRate: 0.3, Retries: 3, Shards: shards}
+	if tweak != nil {
+		tweak(&sim)
+	}
+	nw := topo.Grid(8, sim)
 	e, err := core.New(nw, mustProg(twoStreamSrc), core.Config{Scheme: gpa.Perpendicular, Shards: shards})
 	if err != nil {
 		panic(err)
@@ -129,7 +143,7 @@ func shardE7Run(shards int) shardRunOut {
 
 var shardWorkloads = []struct {
 	name string
-	run  func(shards int) shardRunOut
+	run  func(shards int, tweak func(*nsim.Config)) shardRunOut
 }{
 	{"E1join", shardE1Run},
 	{"E5spt", shardE5Run},
@@ -142,7 +156,7 @@ func TestShardOneByteIdentical(t *testing.T) {
 	for _, w := range shardWorkloads {
 		w := w
 		t.Run(w.name, func(t *testing.T) {
-			ref, one := w.run(0), w.run(1)
+			ref, one := w.run(0, nil), w.run(1, nil)
 			if one.shards != 0 {
 				t.Fatalf("Shards=1 built %d shards; it must stay single-threaded", one.shards)
 			}
@@ -165,7 +179,7 @@ func TestShardFourReplaysIdentically(t *testing.T) {
 	for _, w := range shardWorkloads {
 		w := w
 		t.Run(w.name, func(t *testing.T) {
-			a, b := w.run(4), w.run(4)
+			a, b := w.run(4, nil), w.run(4, nil)
 			if a.shards < 2 {
 				t.Fatalf("run did not shard (ShardCount = %d)", a.shards)
 			}
@@ -192,13 +206,75 @@ func TestShardFourPreservesFixpoint(t *testing.T) {
 	for _, w := range shardWorkloads[:2] {
 		w := w
 		t.Run(w.name, func(t *testing.T) {
-			ref, par := w.run(0), w.run(4)
+			ref, par := w.run(0, nil), w.run(4, nil)
 			if par.shards < 2 {
 				t.Fatalf("run did not shard (ShardCount = %d)", par.shards)
 			}
 			if !reflect.DeepEqual(ref.derived, par.derived) {
 				t.Errorf("derived fixpoint diverged: single-threaded %d tuples, sharded %d tuples",
 					len(ref.derived), len(par.derived))
+			}
+		})
+	}
+}
+
+// TestShardCoalescingEquivalence: fold placement is pure observation
+// plumbing, so a coalescing run (folds only under trace-buffer
+// pressure), a fold-every-window run (ShardNoCoalesce), and a run
+// folding under artificially tiny buffer pressure must all produce
+// byte-identical traces, stats, and derived state for a fixed (seed,
+// Shards) pair — on every workload, message loss included.
+func TestShardCoalescingEquivalence(t *testing.T) {
+	variants := []struct {
+		name  string
+		tweak func(*nsim.Config)
+	}{
+		{"nocoalesce", func(c *nsim.Config) { c.ShardNoCoalesce = true }},
+		{"tinybacklog", func(c *nsim.Config) { c.ShardFoldBacklog = 64 }},
+	}
+	for _, w := range shardWorkloads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			ref := w.run(4, nil)
+			if ref.shards < 2 {
+				t.Fatalf("run did not shard (ShardCount = %d)", ref.shards)
+			}
+			for _, v := range variants {
+				got := w.run(4, v.tweak)
+				if !bytes.Equal(ref.trace, got.trace) {
+					t.Errorf("%s: trace bytes diverged from coalescing run (%d vs %d bytes)",
+						v.name, len(ref.trace), len(got.trace))
+				}
+				if ref.stats != got.stats {
+					t.Errorf("%s: stats diverged:\ncoalescing: %s\n%s: %s", v.name, ref.stats, v.name, got.stats)
+				}
+				if !reflect.DeepEqual(ref.derived, got.derived) {
+					t.Errorf("%s: derived sets diverged (%d vs %d tuples)", v.name, len(ref.derived), len(got.derived))
+				}
+			}
+		})
+	}
+}
+
+// TestShardAdaptiveMatchesFixedFixpoint: the adaptive per-shard-pair
+// horizons produce a different (deterministic) schedule than the fixed
+// PR-6 window, so traces legitimately differ — but on loss-free
+// workloads every message is still delivered and the derived fixpoint
+// must match. E7 is excluded for the same reason it is excluded from
+// the single-threaded fixpoint gate: under loss the surviving set is
+// schedule-dependent.
+func TestShardAdaptiveMatchesFixedFixpoint(t *testing.T) {
+	for _, w := range shardWorkloads[:2] {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			adaptive := w.run(4, nil)
+			fixed := w.run(4, func(c *nsim.Config) { c.ShardFixedWindow = true })
+			if adaptive.shards < 2 {
+				t.Fatalf("run did not shard (ShardCount = %d)", adaptive.shards)
+			}
+			if !reflect.DeepEqual(adaptive.derived, fixed.derived) {
+				t.Errorf("derived fixpoint diverged: adaptive %d tuples, fixed-window %d tuples",
+					len(adaptive.derived), len(fixed.derived))
 			}
 		})
 	}

@@ -36,14 +36,19 @@ type SimBatchRow struct {
 
 // SimShardRow is one shard count of the parallel-scheduler scaling
 // sweep: throughput, speedup over the single-threaded row, and the
-// window-barrier accounting (nsim.shard.barriers / .crossings).
+// window accounting (nsim.shard.windows / .elided / .barriers /
+// .crossings). BarriersPer1k is mid-run folds per thousand events —
+// the synchronization-cost headline the benchcheck gate watches.
 type SimShardRow struct {
-	Shards       int     `json:"shards"`
-	Events       int64   `json:"events"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	Speedup      float64 `json:"speedup"`
-	Barriers     int64   `json:"barriers"`
-	Crossings    int64   `json:"crossings"`
+	Shards        int     `json:"shards"`
+	Events        int64   `json:"events"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	Speedup       float64 `json:"speedup"`
+	Windows       int64   `json:"windows"`
+	Elided        int64   `json:"elided"`
+	Barriers      int64   `json:"barriers"`
+	BarriersPer1k float64 `json:"barriers_per_1k_events"`
+	Crossings     int64   `json:"crossings"`
 }
 
 // SimBenchResult is the simulator fast-path A/B comparison snbench
@@ -68,9 +73,14 @@ type SimBenchResult struct {
 
 	// Cores is runtime.NumCPU() on the measuring machine. The sharded
 	// scaling rows below cannot beat it: on a single-core box every
-	// shard count measures the same serial execution plus barrier
+	// shard count measures the same serial execution plus scheduling
 	// overhead, so judge Sharding speedups against this number.
-	Cores int `json:"cores"`
+	// GoMaxProcs records what the Go scheduler was actually allowed to
+	// use (GOMAXPROCS at measurement time); NumCPU duplicates Cores
+	// under the conventional name.
+	Cores      int `json:"cores"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
 
 	// Sharding scales the E1 m=18 workload across the parallel sharded
 	// scheduler (core.Config.Shards; DESIGN.md §13). Event counts are
@@ -89,7 +99,9 @@ type SimBenchResult struct {
 // SimBench measures the three substrate wins: Finalize with the grid
 // index, event throughput and allocation rate on the E1 m=18 workload,
 // and link traffic under batching. reps controls timed repetitions.
-func SimBench(reps int) SimBenchResult {
+// shards, when positive, replaces the default {1, 2, 4, 8} sharded
+// scaling sweep with {1, shards} (the snbench -shards flag).
+func SimBench(reps, shards int) SimBenchResult {
 	if reps < 1 {
 		reps = 1
 	}
@@ -173,9 +185,15 @@ func SimBench(reps int) SimBenchResult {
 	// to run concurrently; Shards=1 stays on the single-threaded path
 	// and anchors the speedup column.
 	res.Cores = runtime.NumCPU()
+	res.NumCPU = runtime.NumCPU()
+	res.GoMaxProcs = runtime.GOMAXPROCS(0)
+	shardCounts := []int{1, 2, 4, 8}
+	if shards > 0 {
+		shardCounts = []int{1, shards}
+	}
 	var shardBase float64
-	for _, n := range []int{1, 2, 4, 8} {
-		var events, barriers, crossings int64
+	for _, n := range shardCounts {
+		var events, windows, elided, barriers, crossings int64
 		var secs float64
 		for r := 0; r < reps; r++ {
 			e, nw := deployGrid(18, twoStreamSrc,
@@ -187,11 +205,16 @@ func SimBench(reps int) SimBenchResult {
 			nw.Run(0)
 			secs += time.Since(start).Seconds()
 			events = nw.EventsProcessed
+			windows, elided = nw.ShardWindows, nw.ShardElided
 			barriers, crossings = nw.ShardBarriers, nw.ShardCrossings
 		}
 		row := SimShardRow{
-			Shards: n, Events: events, Barriers: barriers, Crossings: crossings,
+			Shards: n, Events: events, Windows: windows, Elided: elided,
+			Barriers: barriers, Crossings: crossings,
 			EventsPerSec: float64(events) / (secs / float64(reps)),
+		}
+		if events > 0 {
+			row.BarriersPer1k = 1000 * float64(barriers) / float64(events)
 		}
 		if n == 1 {
 			shardBase = row.EventsPerSec

@@ -154,13 +154,25 @@ func (in *Injector) partClose(idx int) {
 // LinkBlocked implements nsim.FaultController: a frame is blocked by
 // an active cut on its link or by crossing an open partition boundary.
 func (in *Injector) LinkBlocked(src, dst nsim.NodeID, now nsim.Time) bool {
-	if in.cutCount > 0 && in.cuts[mkLinkKey(src, dst)] > 0 {
+	if in.LinkObstructed(src, dst, now) {
 		atomic.AddInt64(&in.Counts.Blocked, 1)
+		return true
+	}
+	return false
+}
+
+// LinkObstructed implements nsim.LinkStateProber: the same cut and
+// partition test as LinkBlocked, but side-effect free — the sharded
+// scheduler probes boundary links when recomputing its per-pair
+// lookahead, and a probe is not a transmission attempt, so it must not
+// inflate Counts.Blocked (which is cross-checked against the drop
+// trace).
+func (in *Injector) LinkObstructed(src, dst nsim.NodeID, now nsim.Time) bool {
+	if in.cutCount > 0 && in.cuts[mkLinkKey(src, dst)] > 0 {
 		return true
 	}
 	for _, p := range in.active {
 		if p.members[src] != p.members[dst] {
-			atomic.AddInt64(&in.Counts.Blocked, 1)
 			return true
 		}
 	}

@@ -1,0 +1,135 @@
+package nsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// obstructionStub is a FaultController whose only behavior is link
+// obstruction from a fixed directed-pair set — the LinkStateProber the
+// per-pair lookahead consults, with no delivery-side effects.
+type obstructionStub struct {
+	blocked map[[2]NodeID]bool
+}
+
+func (o *obstructionStub) LinkBlocked(src, dst NodeID, now Time) bool {
+	return o.LinkObstructed(src, dst, now)
+}
+
+func (o *obstructionStub) DeliveryFault(src, dst NodeID, now Time) (Time, int) { return 0, 0 }
+
+func (o *obstructionStub) LinkObstructed(src, dst NodeID, now Time) bool {
+	return o.blocked[[2]NodeID{src, dst}]
+}
+
+// refLookahead recomputes one boundary pair's lookahead from scratch:
+// the true minimum delivery delay of any link crossing the boundary
+// that can currently carry a frame in at least one direction. Delays
+// are uniform per link (MinDelay floor), so the reference is MinDelay
+// when any usable crossing link exists and +inf when none does.
+func refLookahead(nw *Network, b int, prober LinkStateProber) Time {
+	la := timeInf
+	for _, nd := range nw.nodes {
+		if nd.sh.id != b {
+			continue
+		}
+		for _, nbID := range nd.neighbors {
+			nb := nw.nodes[nbID]
+			if nb.sh.id != b+1 || nd.Down || nb.Down {
+				continue
+			}
+			if prober != nil &&
+				prober.LinkObstructed(nd.ID, nbID, nw.now) &&
+				prober.LinkObstructed(nbID, nd.ID, nw.now) {
+				continue
+			}
+			la = nw.cfg.MinDelay
+		}
+	}
+	return la
+}
+
+// TestShardLookaheadNeverBelowLinkFloor: on random sharded topologies
+// the per-pair lookahead must equal the true minimum crossing-link
+// delay — in particular it must never fall below it (unsound: windows
+// would run past a possible arrival) — and must stay correct across
+// fault transitions: node deaths, recoveries, and link outages each
+// invalidate the cache exactly as the scheduler's serial phase does.
+func TestShardLookaheadNeverBelowLinkFloor(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 30 + r.Intn(120)
+		side := 2 + r.Float64()*8
+		radio := 0.3 + r.Float64()*1.5
+		k := 2 + r.Intn(5)
+		nw := New(Config{Range: radio, Shards: k, MinDelay: Time(1 + r.Intn(5))})
+		for i := 0; i < n; i++ {
+			nw.AddNode(r.Float64()*side, r.Float64()*side)
+		}
+		nw.Finalize()
+		if nw.ShardCount() < 2 {
+			return true // partitioner declined; nothing to check
+		}
+		stub := &obstructionStub{blocked: make(map[[2]NodeID]bool)}
+		nw.SetFaults(stub)
+		check := func(when string) bool {
+			nw.laValid = false
+			nw.refreshLookahead()
+			var prober LinkStateProber
+			if nw.faults != nil {
+				prober, _ = nw.faults.(LinkStateProber)
+			}
+			for b := range nw.pairLA {
+				want := refLookahead(nw, b, prober)
+				if nw.pairLA[b] != want {
+					t.Logf("seed %d (%s): pair %d lookahead %d, want %d", seed, when, b, nw.pairLA[b], want)
+					return false
+				}
+				if nw.pairLA[b] < want {
+					t.Logf("seed %d (%s): pair %d lookahead %d below the link floor %d — unsound",
+						seed, when, b, nw.pairLA[b], want)
+					return false
+				}
+			}
+			return true
+		}
+		if !check("initial") {
+			return false
+		}
+		// Fault transitions: kill and revive random nodes, cut random
+		// links (in one or both directions). Each round mimics a serial
+		// fault event: mutate state, invalidate, recompute, re-check.
+		for round := 0; round < 4; round++ {
+			for i := 0; i < 1+r.Intn(n/4); i++ {
+				nd := nw.nodes[r.Intn(n)]
+				nd.Down = !nd.Down
+			}
+			for i := 0; i < 1+r.Intn(10); i++ {
+				a := nw.nodes[r.Intn(n)]
+				if len(a.neighbors) == 0 {
+					continue
+				}
+				bID := a.neighbors[r.Intn(len(a.neighbors))]
+				stub.blocked[[2]NodeID{a.ID, bID}] = true
+				if r.Intn(2) == 0 {
+					stub.blocked[[2]NodeID{bID, a.ID}] = true
+				}
+			}
+			if !check("after transitions") {
+				return false
+			}
+		}
+		// A controller that is no LinkStateProber must be treated as
+		// obstructing nothing: the lookahead may only shrink to the
+		// liveness-based floor, never below it.
+		nw.SetFaults(proberlessStub{})
+		return check("proberless controller")
+	}
+	quickSeeded(t, prop, 40)
+}
+
+// proberlessStub is a FaultController without LinkObstructed.
+type proberlessStub struct{}
+
+func (proberlessStub) LinkBlocked(src, dst NodeID, now Time) bool          { return true }
+func (proberlessStub) DeliveryFault(src, dst NodeID, now Time) (Time, int) { return 0, 0 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/obs"
 )
@@ -116,15 +117,36 @@ type Config struct {
 	LegacyScan bool
 
 	// Shards, when ≥ 2, partitions the node set into that many spatial
-	// stripes run concurrently under conservative lookahead windows of
-	// MinDelay ticks (see shard.go). 0 or 1 keeps the single-threaded
-	// scheduler, whose results are byte-identical to previous releases.
-	// Sharded runs are deterministic per (Seed, Shards) pair but draw
-	// delay/loss randomness from per-shard streams, so their traces
-	// differ from the single-threaded ones. Ignored (with the network
-	// staying single-threaded) under LegacyEvents, LegacyScan, or an
-	// energy budget.
+	// stripes run concurrently under conservative lookahead windows (see
+	// shard.go: per-shard-pair horizons derived from boundary link
+	// delays; windows exchange crossings but elide the observation fold
+	// until buffer pressure forces one). 0
+	// or 1 keeps the single-threaded scheduler, whose results are
+	// byte-identical to previous releases. Sharded runs are
+	// deterministic per (Seed, Shards) pair but draw delay/loss
+	// randomness from per-shard streams, so their traces differ from the
+	// single-threaded ones. Ignored (with the network staying
+	// single-threaded) under LegacyEvents, LegacyScan, or an energy
+	// budget.
 	Shards int
+	// ShardFixedWindow forces the fixed global lookahead window
+	// horizon = base + MinDelay for every shard instead of the adaptive
+	// per-shard-pair horizons — the A/B baseline for the adaptive
+	// lookahead. Same event set and fixpoint, different (deterministic)
+	// schedule. Ignored when unsharded.
+	ShardFixedWindow bool
+	// ShardNoCoalesce folds counters/traces at every window, disabling
+	// fold elision — the A/B baseline for window coalescing.
+	// Byte-identical traces, stats, and derived state to the coalescing
+	// default for a fixed (Seed, Shards) pair; only the fold points
+	// differ. Ignored when unsharded.
+	ShardNoCoalesce bool
+	// ShardFoldBacklog is the buffered-trace-record count that forces a
+	// fold on a coalescing run (0 means the default, shardFoldBacklog).
+	// Any value produces the same traces, stats, and derived state —
+	// fold placement is observation-invariant — so this only trades
+	// buffer memory against fold frequency. Ignored when unsharded.
+	ShardFoldBacklog int
 }
 
 func (c *Config) fill() {
@@ -265,15 +287,47 @@ type Network struct {
 	// Sharded-scheduler state (shard.go). shards is non-empty only when
 	// Finalize partitioned the network; parallel is true exactly while a
 	// lookahead window is in flight (it routes counter and trace writes
-	// to shard-local buffers); barrierHooks run after every barrier.
+	// to shard-local buffers); barrierHooks run after every real
+	// barrier, with the fold's safety bound.
 	shards       []*shard
 	parallel     bool
-	barrierHooks []func()
+	barrierHooks []func(Time)
+	// Per-shard-pair lookahead (shard.go): boundaryLinks[b] lists the
+	// radio links crossing the boundary between shards b and b+1 (fixed
+	// at partition time); pairLA[b] is the minimum delivery delay any of
+	// them can currently carry a frame with (timeInf when none can).
+	// laValid is cleared whenever link or liveness state may have
+	// changed — after every serial closure event — like the routing
+	// caches.
+	boundaryLinks [][]boundaryLink
+	pairLA        []Time
+	laValid       bool
+	// serialBuf buffers node-less trace records produced in serial
+	// phases (TraceRecord: fault transitions), At-monotone on the global
+	// clock; it drains first in the canonical fold order. foldScratch is
+	// the reusable fold trace-merge buffer; auxSink receives auxiliary
+	// (engine-side) trace events in canonical order (SetShardTraceSink).
+	serialBuf   []shardTraceEvent
+	foldScratch []shardTraceEvent
+	auxSink     func(obs.Event)
+	// Persistent shard workers (startWorkers): one goroutine per shard
+	// for the duration of a runSharded call, released per window via the
+	// shards' start channels and joined on workerWG.
+	workerWG   sync.WaitGroup
+	workerStop chan struct{}
+	workersUp  bool
 	// hWindow, when non-nil, samples the width of each lookahead window
 	// in ticks (nsim.shard.window_ticks).
 	hWindow *obs.Histogram
-	// ShardBarriers counts completed lookahead windows; ShardCrossings
-	// counts deliveries buffered across a shard boundary.
+	// ShardWindows counts window phases run; ShardElided counts the
+	// subset whose fold was elided (crossings still exchanged, counter
+	// and trace deltas left to accumulate); ShardBarriers counts folds
+	// forced mid-run (trace-buffer pressure or ShardNoCoalesce; the
+	// final fold when Run returns is not counted, so barriers + elided
+	// = windows); ShardCrossings counts deliveries buffered across a
+	// shard boundary.
+	ShardWindows   int64
+	ShardElided    int64
 	ShardBarriers  int64
 	ShardCrossings int64
 
@@ -315,11 +369,19 @@ func (nw *Network) SetFaults(fc FaultController) { nw.faults = fc }
 
 // TraceRecord forwards an event to the attached trace ring (no-op
 // without one). Fault controllers use it to log crash/recover and
-// link-state transitions next to the radio events they perturb.
+// link-state transitions next to the radio events they perturb. Under
+// sharding the record is buffered in the serial buffer — TraceRecord
+// callers run in serial phases, stamped with the monotone global clock
+// — and drains at the next fold in canonical order.
 func (nw *Network) TraceRecord(e obs.Event) {
-	if nw.trace != nil {
-		nw.trace.Record(e)
+	if nw.trace == nil {
+		return
 	}
+	if len(nw.shards) > 0 {
+		nw.serialBuf = append(nw.serialBuf, shardTraceEvent{ev: e})
+		return
+	}
+	nw.trace.Record(e)
 }
 
 // AddNode places a node at (x, y). Must be called before Finalize.
@@ -358,7 +420,15 @@ func (nw *Network) Finalize() {
 		nw.computeNeighborsBrute()
 	} else {
 		nw.buildSpatialIndex()
-		nw.computeNeighbors()
+		// Below the cutoff the all-pairs scan beats assembling per-cell
+		// candidate lists (bruteNeighborCutoff, spatial.go); both paths
+		// produce identical neighbor lists, and the index is still built
+		// for NearestNode and the shard partitioner.
+		if len(nw.nodes) < bruteNeighborCutoff {
+			nw.computeNeighborsBrute()
+		} else {
+			nw.computeNeighbors()
+		}
 		nw.partitionShards()
 	}
 	for _, a := range nw.nodes {

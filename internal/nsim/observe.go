@@ -32,9 +32,14 @@ import "repro/internal/obs"
 //	nsim.deaths           nodes dead from energy depletion
 //	nsim.shards           shard count of the parallel scheduler (0 when
 //	                      single-threaded)
-//	nsim.shard.barriers   lookahead windows completed (ShardBarriers)
+//	nsim.shard.windows    lookahead window phases run (ShardWindows)
+//	nsim.shard.elided     windows whose fold was elided: crossings
+//	                      exchanged, counter/trace deltas left to
+//	                      accumulate shard-locally (ShardElided)
+//	nsim.shard.barriers   folds forced mid-run by trace-buffer pressure
+//	                      or ShardNoCoalesce (ShardBarriers)
 //	nsim.shard.crossings  deliveries buffered across a shard boundary
-//	                      at a barrier (ShardCrossings)
+//	                      during a window (ShardCrossings)
 //	nsim.shard.window_ticks.*  histogram of lookahead-window widths in
 //	                      ticks, one sample per window
 //
@@ -66,6 +71,8 @@ func (nw *Network) Observe(reg *obs.Registry, trace *obs.Trace) {
 		emit("nsim.nodes", int64(len(nw.nodes)))
 		emit("nsim.deaths", nw.Deaths)
 		emit("nsim.shards", int64(len(nw.shards)))
+		emit("nsim.shard.windows", nw.ShardWindows)
+		emit("nsim.shard.elided", nw.ShardElided)
 		emit("nsim.shard.barriers", nw.ShardBarriers)
 		emit("nsim.shard.crossings", nw.ShardCrossings)
 		var recv, bytesIn int64

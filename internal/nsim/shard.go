@@ -1,14 +1,38 @@
 // Conservative parallel discrete-event scheduler. The network is
 // partitioned spatially into shards (contiguous stripes of spatial-index
 // columns), each owning its nodes' timer and delivery queues. Shards run
-// concurrently inside lookahead windows derived from the minimum per-hop
-// delay W = Config.MinDelay: a message transmitted at time t is delivered
-// no earlier than t+W, so if every shard only processes events strictly
-// below horizon = base+W, no transmission inside the window can be
-// received inside the same window — cross-shard deliveries are buffered
-// and exchanged at the window barrier. This is the same per-hop delay
-// bound Theorems 1–3 lean on for settle-latency guarantees, reused as a
-// conservative lookahead (see DESIGN.md §13).
+// concurrently inside lookahead windows bounded by when a cross-shard
+// message could earliest arrive: a message transmitted at time t is
+// delivered no earlier than t + MinDelay, so a shard may safely process
+// every event strictly below
+//
+//	horizon(s) = min( next global event,
+//	                  until+1,
+//	                  min over adjacent shards j of
+//	                      nextEvent(j) + pairLookahead(j, s) )
+//
+// where pairLookahead(j, s) is the minimum delivery delay of any link
+// that crosses the j|s boundary and is currently able to carry a frame
+// (both endpoints live, link not cut — see refreshLookahead). Adjacent
+// shards only influence each other through those links, and cross-shard
+// deliveries are buffered to the barrier, so nothing shard j does inside
+// the window can reach s before nextEvent(j) + pairLookahead. This is
+// the channel-clock form of the classic conservative (Chandy–Misra–
+// Bryant) bound, with the per-hop delay floor Theorems 1–3 lean on
+// reused as the lookahead (see DESIGN.md §13). Config.ShardFixedWindow
+// restores the PR-6 fixed horizon = base + MinDelay for A/B comparison.
+//
+// Window barriers are split into their two halves, because only one is
+// needed every window. Cross-shard deliveries buffered during a window
+// are enqueued into their destination shards at every window end — in
+// shard-ID order, a deterministic handoff the next horizons must see.
+// The fold half — counters, trace buffers, result buffers — exists only
+// for observation, and observation order is made independent of fold
+// placement (records carry their own (At, shard, generation) sort key
+// and drain gated on a safety bound), so folds are elided entirely
+// until trace-buffer pressure forces one or Run returns.
+// Config.ShardNoCoalesce restores a fold per window for the
+// equivalence gates.
 //
 // Global events scheduled with ScheduleAt (injections, fault
 // transitions, replay, aggregation epochs) stay in the global queue and
@@ -20,7 +44,7 @@ package nsim
 import (
 	"math"
 	"math/rand"
-	"sync"
+	"sort"
 
 	"repro/internal/obs"
 )
@@ -37,24 +61,37 @@ type ShardForker interface {
 	ForkShard(shard int) FaultController
 }
 
+// LinkStateProber is optionally implemented by fault controllers that
+// can report link state without side effects. The sharded scheduler's
+// per-pair lookahead probes every boundary link when it recomputes
+// horizons; unlike LinkBlocked, a probe must not count as a blocked
+// transmission attempt (Counts are cross-checked against the drop
+// trace). A controller without this method is treated as obstructing
+// nothing, which only ever shrinks the lookahead — sound, just less
+// parallel.
+type LinkStateProber interface {
+	LinkObstructed(src, dst NodeID, now Time) bool
+}
+
 // PayloadCloner is implemented by payloads that receivers mutate in
 // place (the engine's walker messages: Visited sets, leg indexes,
 // partial-result lists). The sharded scheduler clones such payloads
-// once per transmission, so no two nodes — possibly in different
-// shards — ever share a mutable payload: broadcast recipients and
-// fault-duplicated deliveries each get their own snapshot. The
-// single-threaded scheduler never clones; its receivers run
-// sequentially and the legacy aliasing is part of its byte-exact
-// behavior.
+// once per cross-shard transmission, so no two shards ever share a
+// mutable payload; fault duplicates of one transmission share its
+// clone, just as they share the original on the single-threaded path.
+// Same-shard recipients share the sender's payload — they run on the
+// sender's goroutine, with exactly the single-threaded scheduler's
+// sequential aliasing semantics. The single-threaded scheduler never
+// clones; its aliasing is part of its byte-exact behavior.
 type PayloadCloner interface {
 	ClonePayload() interface{}
 }
 
 // crossEvent is a delivery bound for a node in another shard, buffered
 // during a parallel window and enqueued at the barrier. Its arrival time
-// is ≥ the window horizon by the lookahead argument, so deferring the
-// enqueue past the barrier never reorders it before events it could
-// have influenced.
+// is ≥ the sender shard's horizon by the lookahead argument, so
+// deferring the enqueue past the barrier never reorders it before
+// events it could have influenced.
 type crossEvent struct {
 	at      Time
 	src     NodeID
@@ -64,10 +101,35 @@ type crossEvent struct {
 	payload interface{}
 }
 
+// boundaryLink is one radio link crossing a shard boundary: a lives in
+// shard b's index minus one. The lists are fixed at partition time
+// (positions and neighbor lists are immutable after Finalize); only
+// liveness changes, which refreshLookahead re-checks on demand.
+type boundaryLink struct {
+	a, b NodeID
+}
+
+// shardTraceEvent is one buffered trace record. aux marks events that
+// belong to the registered auxiliary sink (the engine's trace ring, fed
+// via Node.BufferShardTrace) rather than the network's own; both kinds
+// share one per-shard buffer so the fold interleaves them in a single
+// canonical (At, buffer, generation) order, where "buffer" runs the
+// network-global serial buffer first, then the shards in ID order.
+type shardTraceEvent struct {
+	ev  obs.Event
+	aux bool
+}
+
+// shardFoldBacklog is the buffered-trace-record count that forces a
+// fold: folds exist only for observation, so an unobserved run folds
+// once per Run call, while an observed run folds just often enough to
+// keep the buffers (and the ring's view of the run) bounded.
+const shardFoldBacklog = 4096
+
 // shard owns a stripe of nodes: their event queue, clock, RNG stream,
 // message scratch, and counter deltas. Counter deltas and trace events
-// accumulate shard-locally during a window and fold into the Network
-// totals at the barrier, in shard-ID order, so totals and traces are
+// accumulate shard-locally across windows and fold into the Network
+// totals at real barriers, in shard-ID order, so totals and traces are
 // identical run to run for a fixed (seed, shard count) pair.
 type shard struct {
 	id      int
@@ -78,11 +140,14 @@ type shard struct {
 	seq     int64
 	scratch Message
 	faults  FaultController
+	// start parks this shard's persistent worker between windows; the
+	// coordinator sends the window horizon to release it (startWorkers).
+	start chan Time
 
-	// window-local counter deltas, folded at the barrier
+	// window-local counter deltas, folded at real barriers
 	sent, bytes, dropped, retries, events int64
 	kindCounts, kindBytes                 map[string]int64
-	traceBuf                              []obs.Event
+	traceBuf                              []shardTraceEvent
 	out                                   []crossEvent
 }
 
@@ -94,7 +159,8 @@ const timeInf = Time(math.MaxInt64)
 // one column apart; the column→shard map advances by at most one shard
 // per column, so neighbors land in the same or adjacent shards — the
 // invariant the cross-shard buffering relies on (a shard only ever
-// exports deliveries, never mutates a foreign queue mid-window).
+// exports deliveries, never mutates a foreign queue mid-window). It also
+// records the boundary link lists the per-pair lookahead probes.
 //
 // Sharding is skipped (the network stays single-threaded) for legacy
 // event/scan modes and for energy-budget runs: energy deaths flip Down
@@ -145,6 +211,61 @@ func (nw *Network) partitionShards() {
 	for _, n := range nw.nodes {
 		n.sh = nw.shards[colShard[nw.index.colOf(n.X)]]
 	}
+	// Boundary links, one list per adjacent shard pair (i, i+1). Each
+	// crossing link appears once, in its lower shard's list; liveness is
+	// probed in both directions, so one entry covers both.
+	nw.boundaryLinks = make([][]boundaryLink, k-1)
+	for _, n := range nw.nodes {
+		si := n.sh.id
+		for _, nb := range n.neighbors {
+			if nw.nodes[nb].sh.id == si+1 {
+				nw.boundaryLinks[si] = append(nw.boundaryLinks[si], boundaryLink{a: n.ID, b: nb})
+			}
+		}
+	}
+	nw.pairLA = make([]Time, k-1)
+	nw.laValid = false
+}
+
+// refreshLookahead recomputes the per-boundary lookahead when stale: the
+// minimum delivery delay of any boundary link that can currently carry a
+// frame — MinDelay (delays are uniform per link) if the pair has a live,
+// unobstructed crossing link in either direction, +inf if every crossing
+// link is dead or cut (the pair cannot interact at all until a fault
+// transition changes that, and fault transitions are global events).
+//
+// Staleness: laValid is cleared after every serial closure event
+// (fault transitions, injections, replay — everything that can flip a
+// Down flag or link state runs there, including test closures that set
+// Down directly), mirroring the routing-cache invalidation discipline.
+// Mid-window the probed state is frozen — windows never extend past the
+// next global event — so a computed lookahead stays valid for exactly
+// the windows it covers.
+func (nw *Network) refreshLookahead() {
+	if nw.laValid {
+		return
+	}
+	nw.laValid = true
+	var prober LinkStateProber
+	if nw.faults != nil {
+		prober, _ = nw.faults.(LinkStateProber)
+	}
+	for b, links := range nw.boundaryLinks {
+		la := timeInf
+		for _, l := range links {
+			if nw.nodes[l.a].Down || nw.nodes[l.b].Down {
+				continue
+			}
+			if prober != nil &&
+				prober.LinkObstructed(l.a, l.b, nw.now) &&
+				prober.LinkObstructed(l.b, l.a, nw.now) {
+				continue
+			}
+			la = nw.cfg.MinDelay
+			break
+		}
+		nw.pairLA[b] = la
+	}
 }
 
 // ShardCount returns the number of shards the scheduler runs with, or 0
@@ -152,10 +273,36 @@ func (nw *Network) partitionShards() {
 func (nw *Network) ShardCount() int { return len(nw.shards) }
 
 // OnBarrier registers f to run (on the scheduler goroutine, with no
-// shard in flight) after every window barrier and once more when Run
-// returns. The core engine uses this to fold per-shard result and trace
-// buffers deterministically.
-func (nw *Network) OnBarrier(f func()) { nw.barrierHooks = append(nw.barrierHooks, f) }
+// shard in flight) at every fold — whenever trace-buffer pressure or
+// Config.ShardNoCoalesce forces one, and once more when Run returns.
+// safe is the fold's safety bound: every shard has already produced all
+// of its events with time < safe, so buffers gated on safe drain in
+// globally consistent order however many windows a fold spans (timeInf
+// on the final fold). The core engine uses this to fold per-shard
+// result buffers deterministically.
+func (nw *Network) OnBarrier(f func(safe Time)) { nw.barrierHooks = append(nw.barrierHooks, f) }
+
+// SetShardTraceSink registers the receiver for auxiliary trace events
+// buffered with Node.BufferShardTrace. The barrier fold interleaves
+// auxiliary and radio events by (At, shard, generation order) and hands
+// each auxiliary event to the sink in that canonical order.
+func (nw *Network) SetShardTraceSink(f func(obs.Event)) { nw.auxSink = f }
+
+// BufferShardTrace records an engine-side trace event through the
+// node's shard buffer so the fold can interleave it canonically with
+// the radio trace. Serial-phase events buffer too — they are stamped
+// with the node's shard clock, so the buffer stays At-monotone and the
+// canonical drain order is independent of where the folds fall. It
+// reports false — recording nothing — only when the network is
+// unsharded and the caller should record directly.
+func (n *Node) BufferShardTrace(e obs.Event) bool {
+	sh := n.sh
+	if sh == nil {
+		return false
+	}
+	sh.traceBuf = append(sh.traceBuf, shardTraceEvent{ev: e, aux: true})
+	return true
+}
 
 // Shard returns the shard index owning this node (0 when unsharded).
 func (n *Node) Shard() int {
@@ -176,9 +323,13 @@ func (n *Node) simNow() Time {
 }
 
 // setShardedNow raises the global clock and every shard clock to t.
-// Clocks never move backward: a barrier leaves all clocks at the maximum
-// event time of the window, and serial events only run when no shard
-// holds an earlier event.
+// Clocks never move backward. Callers only pass times no shard still
+// holds an earlier event for: the window base (the global minimum event
+// time), a serial event's time (which only runs when no shard holds an
+// earlier event), or the final quiescent maximum — raising a shard's
+// clock past one of its pending events would distort the timers that
+// event sets, so barriers between windows deliberately leave the
+// per-shard clocks alone.
 func (nw *Network) setShardedNow(t Time) {
 	if t > nw.now {
 		nw.now = t
@@ -190,14 +341,51 @@ func (nw *Network) setShardedNow(t Time) {
 	}
 }
 
+// startWorkers launches one persistent worker goroutine per shard,
+// parked on its start channel. Workers live for the duration of one
+// runSharded call (stopWorkers at return, so an idle Network holds no
+// goroutines) and are released once per window with the window horizon
+// — no per-window goroutine spawn, one WaitGroup reused throughout.
+func (nw *Network) startWorkers() {
+	if nw.workersUp {
+		return
+	}
+	nw.workersUp = true
+	nw.workerStop = make(chan struct{})
+	for _, sh := range nw.shards {
+		if sh.start == nil {
+			sh.start = make(chan Time, 1)
+		}
+		go sh.workerLoop(nw.workerStop)
+	}
+}
+
+func (nw *Network) stopWorkers() {
+	if !nw.workersUp {
+		return
+	}
+	close(nw.workerStop)
+	nw.workersUp = false
+}
+
+func (sh *shard) workerLoop(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case h := <-sh.start:
+			sh.runWindow(h)
+			sh.nw.workerWG.Done()
+		}
+	}
+}
+
 // runSharded is the sharded counterpart of Run's event loop. It
-// alternates two phases: serial phases pop single global events
-// (ScheduleAt closures — injections, fault transitions, replay) on the
-// scheduler goroutine, and window phases advance all shards concurrently
-// up to horizon = min(base+W, next global event, until+1), where W is
-// the minimum per-hop delay. The window bound keeps every transmission's
-// delivery outside the window that sent it, so shards never need to see
-// each other's state mid-window.
+// alternates serial phases (single global events on the scheduler
+// goroutine) with window phases that advance all shards concurrently up
+// to their per-shard horizons (package comment). Every window ends with
+// a crossing exchange; the fold — counters, traces, results — is elided
+// until trace-buffer pressure forces one or Run returns.
 func (nw *Network) runSharded(until Time) Time {
 	w := nw.cfg.MinDelay
 	var forker ShardForker
@@ -212,19 +400,43 @@ func (nw *Network) runSharded(until Time) Time {
 		}
 	}
 	concurrent := nw.faults == nil || forker != nil
+	if concurrent {
+		nw.startWorkers()
+		defer nw.stopWorkers()
+	}
+	backlog := nw.cfg.ShardFoldBacklog
+	if backlog <= 0 {
+		backlog = shardFoldBacklog
+	}
+	k := len(nw.shards)
+	nextAt := make([]Time, k)
+	horizons := make([]Time, k)
+	busy := make([]*shard, 0, k)
 	for {
 		gNext := timeInf
 		if len(nw.queue) > 0 {
 			gNext = nw.queue[0].at
 		}
 		sNext := timeInf
-		for _, sh := range nw.shards {
-			if len(sh.queue) > 0 && sh.queue[0].at < sNext {
-				sNext = sh.queue[0].at
+		for i, sh := range nw.shards {
+			t := timeInf
+			if len(sh.queue) > 0 {
+				t = sh.queue[0].at
+			}
+			nextAt[i] = t
+			if t < sNext {
+				sNext = t
 			}
 		}
 		if gNext == timeInf && sNext == timeInf {
-			nw.barrier()
+			m := nw.now
+			for _, sh := range nw.shards {
+				if sh.now > m {
+					m = sh.now
+				}
+			}
+			nw.setShardedNow(m)
+			nw.barrier(true)
 			return nw.now
 		}
 		base := gNext
@@ -233,11 +445,16 @@ func (nw *Network) runSharded(until Time) Time {
 		}
 		if until > 0 && base > until {
 			nw.setShardedNow(until)
-			nw.barrier()
+			nw.barrier(true)
 			return nw.now
 		}
 		if gNext <= sNext {
-			// Serial phase: one global event, no shard in flight.
+			// Serial phase: one global event, no shard in flight. No fold
+			// is needed first — everything the event can observe (queues,
+			// node state, crossings) is already in place, and any trace
+			// records it produces are buffered with At ≥ gNext, above
+			// every unfolded record, so the canonical drain order does
+			// not depend on a fold happening here.
 			ev := nw.queue.pop()
 			nw.setShardedNow(ev.at)
 			nw.EventsProcessed++
@@ -253,59 +470,138 @@ func (nw *Network) runSharded(until Time) Time {
 				nw.deliver(&nw.scratch)
 			default:
 				ev.fn()
+				// Closure events are where Down flags and fault state
+				// change; recompute boundary lookaheads before the next
+				// window (routing-cache discipline).
+				nw.laValid = false
 			}
 			continue
 		}
-		// Window phase.
-		horizon := base + w
-		if gNext < horizon {
-			horizon = gNext
+		// Window phase: per-shard horizons from the boundary lookaheads
+		// (or the fixed PR-6 window under ShardFixedWindow).
+		nw.refreshLookahead()
+		hCap := gNext
+		if until > 0 && until+1 < hCap {
+			hCap = until + 1
 		}
-		if until > 0 && until+1 < horizon {
-			horizon = until + 1
+		maxH := base
+		busy = busy[:0]
+		for i, sh := range nw.shards {
+			h := hCap
+			if nw.cfg.ShardFixedWindow {
+				if base+w < h {
+					h = base + w
+				}
+			} else {
+				if i > 0 {
+					if c := latArrival(nextAt[i-1], nw.pairLA[i-1]); c < h {
+						h = c
+					}
+				}
+				if i < k-1 {
+					if c := latArrival(nextAt[i+1], nw.pairLA[i]); c < h {
+						h = c
+					}
+				}
+			}
+			horizons[i] = h
+			if h > maxH {
+				maxH = h
+			}
+			if nextAt[i] < h {
+				busy = append(busy, sh)
+			}
 		}
 		nw.setShardedNow(base)
 		nw.parallel = true
-		if concurrent {
-			var wg sync.WaitGroup
-			for _, sh := range nw.shards {
-				if len(sh.queue) == 0 || sh.queue[0].at >= horizon {
-					continue
-				}
-				wg.Add(1)
-				go func(sh *shard) {
-					defer wg.Done()
-					sh.runWindow(horizon)
-				}(sh)
+		if concurrent && len(busy) > 1 {
+			nw.workerWG.Add(len(busy))
+			for _, sh := range busy {
+				sh.start <- horizons[sh.id]
 			}
-			wg.Wait()
+			nw.workerWG.Wait()
 		} else {
-			for _, sh := range nw.shards {
-				if len(sh.queue) > 0 && sh.queue[0].at < horizon {
-					sh.runWindow(horizon)
-				}
+			for _, sh := range busy {
+				sh.runWindow(horizons[sh.id])
 			}
 		}
 		nw.parallel = false
-		nw.ShardBarriers++
-		nw.hWindow.Observe(int64(horizon - base))
-		nw.barrier()
+		nw.ShardWindows++
+		nw.hWindow.Observe(int64(maxH - base))
+		// Exchange half of the barrier, every window: buffered crossings
+		// land in their destination shards (shard-ID order — a
+		// deterministic handoff) so the next horizons and serial/window
+		// ordering decisions see them.
+		nw.enqueueCrossings()
+		// Fold half, elided unless forced: counter, trace, and result
+		// deltas exist only for observation, and the canonical drain
+		// order is fold-placement-independent, so they accumulate
+		// shard-locally until trace-buffer pressure (or the equivalence
+		// gates' ShardNoCoalesce) forces a fold — or Run returns.
+		if nw.cfg.ShardNoCoalesce || nw.traceBacklog() >= backlog {
+			nw.ShardBarriers++
+			nw.barrier(false)
+		} else {
+			nw.ShardElided++
+		}
 	}
 }
 
-// barrier folds every shard's window-local deltas into the Network
-// totals, flushes buffered trace events, enqueues buffered cross-shard
-// deliveries into their destination shards, and runs registered hooks —
-// all in shard-ID order, so the fold is deterministic for a fixed shard
-// count.
-func (nw *Network) barrier() {
-	m := nw.now
+// traceBacklog is the number of trace records buffered across all
+// shards and the serial buffer — the fold-pressure gauge. Zero for the
+// whole run when no trace is attached.
+func (nw *Network) traceBacklog() int {
+	n := len(nw.serialBuf)
 	for _, sh := range nw.shards {
-		if sh.now > m {
-			m = sh.now
-		}
+		n += len(sh.traceBuf)
 	}
-	nw.setShardedNow(m)
+	return n
+}
+
+// latArrival is the earliest a shard whose next event is at `next` could
+// deliver across a boundary with lookahead la — the channel-clock bound,
+// saturating at +inf.
+func latArrival(next, la Time) Time {
+	if next == timeInf || la == timeInf {
+		return timeInf
+	}
+	return next + la
+}
+
+// enqueueCrossings lands every buffered cross-shard delivery in its
+// destination shard's queue, in shard-ID order. This is the exchange
+// half of a window barrier and runs at every window end — the next
+// horizons must see the crossings — independent of whether the fold
+// half runs.
+func (nw *Network) enqueueCrossings() {
+	for _, sh := range nw.shards {
+		for _, ce := range sh.out {
+			dsh := nw.nodes[ce.dst].sh
+			dsh.seq++
+			dsh.queue.push(simEvent{at: ce.at, seq: dsh.seq, kind: evDelivery,
+				node: ce.dst, src: ce.src, size: ce.size, str: ce.kind, data: ce.payload})
+			nw.ShardCrossings++
+		}
+		sh.out = sh.out[:0]
+	}
+}
+
+// barrier is the fold half of a window barrier: it folds every shard's
+// accumulated counter deltas into the Network totals, flushes buffered
+// trace events up to the fold's safety bound, and runs registered hooks
+// — all in shard-ID order, so the fold is deterministic for a fixed
+// shard count.
+//
+// The safety bound safe = min(next global event, any shard's next
+// event) — crossings have already landed — is the earliest time any
+// shard could still produce a record for. Trace events below it drain
+// now in canonical (At, buffer, generation) order; events at or above
+// it stay buffered for a later fold. Gating on safe makes the
+// cumulative drained stream independent of where the folds fall — a
+// coalesced run and a fold-every-window run emit byte-identical traces.
+// final forces safe = +inf (Run is returning; nothing more will be
+// produced).
+func (nw *Network) barrier(final bool) {
 	for _, sh := range nw.shards {
 		nw.TotalSent += sh.sent
 		nw.TotalBytes += sh.bytes
@@ -321,26 +617,73 @@ func (nw *Network) barrier() {
 		}
 		clear(sh.kindCounts)
 		clear(sh.kindBytes)
-		if len(sh.traceBuf) > 0 {
-			for _, e := range sh.traceBuf {
-				nw.trace.Record(e)
+	}
+	safe := timeInf
+	if !final {
+		if len(nw.queue) > 0 {
+			safe = nw.queue[0].at
+		}
+		for _, sh := range nw.shards {
+			if len(sh.queue) > 0 && sh.queue[0].at < safe {
+				safe = sh.queue[0].at
 			}
-			sh.traceBuf = sh.traceBuf[:0]
 		}
 	}
-	for _, sh := range nw.shards {
-		for _, ce := range sh.out {
-			dsh := nw.nodes[ce.dst].sh
-			dsh.seq++
-			dsh.queue.push(simEvent{at: ce.at, seq: dsh.seq, kind: evDelivery,
-				node: ce.dst, src: ce.src, size: ce.size, str: ce.kind, data: ce.payload})
-			nw.ShardCrossings++
-		}
-		sh.out = sh.out[:0]
-	}
+	nw.flushTraces(safe, final)
 	for _, f := range nw.barrierHooks {
-		f()
+		f(safe)
 	}
+}
+
+// flushTraces drains the buffered trace events with At < safe into the
+// attached sinks: the network-global serial buffer first (fault
+// transitions and other node-less records, At-monotone on the global
+// clock), then every shard's buffer in shard-ID order, stable-sorted by
+// At (per-shard buffers are At-monotone — every record is stamped with
+// the shard clock — so the concatenation is already in per-buffer
+// generation order and the stable sort yields the canonical (At,
+// buffer, generation) interleaving). Radio events go to the network
+// trace, auxiliary events to the registered sink, in one merged order.
+// Every record with At < safe is already buffered when the fold runs —
+// any future record is stamped at or above its producing event's time,
+// which is ≥ safe — so each fold drains a closed At-interval and the
+// cumulative drained stream is the full canonical order no matter where
+// the folds fall.
+func (nw *Network) flushTraces(safe Time, final bool) {
+	scratch := nw.foldScratch[:0]
+	cutBuf := func(buf []shardTraceEvent) []shardTraceEvent {
+		cut := len(buf)
+		if !final {
+			// Buffers are At-monotone, so the safe prefix is a binary
+			// search.
+			cut = sort.Search(len(buf), func(i int) bool {
+				return buf[i].ev.At >= int64(safe)
+			})
+		}
+		if cut == 0 {
+			return buf
+		}
+		scratch = append(scratch, buf[:cut]...)
+		rem := copy(buf, buf[cut:])
+		return buf[:rem]
+	}
+	nw.serialBuf = cutBuf(nw.serialBuf)
+	for _, sh := range nw.shards {
+		sh.traceBuf = cutBuf(sh.traceBuf)
+	}
+	if len(scratch) > 0 {
+		sort.SliceStable(scratch, func(i, j int) bool { return scratch[i].ev.At < scratch[j].ev.At })
+		for i := range scratch {
+			if scratch[i].aux {
+				if nw.auxSink != nil {
+					nw.auxSink(scratch[i].ev)
+				}
+			} else if nw.trace != nil {
+				nw.trace.Record(scratch[i].ev)
+			}
+		}
+	}
+	nw.foldScratch = scratch[:0]
 }
 
 // runWindow drains the shard's queue up to (strictly below) horizon.
@@ -371,17 +714,15 @@ func (sh *shard) runWindow(horizon Time) {
 	}
 }
 
-// trace records e through the shard: buffered during parallel windows
-// (flushed in shard order at the barrier), straight through otherwise.
+// trace buffers e in the shard's trace buffer, serial phases included:
+// serial-phase records are stamped with the shard clock too, so the
+// buffer stays At-monotone and the canonical drain order is independent
+// of fold placement.
 func (sh *shard) trace(e obs.Event) {
 	if sh.nw.trace == nil {
 		return
 	}
-	if sh.nw.parallel {
-		sh.traceBuf = append(sh.traceBuf, e)
-		return
-	}
-	sh.nw.trace.Record(e)
+	sh.traceBuf = append(sh.traceBuf, shardTraceEvent{ev: e})
 }
 
 // transmit is the sharded counterpart of Network.transmit: same ARQ
@@ -391,8 +732,17 @@ func (sh *shard) trace(e obs.Event) {
 // construction — partitionShards refuses to shard energy-budget runs.
 func (sh *shard) transmit(src *Node, dst NodeID, kind string, payload interface{}, size int) {
 	nw := sh.nw
-	if pc, ok := payload.(PayloadCloner); ok {
-		payload = pc.ClonePayload()
+	// Clone mutable payloads only when the delivery leaves the shard: a
+	// same-shard recipient runs on this goroutine and may share the
+	// sender's payload exactly as the single-threaded scheduler's
+	// recipients do. A cross-shard recipient runs concurrently, so it
+	// gets its own snapshot — one clone per transmission, shared by
+	// fault duplicates just as the original is shared on the
+	// single-threaded path.
+	if nw.parallel && nw.nodes[dst].sh != sh {
+		if pc, ok := payload.(PayloadCloner); ok {
+			payload = pc.ClonePayload()
+		}
 	}
 	if nw.hopStamp {
 		if hc, ok := payload.(HopCounter); ok {
@@ -495,7 +845,11 @@ func (sh *shard) scheduleDelivery(t Time, src, dst NodeID, kind string, payload 
 
 // deliver hands a message to its destination. Down flags only change in
 // serial phases (fault transitions are global events; energy runs are
-// never sharded), so the read is race-free mid-window.
+// never sharded), so the read is race-free mid-window. A delivery that
+// reaches a node after it crashed is a no-op here exactly as it is on
+// the single-threaded path — which is also why a dead receiver may be
+// excluded from the boundary lookahead: whatever arrival time its
+// pending deliveries carry, processing them can only discard them.
 func (sh *shard) deliver(m *Message) {
 	d := sh.nw.nodes[m.Dst]
 	if d.Down || d.App == nil {

@@ -154,8 +154,21 @@ func (s *spatialIndex) scanRing(nw *Network, cx, cy, r int, x, y float64, best *
 	return best, bestD
 }
 
+// bruteNeighborCutoff is the node count below which Finalize computes
+// neighbor lists with the all-pairs scan even when the grid index is
+// built: at small n the O(n²) loop's tight body beats the grid's
+// per-node 3×3 cell walk plus sort. The crossover depends on density —
+// measured at ~150–200 nodes for sparse unit-grid density (the BENCH
+// finalize sweep had the grid at 0.62x brute at n=100) and past 400 for
+// dense topologies where neighbor lists are large — so 256 splits the
+// gray zone. Both paths produce identical lists — same ascending-ID
+// order, same radius test including the 1e-9 slack — so the cutoff is
+// invisible to results (pinned by TestNeighborPathsAgreeAcrossCutoff).
+const bruteNeighborCutoff = 256
+
 // computeNeighborsBrute is the original all-pairs neighbor loop
-// (Config.LegacyScan), kept as the A/B baseline for the grid index.
+// (Config.LegacyScan, and the small-n fast path below
+// bruteNeighborCutoff), kept as the A/B baseline for the grid index.
 func (nw *Network) computeNeighborsBrute() {
 	r2 := nw.cfg.Range * nw.cfg.Range
 	for _, a := range nw.nodes {

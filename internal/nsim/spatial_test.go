@@ -3,6 +3,7 @@ package nsim
 import (
 	"flag"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -167,4 +168,42 @@ func TestNearestNodeTieBreaksToLowerID(t *testing.T) {
 	if got := nw.NearestNode(1, 0); got.ID != 1 {
 		t.Fatalf("after death, nearest = %d, want 1", got.ID)
 	}
+}
+
+// TestNeighborPathsAgreeAcrossCutoff: Finalize picks the all-pairs scan
+// below bruteNeighborCutoff and the grid walk above it, so the two must
+// produce identical neighbor lists — same members, same ascending-ID
+// order, same radius slack — at sizes straddling the cutoff. Otherwise
+// results would depend on node count in a way nothing else explains.
+func TestNeighborPathsAgreeAcrossCutoff(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Sizes clustered around the cutoff, both sides included.
+		n := bruteNeighborCutoff - 80 + r.Intn(160)
+		side := 2 + r.Float64()*12
+		radio := 0.3 + r.Float64()*2
+		nw := randomNet(r, n, side, radio)
+		nw.Finalize() // picks one path by n; also builds the index
+		finalized := make([][]NodeID, n)
+		for i, nd := range nw.nodes {
+			finalized[i] = nd.neighbors
+			nd.neighbors = nil
+		}
+		nw.computeNeighborsBrute()
+		brute := make([][]NodeID, n)
+		for i, nd := range nw.nodes {
+			brute[i] = nd.neighbors
+			nd.neighbors = nil
+		}
+		nw.computeNeighbors()
+		for i, nd := range nw.nodes {
+			if !reflect.DeepEqual(brute[i], nd.neighbors) || !reflect.DeepEqual(finalized[i], brute[i]) {
+				t.Logf("seed %d (n=%d): node %d neighbors disagree: finalized %v, brute %v, grid %v",
+					seed, n, nd.ID, finalized[i], brute[i], nd.neighbors)
+				return false
+			}
+		}
+		return true
+	}
+	quickSeeded(t, prop, 25)
 }

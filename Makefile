@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-shards bench bench-shards-smoke joinbench bench-sim bench-check obs-guard fuzz-smoke profile trace-e1 verify
+.PHONY: all build test vet race race-shards bench bench-shards-smoke joinbench bench-sim bench-serve bench-check serve-smoke deploy-gate obs-guard fuzz-smoke profile trace-e1 verify
 
 all: verify
 
@@ -14,9 +14,11 @@ vet:
 	$(GO) vet ./...
 
 # livenet is goroutine-per-node and the window/eval index structures are
-# shared per node runtime; prove them race-free on every verify.
+# shared per node runtime; the serve layer multiplexes concurrent
+# sessions and wire clients over one cluster; prove them race-free on
+# every verify.
 race:
-	$(GO) test -race ./internal/livenet/... ./internal/core/...
+	$(GO) test -race ./internal/livenet/... ./internal/core/... ./internal/serve/...
 
 # The sharded scheduler runs shard windows on concurrent goroutines;
 # prove the parallel path race-free on its gates: the nsim partition
@@ -45,12 +47,40 @@ bench-sim:
 	$(GO) test -run '^$$' -bench 'E13' -benchmem .
 	$(GO) run ./cmd/snbench -simjson BENCH_sim.json
 
-# Gate the regenerated simulator metrics against the committed
-# baseline: events must match exactly, allocs/event within ±10%,
-# throughput within the timing-noise floor. After an intentional perf
-# change, refresh the baseline: cp BENCH_sim.json BENCH_baseline.json.
-bench-check: bench-sim
-	$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json -candidate BENCH_sim.json
+# Regenerate the query-serving metrics (E16): qps through a
+# serve.Session cold / from the result cache / under injection churn,
+# plus the serve.query_latency quantiles.
+bench-serve:
+	$(GO) run ./cmd/snbench -servejson BENCH_serve.json
+
+# Gate the regenerated simulator and serving metrics against the
+# committed baselines: events/queries must match exactly, allocs/event
+# within ±10%, throughput and qps within their timing-noise floors,
+# serve p99 within the bucket-jump headroom. After an intentional perf
+# change, refresh the baselines:
+#   cp BENCH_sim.json BENCH_baseline.json
+#   cp BENCH_serve.json BENCH_serve_baseline.json
+bench-check: bench-sim bench-serve
+	$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json -candidate BENCH_sim.json \
+		-serve-baseline BENCH_serve_baseline.json -serve-candidate BENCH_serve.json
+
+# End-to-end smoke of the serving stack: snlogd's exact wire surface —
+# open, query, cache hit, inject, delete, explain, subscribe, stats —
+# over a real TCP connection.
+serve-smoke:
+	$(GO) test -run 'TestServeSmoke' -count=1 -v ./internal/serve/
+
+# DeployGrid/DeployRandom are deprecated shims; deploy_compat_test.go
+# pins them equivalent to Deploy(Grid(m)/Random(...)) and snlog.go
+# defines them — no other call site may creep back in.
+deploy-gate:
+	@if grep -rn --include='*.go' -E '\bDeployGrid\(|\bDeployRandom\(' . \
+		| grep -v -e '^\./snlog.go:' -e '^\./deploy_compat_test.go:'; then \
+		echo 'deploy-gate: deprecated DeployGrid/DeployRandom call sites above — use Deploy(Grid(m), ...) / Deploy(Random(...), ...)'; \
+		exit 1; \
+	else \
+		echo 'deploy-gate: no deprecated deploy call sites'; \
+	fi
 
 # The disabled-observability overhead guards: the E1 m=18 hot loop must
 # stay at the PR 2 allocation baseline both when Observe was never
@@ -81,4 +111,4 @@ profile:
 trace-e1:
 	$(GO) run ./cmd/snbench -trace trace_e1.jsonl
 
-verify: build test vet race race-shards bench-shards-smoke obs-guard fuzz-smoke bench-check
+verify: build test vet race race-shards bench-shards-smoke serve-smoke deploy-gate obs-guard fuzz-smoke bench-check

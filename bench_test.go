@@ -191,7 +191,11 @@ func benchDistributedJoinGrid10(b *testing.B, naive bool) {
 out(X, Z) :- ra(X, Y), rb(Y, Z).
 `
 	for i := 0; i < b.N; i++ {
-		c, err := DeployGrid(10, src, Options{Seed: int64(i), NaiveJoin: naive})
+		opts := []Option{WithSeed(int64(i))}
+		if naive {
+			opts = append(opts, WithNaiveJoin())
+		}
+		c, err := Deploy(Grid(10), src, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}

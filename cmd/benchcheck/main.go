@@ -22,9 +22,25 @@
 //     elision regressed — with a small absolute slack so a zero
 //     baseline stays gateable.
 //
+// With -serve-baseline/-serve-candidate it additionally gates the
+// query-serving benchmark (BENCH_serve.json, experiment E16):
+//
+//   - queries: deterministic workload size, equality required (same
+//     contract as events).
+//   - hot_qps / churn_qps: wall-clock rates, regression-only beyond the
+//     serve throughput tolerance (hot-path numbers are microsecond-scale
+//     and noisy, so the floor is wide).
+//   - fallbacks: deterministic — the magic path degraded to a full scan
+//     for some goal — gated increase-only with zero slack.
+//   - query_latency_p99_us: the histogram reports power-of-two bucket
+//     upper bounds, so the quantile moves in 2x jumps; gated
+//     increase-only with enough headroom for one bucket jump plus
+//     scheduling noise.
+//
 // Usage:
 //
-//	benchcheck -baseline BENCH_baseline.json -candidate BENCH_sim.json
+//	benchcheck -baseline BENCH_baseline.json -candidate BENCH_sim.json \
+//	    [-serve-baseline BENCH_serve_baseline.json -serve-candidate BENCH_serve.json]
 package main
 
 import (
@@ -56,12 +72,35 @@ type shardRow struct {
 	BarriersPer1k *float64 `json:"barriers_per_1k_events"`
 }
 
+// serveBench mirrors the gated subset of experiments.ServeBenchResult's
+// JSON, with the same pointer-field warn-on-absent contract as
+// simBench.
+type serveBench struct {
+	Queries   *int64   `json:"queries"`
+	HotQPS    *float64 `json:"hot_qps"`
+	ChurnQPS  *float64 `json:"churn_qps"`
+	Fallbacks *int64   `json:"fallbacks"`
+	P99Us     *int64   `json:"query_latency_p99_us"`
+}
+
 func load(path string) (*simBench, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	var b simBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &b, nil
+}
+
+func loadServe(path string) (*serveBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b serveBench
 	if err := json.Unmarshal(data, &b); err != nil {
 		return nil, fmt.Errorf("%s: %v", path, err)
 	}
@@ -80,6 +119,10 @@ func main() {
 	candidate := flag.String("candidate", "BENCH_sim.json", "freshly generated metrics to gate")
 	tol := flag.Float64("tolerance", 0.10, "allowed relative drift in allocs_per_event_fast, either direction")
 	thrTol := flag.Float64("throughput-tolerance", 0.35, "allowed relative throughput regression (timing noise headroom)")
+	serveBaseline := flag.String("serve-baseline", "", "committed serve-bench baseline (empty skips serve gating)")
+	serveCandidate := flag.String("serve-candidate", "", "freshly generated serve-bench metrics to gate")
+	serveThrTol := flag.Float64("serve-throughput-tolerance", 0.50, "allowed relative qps regression in the serve bench")
+	p99Tol := flag.Float64("p99-tolerance", 3.0, "allowed relative increase in query_latency_p99_us (3.0 = up to 4x; the histogram buckets are powers of two)")
 	flag.Parse()
 
 	base, err := load(*baseline)
@@ -193,6 +236,63 @@ func main() {
 				} else {
 					fmt.Printf("ok    %s: %.2f vs baseline %.2f\n", name, *cr.BarriersPer1k, *br.BarriersPer1k)
 				}
+			}
+		}
+	}
+
+	if *serveBaseline != "" || *serveCandidate != "" {
+		sbase, err := loadServe(*serveBaseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		scand, err := loadServe(*serveCandidate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+
+		if !missing("serve queries", sbase.Queries != nil, scand.Queries != nil) {
+			if *scand.Queries != *sbase.Queries {
+				fail("serve queries: %d, baseline %d — the serving workload changed; regenerate %s deliberately",
+					*scand.Queries, *sbase.Queries, *serveBaseline)
+			} else {
+				fmt.Printf("ok    serve queries: %d (exact match)\n", *scand.Queries)
+			}
+		}
+
+		qps := func(name string, b, c *float64) {
+			if missing(name, b != nil, c != nil) {
+				return
+			}
+			if d := relDiff(*b, *c); d < -*serveThrTol {
+				fail("%s: %.0f q/s, baseline %.0f (%.1f%% regression beyond %.0f%% noise floor)",
+					name, *c, *b, -100*d, 100**serveThrTol)
+			} else {
+				fmt.Printf("ok    %s: %.0f q/s vs baseline %.0f (%+.1f%%)\n",
+					name, *c, *b, 100*relDiff(*b, *c))
+			}
+		}
+		qps("serve hot qps", sbase.HotQPS, scand.HotQPS)
+		qps("serve churn qps", sbase.ChurnQPS, scand.ChurnQPS)
+
+		if !missing("serve fallbacks", sbase.Fallbacks != nil, scand.Fallbacks != nil) {
+			if *scand.Fallbacks > *sbase.Fallbacks {
+				fail("serve fallbacks: %d, baseline %d — the magic-set point-query path degraded to full scans",
+					*scand.Fallbacks, *sbase.Fallbacks)
+			} else {
+				fmt.Printf("ok    serve fallbacks: %d vs baseline %d\n", *scand.Fallbacks, *sbase.Fallbacks)
+			}
+		}
+
+		if !missing("serve p99 latency", sbase.P99Us != nil, scand.P99Us != nil) {
+			limit := float64(*sbase.P99Us) * (1 + *p99Tol)
+			if float64(*scand.P99Us) > limit {
+				fail("serve p99 latency: %dµs, baseline %dµs — beyond the %.0fx headroom (limit %.0fµs)",
+					*scand.P99Us, *sbase.P99Us, 1+*p99Tol, limit)
+			} else {
+				fmt.Printf("ok    serve p99 latency: %dµs vs baseline %dµs (limit %.0fµs)\n",
+					*scand.P99Us, *sbase.P99Us, limit)
 			}
 		}
 	}

@@ -9,6 +9,7 @@
 //	snbench -quick     # smaller parameters (CI-sized)
 //	snbench -joinjson BENCH_join.json   # indexed-vs-naive join A/B
 //	snbench -simjson BENCH_sim.json     # simulator fast-path A/B
+//	snbench -servejson BENCH_serve.json # query-serving qps + latency (E16)
 //	snbench -trace e1.jsonl             # observed E1: JSONL trace + counters
 //	snbench -explain 'j(n3,3)'          # provenance: why is this tuple derived?
 //	snbench -hist                       # settle/hop/fan-in/queue histograms
@@ -36,6 +37,7 @@ import (
 
 	"repro/internal/datalog/parser"
 	"repro/internal/experiments"
+	"repro/internal/experiments/servebench"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/provenance"
@@ -46,6 +48,7 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller parameters for a fast pass")
 	joinJSON := flag.String("joinjson", "", "write the indexed-vs-naive join benchmark to this JSON file and exit")
 	simJSON := flag.String("simjson", "", "write the simulator fast-path benchmark to this JSON file and exit")
+	serveJSON := flag.String("servejson", "", "write the query-serving benchmark (E16: qps + latency quantiles) to this JSON file and exit")
 	traceOut := flag.String("trace", "", "write an observed-E1 JSONL trace to this file and exit")
 	traceKinds := flag.String("trace-kinds", "", "comma-separated event kinds to export (send,recv,drop,derive,delete,settle,crash,recover,linkdown,linkup,dup,reorder); empty = all")
 	traceNode := flag.Int("trace-node", -1, "export only events touching this node (-1 = all)")
@@ -103,6 +106,32 @@ func main() {
 			res.EventsPerSecFast, res.EventsPerSecLegacy, res.EventThroughputGain,
 			res.AllocsPerEventFast, res.AllocsPerEventLegacy, res.AllocReduxPct,
 			bat.MsgReduxPct)
+		return
+	}
+
+	if *serveJSON != "" {
+		reps := 3
+		if *quick {
+			reps = 1
+		}
+		res, err := servebench.Run(reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*serveJSON, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serve: %d queries — cold %.0f q/s, hot %.0f q/s, churn %.0f q/s, hit rate %.1f%%, p50 %dµs p99 %dµs, %d fallbacks\n",
+			res.Queries, res.ColdQPS, res.HotQPS, res.ChurnQPS,
+			res.CacheHitRatePct, res.P50Us, res.P99Us, res.Fallbacks)
 		return
 	}
 

@@ -1,0 +1,85 @@
+// Command snlogd is the long-lived query-serving daemon: it compiles a
+// program onto a simulated deployment, opens a serving session
+// (internal/serve) and answers point queries, injections, deletions,
+// provenance explanations and subscriptions for many concurrent clients
+// over newline-delimited JSON on TCP.
+//
+// Usage:
+//
+//	snlogd -listen 127.0.0.1:7654 program.snl
+//	snlogd -grid 6 -seed 1 program.snl
+//	echo '{"id":1,"op":"query","arg":"reach(a, X)"}' | nc 127.0.0.1 7654
+//
+// The wire protocol is documented in internal/serve/wire.go; the REPL
+// (snlogrepl -connect ADDR) and serve.Client speak it. On SIGINT or
+// SIGTERM the daemon drains connections and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	snlog "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7654", "TCP listen address")
+	grid := flag.Int("grid", 4, "deploy on an m x m grid")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	cache := flag.Int("cache", 0, "result cache entries (0 = default 256, negative = disabled)")
+	loss := flag.Float64("loss", 0, "radio loss rate [0, 1)")
+	shards := flag.Int("shards", 0, "parallel scheduler shards (0 = single-threaded)")
+	noProv := flag.Bool("no-provenance", false, "skip provenance capture (explain disabled)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: snlogd [flags] program.snl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	deploy := []snlog.Option{snlog.WithSeed(*seed)}
+	if *loss > 0 {
+		deploy = append(deploy, snlog.WithLoss(*loss))
+	}
+	if *shards > 1 {
+		deploy = append(deploy, snlog.WithShards(*shards))
+	}
+	s, err := serve.Open(context.Background(), string(src), snlog.Grid(*grid), serve.Options{
+		Deploy:       deploy,
+		CacheSize:    *cache,
+		NoProvenance: *noProv,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	srv := serve.NewServer(s, ln)
+	fmt.Printf("snlogd: serving %s on %s (%d nodes)\n", flag.Arg(0), srv.Addr(), s.Cluster().Size())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("snlogd: shutting down")
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snlogd:", err)
+	os.Exit(1)
+}

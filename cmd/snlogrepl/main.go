@@ -4,15 +4,23 @@
 // the centralized counterpart of what the distributed engine does
 // in-network, handy for developing programs before deployment.
 //
+// With -connect it speaks the snlogd wire protocol instead, turning the
+// same console into a client of a live deployment: queries go through
+// the daemon's magic-set point-query path and result cache, proofs
+// through its provenance store.
+//
 // Usage:
 //
 //	snlogrepl [program.snl]
+//	snlogrepl -connect 127.0.0.1:7654
 //
 // Commands:
 //
-//	assert:      + fact(args).
+//	assert:      + fact(args).      (-connect: injects at node 0)
 //	retract:     - fact(args).
-//	query:       ? pred/arity     (bare ? lists everything derived)
+//	query:       ? pred/arity       (lists everything derived for it)
+//	             ? goal(args)       (point query, variables allowed)
+//	             ?                  (local only: list all derived)
 //	proof tree:  proof fact(args).
 //	counters:    stats
 //	exit:        quit
@@ -20,20 +28,38 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/datalog/ast"
 	"repro/internal/datalog/eval"
 	"repro/internal/datalog/parser"
+	"repro/internal/serve"
 )
 
 func main() {
+	connect := flag.String("connect", "", "snlogd address to drive instead of a local session")
+	flag.Parse()
+	if *connect != "" {
+		c, err := serve.Dial(*connect)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		fmt.Printf("snlogrepl — connected to %s (help for commands)\n", *connect)
+		remoteRepl(os.Stdin, os.Stdout, c)
+		return
+	}
 	src := ""
-	if len(os.Args) > 1 {
-		b, err := os.ReadFile(os.Args[1])
+	if flag.NArg() > 0 {
+		b, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
@@ -47,16 +73,28 @@ func main() {
 	repl(os.Stdin, os.Stdout, m)
 }
 
-func newSession(src string) (*eval.Maintainer, error) {
+// local is an in-process console session: the incremental maintainer
+// plus the parsed program (for goal validation on the shared
+// core.ParseGoal path).
+type local struct {
+	m    *eval.Maintainer
+	prog *ast.Program
+}
+
+func newSession(src string) (*local, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return eval.NewMaintainer(prog, eval.SetOfDerivations, eval.Options{})
+	m, err := eval.NewMaintainer(prog, eval.SetOfDerivations, eval.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &local{m: m, prog: prog}, nil
 }
 
 // repl runs the command loop; factored for tests.
-func repl(in io.Reader, out io.Writer, m *eval.Maintainer) {
+func repl(in io.Reader, out io.Writer, s *local) {
 	sc := bufio.NewScanner(in)
 	for {
 		fmt.Fprint(out, "> ")
@@ -68,19 +106,23 @@ func repl(in io.Reader, out io.Writer, m *eval.Maintainer) {
 		if line == "" {
 			continue
 		}
-		if done := execute(out, m, line); done {
+		if done := execute(out, s, line); done {
 			return
 		}
 	}
 }
 
-// execute runs one command; returns true to quit.
-func execute(out io.Writer, m *eval.Maintainer, line string) bool {
+const helpText = "  + fact(args).      assert\n  - fact(args).      retract\n  ? pred/arity       list tuples\n  ? goal(args)       point query (variables allowed)\n  ?                  list all derived\n  proof fact(args).  proof tree\n  stats              counters\n  quit               exit"
+
+// execute runs one command against the local session; returns true to
+// quit.
+func execute(out io.Writer, s *local, line string) bool {
+	m := s.m
 	switch {
 	case line == "quit" || line == "exit":
 		return true
 	case line == "help":
-		fmt.Fprintln(out, "  + fact(args).      assert\n  - fact(args).      retract\n  ? pred/arity       list tuples\n  ?                  list all derived\n  proof fact(args).  proof tree\n  stats              counters\n  quit               exit")
+		fmt.Fprintln(out, helpText)
 	case line == "stats":
 		st := m.Stats()
 		fmt.Fprintf(out, "  join ops: %d, scan ops: %d, derivations held: %d, cascade steps: %d\n",
@@ -93,8 +135,22 @@ func execute(out io.Writer, m *eval.Maintainer, line string) bool {
 			}
 		}
 	case strings.HasPrefix(line, "? "):
-		pred := strings.TrimSpace(line[2:])
-		for _, t := range m.DB().Tuples(pred) {
+		arg := strings.TrimSpace(line[2:])
+		if !strings.Contains(arg, "(") {
+			// pred/arity listing.
+			for _, t := range m.DB().Tuples(arg) {
+				fmt.Fprintf(out, "  %v\n", t)
+			}
+			return false
+		}
+		// Goal query on the shared validation path: same typed errors
+		// as Cluster.Query and the daemon.
+		lit, err := core.ParseGoal(s.prog, arg)
+		if err != nil {
+			fmt.Fprintf(out, "  error: %v\n", err)
+			return false
+		}
+		for _, t := range core.MatchGoal(lit, m.DB().Tuples(lit.PredKey())) {
 			fmt.Fprintf(out, "  %v\n", t)
 		}
 	case strings.HasPrefix(line, "+ "), strings.HasPrefix(line, "- "):
@@ -140,23 +196,120 @@ func execute(out io.Writer, m *eval.Maintainer, line string) bool {
 	return false
 }
 
-// parseFact parses "pred(args)." (trailing dot optional) into a tuple.
+// remoteRepl drives a live snlogd over the wire protocol.
+func remoteRepl(in io.Reader, out io.Writer, c *serve.Client) {
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if done := remoteExecute(out, c, line); done {
+			return
+		}
+	}
+}
+
+// remoteExecute runs one command against a daemon; returns true to
+// quit.
+func remoteExecute(out io.Writer, c *serve.Client, line string) bool {
+	ctx := context.Background()
+	switch {
+	case line == "quit" || line == "exit":
+		return true
+	case line == "help":
+		fmt.Fprintln(out, helpText)
+	case line == "stats":
+		stats, err := c.Stats(ctx)
+		if err != nil {
+			fmt.Fprintf(out, "  error: %v\n", err)
+			return false
+		}
+		names := make([]string, 0, len(stats))
+		for n := range stats {
+			if strings.HasPrefix(n, "serve.") {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(out, "  %s: %d\n", n, stats[n])
+		}
+	case line == "?":
+		fmt.Fprintln(out, "  error: bare ? is local-only; query a goal, e.g. ? reach(a, X)")
+	case strings.HasPrefix(line, "? "):
+		arg := strings.TrimSpace(line[2:])
+		if !strings.Contains(arg, "(") {
+			// pred/arity: expand to an all-free goal.
+			g, err := goalForPred(arg)
+			if err != nil {
+				fmt.Fprintf(out, "  error: %v\n", err)
+				return false
+			}
+			arg = g
+		}
+		tuples, err := c.Query(ctx, arg)
+		if err != nil {
+			fmt.Fprintf(out, "  error: %v\n", err)
+			return false
+		}
+		for _, t := range tuples {
+			fmt.Fprintf(out, "  %s\n", t)
+		}
+	case strings.HasPrefix(line, "+ "):
+		if err := c.Inject(ctx, 0, strings.TrimSuffix(strings.TrimSpace(line[2:]), ".")); err != nil {
+			fmt.Fprintf(out, "  error: %v\n", err)
+		}
+	case strings.HasPrefix(line, "- "):
+		now, err := c.Sync(ctx)
+		if err != nil {
+			fmt.Fprintf(out, "  error: %v\n", err)
+			return false
+		}
+		if err := c.DeleteAt(ctx, now+1, 0, strings.TrimSuffix(strings.TrimSpace(line[2:]), ".")); err != nil {
+			fmt.Fprintf(out, "  error: %v\n", err)
+		}
+	case strings.HasPrefix(line, "proof "):
+		expl, err := c.Explain(ctx, strings.TrimSuffix(strings.TrimSpace(line[len("proof "):]), "."))
+		if err != nil {
+			fmt.Fprintf(out, "  error: %v\n", err)
+			return false
+		}
+		for _, l := range strings.Split(strings.TrimRight(expl, "\n"), "\n") {
+			fmt.Fprintf(out, "  %s\n", l)
+		}
+	default:
+		fmt.Fprintf(out, "  unknown command (try help)\n")
+	}
+	return false
+}
+
+// goalForPred turns "reach/2" into the all-free goal "reach(V0, V1)".
+func goalForPred(key string) (string, error) {
+	i := strings.LastIndex(key, "/")
+	if i < 0 {
+		return "", fmt.Errorf("want pred/arity or a goal, got %q", key)
+	}
+	n, err := strconv.Atoi(key[i+1:])
+	if err != nil || n < 0 {
+		return "", fmt.Errorf("bad arity in %q", key)
+	}
+	vars := make([]string, n)
+	for j := range vars {
+		vars[j] = "V" + strconv.Itoa(j)
+	}
+	return key[:i] + "(" + strings.Join(vars, ", ") + ")", nil
+}
+
+// parseFact parses "pred(args)." (trailing dot optional) into a tuple,
+// on the shared serve.ParseFact path.
 func parseFact(src string) (eval.Tuple, error) {
-	src = strings.TrimSpace(src)
-	if !strings.HasSuffix(src, ".") {
-		src += "."
-	}
-	prog, err := parser.Parse(src)
-	if err != nil {
-		return eval.Tuple{}, err
-	}
-	if len(prog.Rules) != 1 || !prog.Rules[0].IsFact() {
-		return eval.Tuple{}, fmt.Errorf("not a ground fact: %s", src)
-	}
-	h := prog.Rules[0].Head
-	args := make([]ast.Term, len(h.Args))
-	copy(args, h.Args)
-	return eval.Tuple{Pred: h.PredKey(), Args: args}, nil
+	return serve.ParseFact(src)
 }
 
 func fatal(err error) {

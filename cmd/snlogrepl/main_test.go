@@ -1,8 +1,13 @@
 package main
 
 import (
+	"context"
+	"net"
 	"strings"
 	"testing"
+
+	snlog "repro"
+	"repro/internal/serve"
 )
 
 const sessionSrc = `
@@ -89,5 +94,106 @@ func TestParseFactVariants(t *testing.T) {
 	}
 	if _, err := parseFact("p(X)"); err == nil {
 		t.Error("non-ground fact should error")
+	}
+}
+
+func TestReplGoalQuery(t *testing.T) {
+	s, err := newSession(`
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	run := func(line string) string {
+		out.Reset()
+		execute(&out, s, line)
+		return out.String()
+	}
+	run("+ edge(a, b)")
+	run("+ edge(b, c)")
+	got := run("? path(a, X)")
+	if !strings.Contains(got, "path(a, b)") || !strings.Contains(got, "path(a, c)") {
+		t.Errorf("goal query output = %q", got)
+	}
+	got = run("? path(a, c)")
+	if !strings.Contains(got, "path(a, c)") {
+		t.Errorf("ground goal output = %q", got)
+	}
+	got = run("? path(X)")
+	if !strings.Contains(got, "error") || !strings.Contains(got, "arity") {
+		t.Errorf("arity error output = %q", got)
+	}
+	got = run("? edge(a, X)")
+	if !strings.Contains(got, "error") {
+		t.Errorf("base goal should error on the shared path, got %q", got)
+	}
+}
+
+func TestRemoteExecute(t *testing.T) {
+	sess, err := serve.Open(context.Background(), `
+.base edge/2.
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+.query path/2.
+`, snlog.Grid(2), serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(sess, ln)
+	defer srv.Close()
+	c, err := serve.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var out strings.Builder
+	run := func(line string) string {
+		out.Reset()
+		if done := remoteExecute(&out, c, line); done {
+			t.Fatalf("unexpected quit on %q", line)
+		}
+		return out.String()
+	}
+	run("+ edge(a, b)")
+	run("+ edge(b, c)")
+	got := run("? path(a, X)")
+	if !strings.Contains(got, "path(a, b)") || !strings.Contains(got, "path(a, c)") {
+		t.Errorf("remote goal query = %q", got)
+	}
+	got = run("? path/2")
+	if !strings.Contains(got, "path(b, c)") {
+		t.Errorf("remote pred/arity query = %q", got)
+	}
+	got = run("proof path(a, c)")
+	if !strings.Contains(got, "edge") {
+		t.Errorf("remote proof = %q", got)
+	}
+	got = run("- edge(b, c)")
+	if strings.Contains(got, "error") {
+		t.Errorf("remote retract = %q", got)
+	}
+	got = run("? path(a, X)")
+	if strings.Contains(got, "path(a, c)") {
+		t.Errorf("deleted edge still reachable: %q", got)
+	}
+	got = run("stats")
+	if !strings.Contains(got, "serve.queries") {
+		t.Errorf("remote stats = %q", got)
+	}
+	got = run("? ghost(X)")
+	if !strings.Contains(got, "error") {
+		t.Errorf("remote unknown pred = %q", got)
+	}
+	out.Reset()
+	if done := remoteExecute(&out, c, "quit"); !done {
+		t.Error("quit should end the session")
 	}
 }

@@ -13,7 +13,7 @@ var (
 )
 
 func TestLoadTimelineAndRun(t *testing.T) {
-	cluster, err := snlog.DeployGrid(8, mustRead(t, "testdata/uncov.snl"), snlog.Options{Seed: 1})
+	cluster, err := snlog.Deploy(snlog.Grid(8), mustRead(t, "testdata/uncov.snl"), snlog.WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,8 +40,8 @@ func TestLoadTimelineAndRun(t *testing.T) {
 }
 
 func TestLoadTimelineErrors(t *testing.T) {
-	cluster, err := snlog.DeployGrid(4, `.base s/1.
-d(X) :- s(X).`, snlog.Options{})
+	cluster, err := snlog.Deploy(snlog.Grid(4), `.base s/1.
+d(X) :- s(X).`)
 	if err != nil {
 		t.Fatal(err)
 	}

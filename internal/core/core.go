@@ -566,27 +566,30 @@ func (e *Engine) homeFor(t eval.Tuple) nsim.NodeID {
 // accepted silently (or crashed on later): out-of-range nodes,
 // non-ground tuples, derived predicates (those are produced by rules,
 // never injected), unknown predicates, and arity mismatches against
-// the program's declarations.
+// the program's declarations. Each failure wraps the matching
+// sentinel (ErrBadNode, ErrNotGround, ErrDerivedPredicate,
+// ErrUnknownPredicate, ErrArity) for errors.Is dispatch; the messages
+// are unchanged.
 func (e *Engine) validateInject(node nsim.NodeID, t eval.Tuple) error {
 	if int(node) < 0 || int(node) >= e.nw.Len() {
-		return fmt.Errorf("core: inject %s: node %d out of range [0, %d)", t, node, e.nw.Len())
+		return validationErrorf(ErrBadNode, "core: inject %s: node %d out of range [0, %d)", t, node, e.nw.Len())
 	}
 	for _, a := range t.Args {
 		if !a.Ground() {
-			return fmt.Errorf("core: inject %s: argument %s is not ground", t, a)
+			return validationErrorf(ErrNotGround, "core: inject %s: argument %s is not ground", t, a)
 		}
 	}
 	if e.prog.IsDerived(t.Pred) {
-		return fmt.Errorf("core: inject %s: %s is a derived predicate (derived tuples come from rules, not injection)", t, t.Pred)
+		return validationErrorf(ErrDerivedPredicate, "core: inject %s: %s is a derived predicate (derived tuples come from rules, not injection)", t, t.Pred)
 	}
 	if !e.knownPreds[t.Pred] {
 		name := t.Name() + "/"
 		for p := range e.knownPreds {
 			if len(p) > len(name) && p[:len(name)] == name {
-				return fmt.Errorf("core: inject %s: arity mismatch (program declares %s, got %s)", t, p, t.Pred)
+				return validationErrorf(ErrArity, "core: inject %s: arity mismatch (program declares %s, got %s)", t, p, t.Pred)
 			}
 		}
-		return fmt.Errorf("core: inject %s: predicate %s not mentioned by the program", t, t.Pred)
+		return validationErrorf(ErrUnknownPredicate, "core: inject %s: predicate %s not mentioned by the program", t, t.Pred)
 	}
 	return nil
 }

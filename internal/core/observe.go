@@ -46,7 +46,7 @@ var (
 //	core.mem.p50             median per-node stored tuples
 //
 // Histograms (recorded per settled candidate, flattened by Snapshot
-// into .count/.sum/.max/.p50/.p95/.le_<bound>):
+// into .count/.sum/.max/.p50/.p95/.p99/.le_<bound>):
 //
 //	core.settle_ticks        update visibility → finalize application
 //	core.fanin               positive-body join width

@@ -1,0 +1,162 @@
+// Package servebench measures the query-serving layer (internal/serve)
+// for BENCH_serve.json. It lives outside internal/experiments because
+// it imports the root snlog package, which the root package's own
+// benchmarks cannot transitively depend on without an import cycle.
+package servebench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	snlog "repro"
+	"repro/internal/serve"
+)
+
+// Result is the query-serving benchmark snbench emits as
+// BENCH_serve.json (DESIGN.md §14, experiment E16): sustained
+// queries/sec through a serve.Session in three regimes — cold (every
+// goal distinct, full magic-set evaluation), hot (one goal repeated,
+// served from the provenance-keyed cache) and churn (queries
+// interleaved with injections and deletions that keep invalidating
+// entries). Latency quantiles come from the serve.query_latency
+// histogram in microseconds.
+type Result struct {
+	Nodes   int   `json:"nodes"`
+	GridM   int   `json:"grid_m"`
+	Queries int64 `json:"queries"`
+
+	ColdQPS  float64 `json:"cold_qps"`
+	HotQPS   float64 `json:"hot_qps"`
+	ChurnQPS float64 `json:"churn_qps"`
+
+	// Cache behaviour over the whole run; the hot phase alone pins the
+	// hit path, churn pins invalidation.
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheEvictions  int64   `json:"cache_evictions"`
+	CacheHitRatePct float64 `json:"cache_hit_rate_pct"`
+	Fallbacks       int64   `json:"fallbacks"`
+
+	P50Us int64 `json:"query_latency_p50_us"`
+	P99Us int64 `json:"query_latency_p99_us"`
+	MaxUs int64 `json:"query_latency_max_us"`
+
+	Cores      int `json:"cores"`
+	GoMaxProcs int `json:"gomaxprocs"`
+}
+
+// benchSrc is an acyclic chain-reachability program: recursive
+// enough to exercise the magic rewrite and proof-tree support sets,
+// acyclic so the set-of-derivations store stays locally non-recursive
+// (no fallbacks in the steady state).
+const benchSrc = `
+.base link/2.
+reach(X, Y) :- link(X, Y).
+reach(X, Z) :- reach(X, Y), link(Y, Z).
+.query reach/2.
+`
+
+// Run measures the serving layer. reps scales the per-phase
+// operation counts (reps>=1); the workload is deterministic, so Queries
+// is stable across machines while the rates move with the hardware.
+func Run(reps int) (*Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	const (
+		gridM = 6
+		chain = 24 // link(s0,s1), ..., link(s23,s24)
+	)
+	ctx := context.Background()
+	s, err := serve.Open(ctx, benchSrc, snlog.Grid(gridM), serve.Options{
+		Deploy: []snlog.Option{snlog.WithSeed(11)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	c := s.Cluster()
+
+	link := func(i, j int) snlog.Tuple {
+		return snlog.NewTuple("link", snlog.Sym(fmt.Sprintf("s%d", i)), snlog.Sym(fmt.Sprintf("s%d", j)))
+	}
+	for i := 0; i < chain; i++ {
+		if err := s.Inject(i%c.Size(), link(i, i+1)); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Nodes:      c.Size(),
+		GridM:      gridM,
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	// Cold: every goal a distinct binding pattern — each query pays the
+	// full magic-rewrite + evaluation path.
+	coldN := 40 * reps
+	start := time.Now()
+	for i := 0; i < coldN; i++ {
+		goal := fmt.Sprintf("reach(s%d, X)", i%chain)
+		if i >= chain {
+			goal = fmt.Sprintf("reach(X, s%d)", i%chain+1)
+		}
+		if _, err := s.Query(ctx, goal); err != nil {
+			return nil, fmt.Errorf("cold query %q: %w", goal, err)
+		}
+	}
+	res.ColdQPS = float64(coldN) / time.Since(start).Seconds()
+
+	// Hot: one goal repeated — after the first miss everything is a
+	// cache hit with zero evaluation work.
+	hotN := 2000 * reps
+	start = time.Now()
+	for i := 0; i < hotN; i++ {
+		if _, err := s.Query(ctx, "reach(s0, X)"); err != nil {
+			return nil, fmt.Errorf("hot query: %w", err)
+		}
+	}
+	res.HotQPS = float64(hotN) / time.Since(start).Seconds()
+
+	// Churn: queries under injection/deletion pressure — every write
+	// invalidates the goal's cone, so the cache keeps re-filling.
+	churnN := 200 * reps
+	start = time.Now()
+	for i := 0; i < churnN; i++ {
+		extra := link(chain, chain+1)
+		if i%2 == 0 {
+			if err := s.Inject(i%c.Size(), extra); err != nil {
+				return nil, err
+			}
+		} else {
+			now, err := s.Sync(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.DeleteAt(now+1, (i-1)%c.Size(), extra); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := s.Query(ctx, "reach(s0, X)"); err != nil {
+			return nil, fmt.Errorf("churn query: %w", err)
+		}
+	}
+	res.ChurnQPS = float64(churnN) / time.Since(start).Seconds()
+
+	snap := s.Snapshot()
+	res.Queries = snap.Get("serve.queries")
+	res.CacheHits = snap.Get("serve.cache.hits")
+	res.CacheMisses = snap.Get("serve.cache.misses")
+	res.CacheEvictions = snap.Get("serve.cache.evictions")
+	res.Fallbacks = snap.Get("serve.fallbacks")
+	if total := res.CacheHits + res.CacheMisses; total > 0 {
+		res.CacheHitRatePct = 100 * float64(res.CacheHits) / float64(total)
+	}
+	res.P50Us = snap.Get("serve.query_latency.p50")
+	res.P99Us = snap.Get("serve.query_latency.p99")
+	res.MaxUs = snap.Get("serve.query_latency.max")
+	return res, nil
+}

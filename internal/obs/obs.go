@@ -190,8 +190,8 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, c := range counters {
 		s.Counters[name] = c.Value()
 	}
-	// Histograms flatten into "<name>.count/.sum/.max/.p50/.p95" plus
-	// cumulative "<name>.le_<bound>" bucket counters.
+	// Histograms flatten into "<name>.count/.sum/.max/.p50/.p95/.p99"
+	// plus cumulative "<name>.le_<bound>" bucket counters.
 	for name, h := range hists {
 		s.Counters[name+".count"] = h.Count()
 		if h.Count() == 0 {
@@ -201,6 +201,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Counters[name+".max"] = h.Max()
 		s.Counters[name+".p50"] = h.Quantile(0.50)
 		s.Counters[name+".p95"] = h.Quantile(0.95)
+		s.Counters[name+".p99"] = h.Quantile(0.99)
 		bounds, counts := h.Buckets()
 		var cum int64
 		for i, b := range bounds {

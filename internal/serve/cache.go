@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"container/list"
+
+	"repro/internal/datalog/eval"
+	"repro/internal/obs"
+)
+
+// resultCache is the provenance-keyed point-query cache. An entry is
+// keyed on the canonical goal (core.CanonicalGoal) and guarded by the
+// goal's provenance subtree; invalidation is lock-stepped with the
+// session's base-fact ledger so a served answer is always the answer
+// a fresh evaluation would produce.
+//
+// Soundness argument (DESIGN.md §14 carries the full version):
+//
+//   - Base INSERT of predicate p: in the goal's positive cone a new
+//     fact can create answers that no recorded provenance mentions, so
+//     every entry with p in its cone is evicted — support sets cannot
+//     help here. In the negation-tainted cone an insert can also
+//     destroy answers. Either way: predicate-level eviction.
+//
+//   - Base DELETE of tuple t of predicate p: derivations are monotone
+//     in the positive cone, so deleting t can only remove answers, and
+//     only answers whose every proof uses t. Each entry records one
+//     complete proof per answer (the evaluator's proof tree); if t is
+//     in none of them, every recorded proof survives the deletion and
+//     the cached answer set is still exact — the entry is kept. If t
+//     appears in a recorded proof (or the entry has no support set),
+//     the entry is evicted. If p is negation-tainted, a deletion can
+//     CREATE answers the cache never saw, so the entry is evicted
+//     regardless of support.
+//
+//   - Replay: rebuilds the set-of-derivations store wholesale; the
+//     whole cache flushes.
+//
+// The nil cache (caching disabled) is a valid no-op receiver.
+type resultCache struct {
+	max       int
+	entries   map[string]*cacheEntry
+	lru       *list.List // front = most recently used; values are *cacheEntry
+	evictions *obs.Counter
+}
+
+// cacheEntry is one cached point-query answer plus its guard sets.
+type cacheEntry struct {
+	key     string
+	answers []eval.Tuple
+	// pos/neg are the goal's extensional cone (shared with the
+	// session's memoized cone; read-only).
+	pos map[string]bool
+	neg map[string]bool
+	// support holds the base-fact keys of one recorded proof per
+	// answer; nil means predicate-level precision (proof trees
+	// unavailable or oversized).
+	support map[string]bool
+	elem    *list.Element
+}
+
+func newResultCache(max int, evictions *obs.Counter) *resultCache {
+	return &resultCache{
+		max:       max,
+		entries:   make(map[string]*cacheEntry),
+		lru:       list.New(),
+		evictions: evictions,
+	}
+}
+
+// get returns the live entry for key (and marks it recently used), or
+// nil.
+func (c *resultCache) get(key string) *cacheEntry {
+	if c == nil {
+		return nil
+	}
+	e := c.entries[key]
+	if e == nil {
+		return nil
+	}
+	c.lru.MoveToFront(e.elem)
+	return e
+}
+
+// put stores an entry, evicting the least recently used one past
+// capacity.
+func (c *resultCache) put(e *cacheEntry) {
+	if c == nil {
+		return
+	}
+	if old := c.entries[e.key]; old != nil {
+		c.remove(old, false)
+	}
+	e.elem = c.lru.PushFront(e)
+	c.entries[e.key] = e
+	for len(c.entries) > c.max {
+		back := c.lru.Back()
+		c.remove(back.Value.(*cacheEntry), true)
+	}
+}
+
+// baseInserted evicts every entry whose cone contains pred.
+func (c *resultCache) baseInserted(pred string) {
+	if c == nil {
+		return
+	}
+	for _, e := range c.entries {
+		if e.pos[pred] || e.neg[pred] {
+			c.remove(e, true)
+		}
+	}
+}
+
+// baseDeleted evicts the entries the deleted tuple can affect: any
+// entry with pred in its negation-tainted cone, and positive-cone
+// entries whose recorded support contains the tuple (or that track no
+// support).
+func (c *resultCache) baseDeleted(pred, tupleKey string) {
+	if c == nil {
+		return
+	}
+	for _, e := range c.entries {
+		switch {
+		case e.neg[pred]:
+			c.remove(e, true)
+		case e.pos[pred] && (e.support == nil || e.support[tupleKey]):
+			c.remove(e, true)
+		}
+	}
+}
+
+// flush drops everything (Replay).
+func (c *resultCache) flush() {
+	if c == nil {
+		return
+	}
+	for _, e := range c.entries {
+		c.remove(e, true)
+	}
+}
+
+// len reports the live entry count.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.entries)
+}
+
+func (c *resultCache) remove(e *cacheEntry, count bool) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+	if count {
+		c.evictions.Inc()
+	}
+}

@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Client is the Go side of the wire protocol: it multiplexes requests
+// from any number of goroutines over one connection to snlogd and
+// routes pushed subscription events to their ClientSub. The REPL's
+// -connect mode and the serve tests ride on it.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex
+	enc *json.Encoder
+
+	nextID atomic.Int64
+
+	mu      sync.Mutex
+	pending map[int64]chan *Response
+	subs    map[int64]*ClientSub
+	err     error // terminal read error, ErrClosed after Close
+}
+
+// Dial connects to an snlogd address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		pending: make(map[int64]chan *Response),
+		subs:    make(map[int64]*ClientSub),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close drops the connection; in-flight calls fail with ErrClosed and
+// subscription channels close.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			continue
+		}
+		if resp.Event != nil {
+			c.mu.Lock()
+			sub := c.subs[resp.Event.Sub]
+			c.mu.Unlock()
+			if sub != nil {
+				select {
+				case sub.ch <- *resp.Event:
+				default: // slow local consumer: drop, like the server side
+				}
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- &resp
+		}
+	}
+	err := sc.Err()
+	if err == nil {
+		err = ErrClosed
+	}
+	c.fail(err)
+}
+
+// fail terminates every pending call and subscription.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	subs := c.subs
+	c.pending = make(map[int64]chan *Response)
+	c.subs = make(map[int64]*ClientSub)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+	for _, s := range subs {
+		close(s.ch)
+	}
+}
+
+// call sends one request and waits for its response or ctx.
+func (c *Client) call(ctx context.Context, req *Request) (*Response, error) {
+	req.ID = c.nextID.Add(1)
+	ch := make(chan *Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := c.enc.Encode(req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return nil, err
+		}
+		if !resp.OK {
+			return nil, CodeError(resp.Code, resp.Error)
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Ping round-trips a no-op.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.call(ctx, &Request{Op: "ping"})
+	return err
+}
+
+// Query answers a point query; tuples come back in source syntax.
+func (c *Client) Query(ctx context.Context, goal string) ([]string, error) {
+	resp, err := c.call(ctx, &Request{Op: "query", Arg: goal})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tuples, nil
+}
+
+// Inject generates a base fact ("link(a, b)") at a node, now.
+func (c *Client) Inject(ctx context.Context, node int, fact string) error {
+	_, err := c.call(ctx, &Request{Op: "inject", Node: node, Arg: fact})
+	return err
+}
+
+// InjectAt generates a base fact at an absolute virtual time.
+func (c *Client) InjectAt(ctx context.Context, at int64, node int, fact string) error {
+	_, err := c.call(ctx, &Request{Op: "inject_at", At: at, Node: node, Arg: fact})
+	return err
+}
+
+// DeleteAt deletes a previously injected base fact.
+func (c *Client) DeleteAt(ctx context.Context, at int64, node int, fact string) error {
+	_, err := c.call(ctx, &Request{Op: "delete_at", At: at, Node: node, Arg: fact})
+	return err
+}
+
+// Sync runs the deployment to quiescence; returns the virtual time.
+func (c *Client) Sync(ctx context.Context) (int64, error) {
+	resp, err := c.call(ctx, &Request{Op: "sync"})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Time, nil
+}
+
+// Explain renders the provenance tree of a ground goal.
+func (c *Client) Explain(ctx context.Context, goal string) (string, error) {
+	resp, err := c.call(ctx, &Request{Op: "explain", Arg: goal})
+	if err != nil {
+		return "", err
+	}
+	return resp.Explain, nil
+}
+
+// Stats samples the daemon's metric snapshot.
+func (c *Client) Stats(ctx context.Context) (map[string]int64, error) {
+	resp, err := c.call(ctx, &Request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
+// ClientSub is a client-side subscription stream.
+type ClientSub struct {
+	c  *Client
+	id int64
+	ch chan Event
+}
+
+// C is the event stream; it closes when the subscription, client or
+// connection closes.
+func (s *ClientSub) C() <-chan Event { return s.ch }
+
+// Close cancels the subscription server-side.
+func (s *ClientSub) Close() error {
+	s.c.mu.Lock()
+	_, live := s.c.subs[s.id]
+	delete(s.c.subs, s.id)
+	s.c.mu.Unlock()
+	if !live {
+		return nil
+	}
+	close(s.ch)
+	_, err := s.c.call(context.Background(), &Request{Op: "unsubscribe", Sub: s.id})
+	return err
+}
+
+// Subscribe watches a derived predicate ("reach/2"); buffer bounds the
+// local event channel (<=0 means 64).
+func (c *Client) Subscribe(ctx context.Context, pred string, buffer int) (*ClientSub, error) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	resp, err := c.call(ctx, &Request{Op: "subscribe", Arg: pred})
+	if err != nil {
+		return nil, err
+	}
+	sub := &ClientSub{c: c, id: resp.Sub, ch: make(chan Event, buffer)}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.subs[resp.Sub] = sub
+	c.mu.Unlock()
+	return sub, nil
+}

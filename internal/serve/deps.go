@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"repro/internal/datalog/ast"
+)
+
+// cone is the extensional dependency cone of a derived predicate: the
+// base predicates its derivations can read, split by whether the path
+// from the goal crosses a negation.
+//
+//   - pos: every base predicate reachable from the goal through rule
+//     bodies. Inserting or deleting a tuple of one of these can change
+//     the goal's answers.
+//   - neg: the subset reachable through at least one negated subgoal.
+//     For these, even a deletion that is in nobody's support set can
+//     CREATE answers (a negation flip), so tuple-level invalidation is
+//     unsound and the cache falls back to predicate-level eviction.
+//
+// A predicate can be in both (one positive path, one negative path);
+// neg wins for deletions.
+type cone struct {
+	pos map[string]bool
+	neg map[string]bool
+}
+
+// coneOf memoizes cone construction per goal predicate. Caller holds
+// s.mu.
+func (s *Session) coneOf(pred string) *cone {
+	if c, ok := s.cones[pred]; ok {
+		return c
+	}
+	c := buildCone(s.prog, pred)
+	s.cones[pred] = c
+	return c
+}
+
+// buildCone walks the rule graph from root, tracking negation taint.
+// Each derived predicate is visited at most twice (untainted and
+// tainted); base predicates (anything without rules) are the leaves.
+func buildCone(prog *ast.Program, root string) *cone {
+	c := &cone{pos: make(map[string]bool), neg: make(map[string]bool)}
+	type state struct {
+		pred    string
+		tainted bool
+	}
+	seen := make(map[state]bool)
+	var walk func(pred string, tainted bool)
+	walk = func(pred string, tainted bool) {
+		st := state{pred, tainted}
+		if seen[st] {
+			return
+		}
+		seen[st] = true
+		for _, r := range prog.RulesFor(pred) {
+			for _, l := range r.Body {
+				if l.Builtin {
+					continue
+				}
+				child := l.PredKey()
+				childTaint := tainted || l.Negated
+				if prog.IsDerived(child) {
+					walk(child, childTaint)
+					continue
+				}
+				c.pos[child] = true
+				if childTaint {
+					c.neg[child] = true
+				}
+			}
+		}
+	}
+	walk(root, false)
+	return c
+}

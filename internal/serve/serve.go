@@ -1,0 +1,626 @@
+// Package serve is the query-serving subsystem: the long-lived front
+// door between a deployed deductive program and its users (Figure 2 of
+// the paper routes user queries through a magic-set rewrite so only
+// query-relevant facts are derived; the ROADMAP calls this the
+// "millions of users" item).
+//
+// A Session wraps a running cluster behind a concurrent, context-aware
+// client API: Query answers magic-rewritten point queries, Inject /
+// DeleteAt feed the base-fact stream, Subscribe watches a derived
+// predicate for updates, and Explain reuses the provenance layer.
+// Repeated queries hit a result cache keyed on the canonical goal and
+// guarded by the goal's provenance subtree: a cached answer is served
+// with zero evaluation work, and any injection, deletion or Replay
+// that touches the subtree evicts exactly the dependent entries
+// (cache.go documents the soundness argument).
+//
+// Command snlogd exposes the same operations to many concurrent
+// clients over newline-delimited JSON on TCP (server.go); Client is
+// the matching Go client (client.go).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	snlog "repro"
+	"repro/internal/core"
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/eval"
+	"repro/internal/datalog/magic"
+	"repro/internal/obs"
+)
+
+// ErrClosed is returned by every operation on a closed session.
+var ErrClosed = errors.New("serve: session closed")
+
+// maxSupport bounds the per-entry support set; an answer set whose
+// provenance subtree exceeds it degrades to predicate-level
+// invalidation (still sound, just coarser).
+const maxSupport = 4096
+
+// Options configures a serving session.
+type Options struct {
+	// Deploy is passed through to snlog.Deploy (scheme, seed, loss,
+	// shards, ...).
+	Deploy []snlog.Option
+	// CacheSize caps the result cache (entries); 0 means the default
+	// (256). Negative disables caching.
+	CacheSize int
+	// SubscribeBuffer is the per-subscription channel capacity; 0
+	// means the default (64). A full subscriber drops updates and
+	// counts them under serve.subs.dropped.
+	SubscribeBuffer int
+	// NoProvenance skips attaching the provenance graph. Explain then
+	// returns an error; Query and the cache are unaffected (the cache
+	// derives support sets from the evaluator's proof trees, not the
+	// engine graph).
+	NoProvenance bool
+}
+
+// Session is one served deployment: a cluster, its base-fact ledger,
+// the result cache, and the subscriber fan-out. All methods are safe
+// for concurrent use by many goroutines ("clients"); operations are
+// serialized over the underlying single-threaded simulation.
+type Session struct {
+	mu     sync.Mutex
+	c      *snlog.Cluster
+	prog   *ast.Program
+	opts   Options
+	closed bool
+
+	// edb is the session's base-fact ledger: the live extensional
+	// database at quiescence, keyed by tuple key. Queries evaluate
+	// against it (the reference semantics the differential harness
+	// pins: the deductive closure of the surviving base facts).
+	edb map[string]eval.Tuple
+
+	cache *resultCache
+	cones map[string]*cone
+
+	subs     map[int]*Subscription
+	nextSub  int
+	lastSeen map[string]map[string]eval.Tuple
+
+	// counters (registered on the cluster's registry, so they appear
+	// in Snapshot next to nsim.*/core.*).
+	queries    *obs.Counter
+	hits       *obs.Counter
+	misses     *obs.Counter
+	evictions  *obs.Counter
+	fallbacks  *obs.Counter
+	subDrops   *obs.Counter
+	evalIns   *obs.Counter
+	evalJoins *obs.Counter
+	evalSteps *obs.Counter
+	latency   *obs.Histogram
+}
+
+// Open compiles src onto the topology and wraps the deployment in a
+// serving session. The context bounds Open itself (deployment is
+// synchronous and fast; ctx is checked before and after). Provenance
+// is attached by default so Explain works; see Options.NoProvenance.
+func Open(ctx context.Context, src string, t snlog.Topology, opts Options) (*Session, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	deployOpts := opts.Deploy
+	if !opts.NoProvenance {
+		deployOpts = append(append([]snlog.Option(nil), deployOpts...), snlog.WithProvenance())
+	}
+	c, err := snlog.Deploy(t, src, deployOpts...)
+	if err != nil {
+		return nil, err
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 256
+	}
+	if opts.SubscribeBuffer == 0 {
+		opts.SubscribeBuffer = 64
+	}
+	reg := c.Registry()
+	s := &Session{
+		c:        c,
+		prog:     c.Engine.Analysis().Program,
+		opts:     opts,
+		edb:      make(map[string]eval.Tuple),
+		cones:    make(map[string]*cone),
+		subs:     make(map[int]*Subscription),
+		lastSeen: make(map[string]map[string]eval.Tuple),
+
+		queries:   reg.Counter("serve.queries"),
+		hits:      reg.Counter("serve.cache.hits"),
+		misses:    reg.Counter("serve.cache.misses"),
+		evictions: reg.Counter("serve.cache.evictions"),
+		fallbacks: reg.Counter("serve.fallbacks"),
+		subDrops:  reg.Counter("serve.subs.dropped"),
+		evalIns:   reg.Counter("serve.eval.inserts"),
+		evalJoins: reg.Counter("serve.eval.join_ops"),
+		evalSteps: reg.Counter("serve.eval.cascade_steps"),
+		// Query latency in microseconds: 1µs .. ~4s exponential ladder.
+		latency: reg.Histogram("serve.query_latency", obs.ExpBuckets(1, 2, 22)),
+	}
+	if opts.CacheSize > 0 {
+		s.cache = newResultCache(opts.CacheSize, s.evictions)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Cluster exposes the wrapped deployment (read-mostly: drive mutations
+// through the session so the cache and ledger stay lock-stepped).
+func (s *Session) Cluster() *snlog.Cluster { return s.c }
+
+// Snapshot samples every metric of the deployment plus the serving
+// counters (serve.queries, serve.cache.*, serve.query_latency.*).
+func (s *Session) Snapshot() snlog.Snapshot { return s.c.Snapshot() }
+
+// Close shuts the session: subscriptions are closed, every later
+// operation returns ErrClosed. Idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for id, sub := range s.subs {
+		close(sub.ch)
+		delete(s.subs, id)
+	}
+	return nil
+}
+
+// Inject generates a base fact at a node, now. Validation failures
+// return the typed sentinels (snlog.ErrUnknownPredicate, ...) and
+// leave cluster, ledger and cache untouched.
+func (s *Session) Inject(node int, t eval.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.c.Inject(node, t); err != nil {
+		return err
+	}
+	s.recordInsert(t)
+	return nil
+}
+
+// InjectAt generates a base fact at a node at an absolute virtual
+// time.
+func (s *Session) InjectAt(at int64, node int, t eval.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.c.InjectAt(at, node, t); err != nil {
+		return err
+	}
+	s.recordInsert(t)
+	return nil
+}
+
+// recordInsert updates the ledger and cache for a validated
+// injection. Caller holds s.mu.
+func (s *Session) recordInsert(t eval.Tuple) {
+	t = t.Keyed()
+	s.edb[t.Key()] = t
+	// Lock-step with the store: a new base fact can create answers in
+	// its positive cone and destroy them under negation — evict every
+	// entry whose cone contains the predicate.
+	s.cache.baseInserted(t.Pred)
+}
+
+// DeleteAt deletes a previously injected base fact at its source node
+// at an absolute virtual time. The ledger and cache update
+// immediately (the session's view is the state at quiescence, after
+// the deletion has fired).
+func (s *Session) DeleteAt(at int64, node int, t eval.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.c.DeleteAt(at, node, t); err != nil {
+		return err
+	}
+	t = t.Keyed()
+	delete(s.edb, t.Key())
+	// A deletion can only remove answers in the positive cone — only
+	// entries whose provenance subtree contains the tuple are
+	// touched — but under negation it can create answers, so
+	// negation-tainted cones evict predicate-wide.
+	s.cache.baseDeleted(t.Pred, t.Key())
+	return nil
+}
+
+// Replay schedules the Replay-based repair pass (requires
+// snlog.WithReplayLog) and flushes the whole result cache: repair
+// rebuilds the set-of-derivations store wholesale, so no cached
+// subtree is trustworthy.
+func (s *Session) Replay() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.c.Replay(); err != nil {
+		return err
+	}
+	s.cache.flush()
+	return nil
+}
+
+// Sync runs the cluster to quiescence, delivers pending subscription
+// updates, and returns the virtual end time.
+func (s *Session) Sync(ctx context.Context) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return s.sync(), nil
+}
+
+// Query answers a point query: goal is a literal such as
+// "path(n0, X)". The goal is validated on the shared core.ParseGoal
+// path, the cluster is run to quiescence, and the answer is served
+// from the result cache when the goal's provenance subtree is intact —
+// otherwise the program is magic-set rewritten for the goal and
+// evaluated over the live base facts, deriving only query-relevant
+// tuples. Answers come back in canonical order; the returned slice is
+// the caller's to keep.
+func (s *Session) Query(ctx context.Context, goal string) ([]eval.Tuple, error) {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	lit, err := core.ParseGoal(s.prog, goal)
+	if err != nil {
+		return nil, err
+	}
+	s.sync()
+	s.queries.Inc()
+	key := core.CanonicalGoal(lit)
+	if e := s.cache.get(key); e != nil {
+		s.hits.Inc()
+		s.latency.Observe(time.Since(start).Microseconds())
+		return append([]eval.Tuple(nil), e.answers...), nil
+	}
+	s.misses.Inc()
+	answers, support, err := s.evaluate(lit)
+	if err != nil {
+		return nil, err
+	}
+	cn := s.coneOf(lit.PredKey())
+	s.cache.put(&cacheEntry{
+		key:     key,
+		answers: answers,
+		pos:     cn.pos,
+		neg:     cn.neg,
+		support: support,
+	})
+	s.latency.Observe(time.Since(start).Microseconds())
+	return append([]eval.Tuple(nil), answers...), nil
+}
+
+// Explain answers "why is this tuple derived": the goal must be
+// ground, and the session must have provenance attached (the
+// default). The cluster is run to quiescence first.
+func (s *Session) Explain(ctx context.Context, goal string) (*snlog.ExplainTree, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	lit, err := core.ParseGoal(s.prog, goal)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range lit.Args {
+		if !a.Ground() {
+			return nil, fmt.Errorf("serve: explain %s: goal must be ground: %w", goal, core.ErrNotGround)
+		}
+	}
+	s.sync()
+	return s.c.Explain(lit.Predicate, lit.Args...)
+}
+
+// Subscribe watches a derived predicate ("name/arity"): after every
+// sync (Query, Sync) the subscription's channel carries one Update
+// per derived tuple that appeared or disappeared since the previous
+// sync. The baseline is the state at subscribe time. A subscriber
+// that falls behind its buffer loses updates (counted under
+// serve.subs.dropped); Close the subscription when done.
+func (s *Session) Subscribe(pred string) (*Subscription, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if !s.prog.IsDerived(pred) {
+		if _, ok := knownKey(s.prog, pred); ok {
+			return nil, fmt.Errorf("serve: subscribe %s: %w", pred, core.ErrBasePredicate)
+		}
+		return nil, fmt.Errorf("serve: subscribe %s: %w", pred, core.ErrUnknownPredicate)
+	}
+	// Baseline at the current quiescent state so the subscriber sees
+	// only changes from now on.
+	s.sync()
+	if _, ok := s.lastSeen[pred]; !ok {
+		s.lastSeen[pred] = tuplesByKey(s.c.Results(pred))
+	}
+	id := s.nextSub
+	s.nextSub++
+	sub := &Subscription{
+		s:    s,
+		id:   id,
+		pred: pred,
+		ch:   make(chan Update, s.opts.SubscribeBuffer),
+	}
+	s.subs[id] = sub
+	return sub, nil
+}
+
+// Update is one derived-predicate change delivered to a subscriber.
+type Update struct {
+	// Insert is true when the tuple appeared, false when it was
+	// deleted.
+	Insert bool
+	Tuple  eval.Tuple
+}
+
+// Subscription is a live watch on one derived predicate.
+type Subscription struct {
+	s    *Session
+	id   int
+	pred string
+	ch   chan Update
+}
+
+// C is the update stream. It is closed when the subscription or the
+// session closes.
+func (sub *Subscription) C() <-chan Update { return sub.ch }
+
+// Pred returns the watched predicate key.
+func (sub *Subscription) Pred() string { return sub.pred }
+
+// Close detaches the subscription and closes its channel. Idempotent.
+func (sub *Subscription) Close() {
+	sub.s.mu.Lock()
+	defer sub.s.mu.Unlock()
+	if _, live := sub.s.subs[sub.id]; live {
+		delete(sub.s.subs, sub.id)
+		close(sub.ch)
+	}
+}
+
+// sync runs the simulation to quiescence and fans out derived-state
+// diffs to subscribers. Caller holds s.mu.
+func (s *Session) sync() int64 {
+	end := s.c.Run()
+	if len(s.lastSeen) == 0 {
+		return end
+	}
+	for pred, prev := range s.lastSeen {
+		cur := tuplesByKey(s.c.Results(pred))
+		if len(prev) == 0 && len(cur) == 0 {
+			continue
+		}
+		var ups []Update
+		for k, t := range prev {
+			if _, live := cur[k]; !live {
+				ups = append(ups, Update{Insert: false, Tuple: t})
+			}
+		}
+		for k, t := range cur {
+			if _, had := prev[k]; !had {
+				ups = append(ups, Update{Insert: true, Tuple: t})
+			}
+		}
+		if len(ups) == 0 {
+			continue
+		}
+		sort.Slice(ups, func(i, j int) bool {
+			if ups[i].Insert != ups[j].Insert {
+				return !ups[i].Insert // deletions first
+			}
+			return ups[i].Tuple.Key() < ups[j].Tuple.Key()
+		})
+		s.lastSeen[pred] = cur
+		for _, sub := range s.subs {
+			if sub.pred != pred {
+				continue
+			}
+			for _, u := range ups {
+				select {
+				case sub.ch <- u:
+				default:
+					s.subDrops.Inc()
+				}
+			}
+		}
+	}
+	return end
+}
+
+// evaluate answers the goal by magic-set rewriting the program and
+// evaluating the rewritten program over the live base facts with the
+// set-of-derivations maintainer, so each answer's proof tree yields
+// the base-fact support set the cache invalidates on. Falls back to
+// filtering the engine's derived state (predicate-level cache
+// precision) when the rewrite or the maintainer cannot handle the
+// program — aggregates, derivation cycles.
+func (s *Session) evaluate(lit ast.Literal) (answers []eval.Tuple, support map[string]bool, err error) {
+	cn := s.coneOf(lit.PredKey())
+	tr, rewriteErr := magic.Rewrite(s.prog, lit)
+	if rewriteErr != nil {
+		return s.fallback(lit)
+	}
+	// Split fact rules (the magic seed, plus any program facts) out of
+	// the rewritten program: NewMaintainer preloads fact rules into the
+	// database without cascading them through the rule set, so a seed
+	// whose predicate only feeds seed-triggered rules (fully-bound
+	// goals) would never propagate. Inserting them as ordinary base
+	// tuples makes them cascade like any other fact.
+	mprog := ast.NewProgram()
+	for k, v := range tr.Program.Base {
+		mprog.Base[k] = v
+	}
+	for k, v := range tr.Program.Windows {
+		mprog.Windows[k] = v
+	}
+	var seeds []eval.Tuple
+	for _, r := range tr.Program.Rules {
+		if r.IsFact() {
+			seeds = append(seeds, eval.Tuple{Pred: r.Head.PredKey(), Args: r.Head.Args}.Keyed())
+			continue
+		}
+		// Left-linear recursion makes the rewrite emit tautologies such
+		// as m_p_bf(X) :- m_p_bf(X). They are semantic no-ops but give
+		// every magic tuple a self-derivation, which the proof-tree
+		// unfolder (first-derivation, no backtracking) reports as a
+		// cycle — killing support-set precision. Drop them.
+		if isTautology(r) {
+			continue
+		}
+		mprog.AddRule(r)
+	}
+	m, mErr := eval.NewMaintainer(mprog, eval.SetOfDerivations, eval.Options{})
+	if mErr != nil {
+		return s.fallback(lit)
+	}
+	for _, seed := range seeds {
+		if _, insErr := m.Insert(seed); insErr != nil {
+			return s.fallback(lit)
+		}
+	}
+	// Feed the relevant slice of the ledger in deterministic order.
+	keys := make([]string, 0, len(s.edb))
+	for k, t := range s.edb {
+		if cn.pos[t.Pred] || cn.neg[t.Pred] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, insErr := m.Insert(s.edb[k]); insErr != nil {
+			return s.fallback(lit)
+		}
+	}
+	st := m.Stats()
+	s.evalIns.Add(int64(len(keys)))
+	s.evalJoins.Add(st.JoinOps)
+	s.evalSteps.Add(st.CascadeSteps)
+
+	raw := m.DB().Tuples(tr.AnswerPred)
+	answers = make([]eval.Tuple, 0, len(raw))
+	support = make(map[string]bool)
+	for _, a := range raw {
+		answers = append(answers, eval.Tuple{Pred: lit.PredKey(), Args: a.Args}.Keyed())
+		if support == nil {
+			continue
+		}
+		pt, ptErr := m.ProofTree(a)
+		if ptErr != nil {
+			support = nil
+			continue
+		}
+		collectBaseSupport(pt, s.prog, support)
+		if len(support) > maxSupport {
+			support = nil
+		}
+	}
+	return answers, support, nil
+}
+
+// fallback answers the goal from the engine's live derived state —
+// the pre-magic "grep Derived()" path — with predicate-level cache
+// precision (support nil).
+func (s *Session) fallback(lit ast.Literal) ([]eval.Tuple, map[string]bool, error) {
+	s.fallbacks.Inc()
+	return core.MatchGoal(lit, s.c.Results(lit.PredKey())), nil, nil
+}
+
+// collectBaseSupport walks a proof tree and records the keys of every
+// base-fact leaf: leaves whose predicate the original program
+// mentions as extensional. Magic seeds and adorned helper tuples
+// (present only in the rewritten program) are skipped.
+func collectBaseSupport(pt *eval.ProofTree, prog *ast.Program, support map[string]bool) {
+	if len(pt.Children) == 0 {
+		pred := pt.Tuple.Pred
+		if !prog.IsDerived(pred) {
+			if _, ok := knownKey(prog, pred); ok {
+				support[pt.Tuple.Key()] = true
+			}
+		}
+		return
+	}
+	for _, c := range pt.Children {
+		collectBaseSupport(c, prog, support)
+	}
+}
+
+// isTautology reports whether the rule derives a literal from itself
+// verbatim (head and single positive body literal identical).
+func isTautology(r *ast.Rule) bool {
+	if len(r.Body) != 1 || r.HasAggregates() {
+		return false
+	}
+	b := r.Body[0]
+	if b.Negated || b.Builtin || b.PredKey() != r.Head.PredKey() {
+		return false
+	}
+	for i, a := range r.Head.Args {
+		ba := b.Args[i]
+		if a.Kind != ast.KindVar || ba.Kind != ast.KindVar || a.Str != ba.Str {
+			return false
+		}
+	}
+	return true
+}
+
+// knownKey reports whether the original program mentions pred —
+// declared base, derived, or appearing in a rule body.
+func knownKey(prog *ast.Program, pred string) (string, bool) {
+	if prog.Base[pred] || prog.IsDerived(pred) {
+		return pred, true
+	}
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if !l.Builtin && l.PredKey() == pred {
+				return pred, true
+			}
+		}
+	}
+	return pred, false
+}
+
+// tuplesByKey indexes tuples by canonical key.
+func tuplesByKey(ts []eval.Tuple) map[string]eval.Tuple {
+	m := make(map[string]eval.Tuple, len(ts))
+	for _, t := range ts {
+		t = t.Keyed()
+		m[t.Key()] = t
+	}
+	return m
+}

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Server exposes a Session to many concurrent clients over the wire
+// protocol (wire.go): one goroutine per connection decodes requests,
+// the session serializes the actual work, and subscription pumps push
+// updates. cmd/snlogd is the standalone daemon wrapper.
+type Server struct {
+	s  *Session
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+
+	nextSub atomic.Int64
+}
+
+// NewServer starts serving the session on the listener. The returned
+// server owns the listener; Close stops accepting, drops every
+// connection and waits for the handlers (the session itself stays
+// open — the caller owns it).
+func NewServer(s *Session, ln net.Listener) *Server {
+	srv := &Server{s: s, ln: ln, conns: make(map[net.Conn]bool)}
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return srv
+}
+
+// Addr returns the listen address.
+func (srv *Server) Addr() net.Addr { return srv.ln.Addr() }
+
+// Close stops the server and waits for every connection handler.
+func (srv *Server) Close() error {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		srv.wg.Wait()
+		return nil
+	}
+	srv.closed = true
+	for c := range srv.conns {
+		c.Close()
+	}
+	srv.mu.Unlock()
+	err := srv.ln.Close()
+	srv.wg.Wait()
+	return err
+}
+
+func (srv *Server) acceptLoop() {
+	defer srv.wg.Done()
+	for {
+		conn, err := srv.ln.Accept()
+		if err != nil {
+			return
+		}
+		srv.mu.Lock()
+		if srv.closed {
+			srv.mu.Unlock()
+			conn.Close()
+			return
+		}
+		srv.conns[conn] = true
+		srv.wg.Add(1)
+		srv.mu.Unlock()
+		go srv.handle(conn)
+	}
+}
+
+// connState is the per-connection handler state: an encoder guarded by
+// a write lock (request responses and subscription pumps interleave)
+// and the connection's live subscriptions.
+type connState struct {
+	srv  *Server
+	conn net.Conn
+
+	wmu sync.Mutex
+	enc *json.Encoder
+
+	smu  sync.Mutex
+	subs map[int64]*Subscription
+	wg   sync.WaitGroup
+}
+
+func (cs *connState) send(r *Response) error {
+	cs.wmu.Lock()
+	defer cs.wmu.Unlock()
+	return cs.enc.Encode(r)
+}
+
+func (srv *Server) handle(conn net.Conn) {
+	defer srv.wg.Done()
+	cs := &connState{
+		srv:  srv,
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		subs: make(map[int64]*Subscription),
+	}
+	defer func() {
+		cs.smu.Lock()
+		for _, sub := range cs.subs {
+			sub.Close()
+		}
+		cs.subs = nil
+		cs.smu.Unlock()
+		cs.wg.Wait()
+		conn.Close()
+		srv.mu.Lock()
+		delete(srv.conns, conn)
+		srv.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			cs.send(&Response{OK: false, Error: fmt.Sprintf("bad request: %v", err), Code: CodeBadRequest})
+			continue
+		}
+		resp := cs.dispatch(&req)
+		resp.ID = req.ID
+		if err := cs.send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (cs *connState) dispatch(req *Request) *Response {
+	s := cs.srv.s
+	ctx := context.Background()
+	switch req.Op {
+	case "ping":
+		return &Response{OK: true}
+	case "query":
+		tuples, err := s.Query(ctx, req.Arg)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, Tuples: formatTuples(tuples)}
+	case "inject", "inject_at", "delete_at":
+		t, err := ParseFact(req.Arg)
+		if err != nil {
+			return errResponse(err)
+		}
+		switch req.Op {
+		case "inject":
+			err = s.Inject(req.Node, t)
+		case "inject_at":
+			err = s.InjectAt(req.At, req.Node, t)
+		default:
+			err = s.DeleteAt(req.At, req.Node, t)
+		}
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true}
+	case "sync":
+		end, err := s.Sync(ctx)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, Time: end}
+	case "explain":
+		tree, err := s.Explain(ctx, req.Arg)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, Explain: tree.String()}
+	case "subscribe":
+		sub, err := s.Subscribe(req.Arg)
+		if err != nil {
+			return errResponse(err)
+		}
+		id := cs.srv.nextSub.Add(1)
+		cs.smu.Lock()
+		if cs.subs == nil { // connection tearing down
+			cs.smu.Unlock()
+			sub.Close()
+			return errResponse(ErrClosed)
+		}
+		cs.subs[id] = sub
+		cs.wg.Add(1)
+		cs.smu.Unlock()
+		go cs.pump(id, sub)
+		return &Response{OK: true, Sub: id}
+	case "unsubscribe":
+		cs.smu.Lock()
+		sub := cs.subs[req.Sub]
+		delete(cs.subs, req.Sub)
+		cs.smu.Unlock()
+		if sub == nil {
+			return &Response{OK: false, Error: fmt.Sprintf("unknown subscription %d", req.Sub), Code: CodeBadRequest}
+		}
+		sub.Close()
+		return &Response{OK: true}
+	case "stats":
+		snap := s.Snapshot()
+		return &Response{OK: true, Stats: snap.Counters}
+	default:
+		return &Response{OK: false, Error: fmt.Sprintf("unknown op %q", req.Op), Code: CodeBadRequest}
+	}
+}
+
+// pump forwards one subscription's updates to the connection.
+func (cs *connState) pump(id int64, sub *Subscription) {
+	defer cs.wg.Done()
+	for u := range sub.C() {
+		r := &Response{OK: true, Event: &Event{Sub: id, Insert: u.Insert, Tuple: u.Tuple.String()}}
+		if cs.send(r) != nil {
+			sub.Close()
+			return
+		}
+	}
+}
+
+func errResponse(err error) *Response {
+	return &Response{OK: false, Error: err.Error(), Code: ErrorCode(err)}
+}

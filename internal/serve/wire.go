@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datalog/ast"
+	"repro/internal/datalog/eval"
+	"repro/internal/datalog/parser"
+)
+
+// Wire protocol of snlogd: newline-delimited JSON over a stream
+// transport. A client sends Requests (each with a client-chosen
+// non-zero id) and receives Responses carrying the same id, in any
+// order. Subscription updates are pushed as Responses with id 0 and a
+// non-nil Event. Facts and goals travel in source syntax ("link(a, b)",
+// "reach(a, X)") — the same strings the REPL accepts — and answers come
+// back the same way.
+
+// Request is one client operation.
+type Request struct {
+	ID int64 `json:"id"`
+	// Op is one of: query, inject, inject_at, delete_at, sync,
+	// explain, subscribe, unsubscribe, stats, ping.
+	Op string `json:"op"`
+	// Arg carries the goal (query, explain), the fact (inject*,
+	// delete_at), or the predicate key (subscribe).
+	Arg  string `json:"arg,omitempty"`
+	Node int    `json:"node,omitempty"`
+	At   int64  `json:"at,omitempty"`
+	// Sub names the subscription to drop (unsubscribe).
+	Sub int64 `json:"sub,omitempty"`
+}
+
+// Response answers one Request (ID echoes the request) or pushes a
+// subscription update (ID 0, Event set).
+type Response struct {
+	ID    int64  `json:"id"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code is the machine-readable error class (see ErrorCode); clients
+	// reconstruct the typed sentinel from it instead of grepping
+	// messages.
+	Code    string           `json:"code,omitempty"`
+	Tuples  []string         `json:"tuples,omitempty"`
+	Explain string           `json:"explain,omitempty"`
+	Sub     int64            `json:"sub,omitempty"`
+	Time    int64            `json:"time,omitempty"`
+	Stats   map[string]int64 `json:"stats,omitempty"`
+	Event   *Event           `json:"event,omitempty"`
+}
+
+// Event is one pushed subscription update.
+type Event struct {
+	Sub    int64  `json:"sub"`
+	Insert bool   `json:"insert"`
+	Tuple  string `json:"tuple"`
+}
+
+// Error codes carried in Response.Code, one per validation sentinel.
+const (
+	CodeBadGoal          = "bad_goal"
+	CodeBasePredicate    = "base_predicate"
+	CodeArity            = "arity"
+	CodeUnknownPredicate = "unknown_predicate"
+	CodeDerivedPredicate = "derived_predicate"
+	CodeNotGround        = "not_ground"
+	CodeBadNode          = "bad_node"
+	CodeClosed           = "closed"
+	CodeBadRequest       = "bad_request"
+	CodeInternal         = "internal"
+)
+
+var codeToErr = map[string]error{
+	CodeBadGoal:          core.ErrBadGoal,
+	CodeBasePredicate:    core.ErrBasePredicate,
+	CodeArity:            core.ErrArity,
+	CodeUnknownPredicate: core.ErrUnknownPredicate,
+	CodeDerivedPredicate: core.ErrDerivedPredicate,
+	CodeNotGround:        core.ErrNotGround,
+	CodeBadNode:          core.ErrBadNode,
+	CodeClosed:           ErrClosed,
+}
+
+// ErrorCode classifies err for the wire. The mapping is exhaustive over
+// the exported validation sentinels; anything else is internal.
+func ErrorCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, core.ErrBadGoal):
+		return CodeBadGoal
+	case errors.Is(err, core.ErrBasePredicate):
+		return CodeBasePredicate
+	case errors.Is(err, core.ErrArity):
+		return CodeArity
+	case errors.Is(err, core.ErrUnknownPredicate):
+		return CodeUnknownPredicate
+	case errors.Is(err, core.ErrDerivedPredicate):
+		return CodeDerivedPredicate
+	case errors.Is(err, core.ErrNotGround):
+		return CodeNotGround
+	case errors.Is(err, core.ErrBadNode):
+		return CodeBadNode
+	case errors.Is(err, ErrClosed):
+		return CodeClosed
+	default:
+		return CodeInternal
+	}
+}
+
+// CodeError reconstructs a typed error from a wire code and message:
+// the result unwraps (errors.Is) to the matching sentinel, so client
+// and in-process callers dispatch identically.
+func CodeError(code, msg string) error {
+	if msg == "" {
+		msg = code
+	}
+	if kind, ok := codeToErr[code]; ok {
+		return fmt.Errorf("%s: %w", msg, kind)
+	}
+	return errors.New(msg)
+}
+
+// ParseFact parses a ground fact in source syntax ("link(a, b)",
+// trailing dot optional) into a tuple — the inject/delete wire format,
+// shared with the REPL.
+func ParseFact(src string) (eval.Tuple, error) {
+	src = strings.TrimSpace(src)
+	if !strings.HasSuffix(src, ".") {
+		src += "."
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return eval.Tuple{}, fmt.Errorf("serve: fact %q: %w", src, core.ErrBadGoal)
+	}
+	if len(prog.Rules) != 1 || !prog.Rules[0].IsFact() {
+		return eval.Tuple{}, fmt.Errorf("serve: not a ground fact: %s: %w", src, core.ErrNotGround)
+	}
+	h := prog.Rules[0].Head
+	args := make([]ast.Term, len(h.Args))
+	copy(args, h.Args)
+	return eval.Tuple{Pred: h.PredKey(), Args: args}.Keyed(), nil
+}
+
+// formatTuples renders tuples in source syntax for the wire.
+func formatTuples(ts []eval.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.String()
+	}
+	return out
+}

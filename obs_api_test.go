@@ -28,13 +28,12 @@ func injectPairs(t *testing.T, c *Cluster, k int) {
 }
 
 // TestTraceEquivalenceE1 pins three equivalences on the E1-style
-// two-stream join: (1) the new Deploy/options API reproduces the
-// legacy DeployGrid run exactly, with observability and tracing
-// enabled; (2) Stats — now a view over Snapshot — equals the
+// two-stream join: (1) attaching the trace ring buffer does not
+// perturb the run; (2) Stats — now a view over Snapshot — equals the
 // simulator/engine fields it used to scrape; (3) the trace's
 // aggregated counts equal the registry counters.
 func TestTraceEquivalenceE1(t *testing.T) {
-	legacy, err := DeployGrid(6, joinSrcAPI, Options{Seed: 42})
+	legacy, err := Deploy(Grid(6), joinSrcAPI, WithSeed(42))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -509,6 +509,47 @@ func (c *Cluster) FaultCounts() FaultCounts {
 // Results returns the live derived tuples of a predicate ("name/arity").
 func (c *Cluster) Results(pred string) []Tuple { return c.Engine.Derived(pred) }
 
+// Validation sentinels: every validation failure from Inject, InjectAt,
+// DeleteAt and Query wraps exactly one of these, matchable with
+// errors.Is (the messages are unchanged). ErrBadNode: node ID out of
+// range. ErrNotGround: tuple carries a variable. ErrDerivedPredicate:
+// injecting a derived predicate. ErrUnknownPredicate: predicate the
+// program never mentions. ErrArity: right name, wrong arity.
+// ErrBasePredicate: querying a base predicate. ErrBadGoal: goal text
+// that is not a single positive literal.
+var (
+	ErrBadNode          = core.ErrBadNode
+	ErrNotGround        = core.ErrNotGround
+	ErrDerivedPredicate = core.ErrDerivedPredicate
+	ErrUnknownPredicate = core.ErrUnknownPredicate
+	ErrArity            = core.ErrArity
+	ErrBasePredicate    = core.ErrBasePredicate
+	ErrBadGoal          = core.ErrBadGoal
+)
+
+// Query answers a point query against the cluster's live derived
+// state: goal is a literal such as "path(n0, X)" — ground arguments
+// must match exactly, variables bind (a repeated variable must match
+// equal arguments). The goal is parsed and validated on the shared
+// path the serving layer uses, returning the typed validation errors
+// above; matching tuples come back in canonical order. Run the
+// cluster to quiescence first — Query reads, it does not advance
+// virtual time.
+func (c *Cluster) Query(goal string) ([]Tuple, error) {
+	lit, err := core.ParseGoal(c.Engine.Analysis().Program, goal)
+	if err != nil {
+		return nil, err
+	}
+	return core.MatchGoal(lit, c.Engine.Derived(lit.PredKey())), nil
+}
+
+// Registry exposes the cluster's live counter registry so embedding
+// layers (the query-serving sessions of internal/serve, custom
+// harnesses) can register their own counters and histograms next to
+// the built-in ones; they then appear in Snapshot like any other
+// metric. Most applications only need Snapshot.
+func (c *Cluster) Registry() *obs.Registry { return c.reg }
+
 // Explain returns the derivation DAG of a derived tuple down to base
 // facts — which rule instantiations support it, produced where, from
 // which body tuples, settled when. Requires WithProvenance; a tuple

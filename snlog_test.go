@@ -1,6 +1,7 @@
 package snlog
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -59,11 +60,11 @@ anc(X, Z) :- par(X, Y), anc(Y, Z).
 }
 
 func TestDeployGridAlert(t *testing.T) {
-	c, err := DeployGrid(6, `
+	c, err := Deploy(Grid(6), `
 .base temp/2.
 alert(N, T) :- temp(N, T), T > 90.
 .query alert/2.
-`, Options{Seed: 1})
+`, WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ alert(N, T) :- temp(N, T), T > 90.
 }
 
 func TestDeployRandomTopology(t *testing.T) {
-	c, err := DeployRandom(40, 8, 2.6, `
+	c, err := Deploy(Random(40, 8, 2.6), `
 .base ra/2.
 .base rb/2.
 out(X, Z) :- ra(X, Y), rb(Y, Z).
-`, Options{Seed: 7})
+`, WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,10 +99,10 @@ out(X, Z) :- ra(X, Y), rb(Y, Z).
 }
 
 func TestDeployDeletion(t *testing.T) {
-	c, err := DeployGrid(5, `
+	c, err := Deploy(Grid(5), `
 .base s/1.
 d(X) :- s(X).
-`, Options{Seed: 3})
+`, WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ jp(Y, D1) :- j(Y, Dp), D1 = D + 1, D1 > Dp, j(X, D), g(X, Y).
 j(Y, D1) :- g(X, Y), j(X, D), D1 = D + 1, NOT jp(Y, D1).
 .query j/2.
 `
-	c, err := DeployGrid(m, src, Options{Seed: 5})
+	c, err := Deploy(Grid(m), src, WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,11 +153,11 @@ j(Y, D1) :- g(X, Y), j(X, D), D1 = D + 1, NOT jp(Y, D1).
 }
 
 func TestStatsByKind(t *testing.T) {
-	c, err := DeployGrid(5, `
+	c, err := Deploy(Grid(5), `
 .base ra/2.
 .base rb/2.
 out(X, Z) :- ra(X, Y), rb(Y, Z).
-`, Options{Seed: 9})
+`, WithSeed(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,10 +180,10 @@ func TestGridIDHelper(t *testing.T) {
 }
 
 func TestRunUntilPartialProgress(t *testing.T) {
-	c, err := DeployGrid(5, `
+	c, err := Deploy(Grid(5), `
 .base s/1.
 d(X) :- s(X).
-`, Options{Seed: 11})
+`, WithSeed(11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,21 +197,6 @@ d(X) :- s(X).
 	if len(c.Results("d/1")) != 1 {
 		t.Error("not derived after full run")
 	}
-}
-
-func ExampleDeployGrid() {
-	cluster, _ := DeployGrid(6, `
-.base temp/2.
-alert(N, T) :- temp(N, T), T > 90.
-.query alert/2.
-`, Options{Seed: 1})
-	cluster.Inject(12, NewTuple("temp", Sym("n12"), Int(95)))
-	cluster.Run()
-	for _, a := range cluster.Results("alert/2") {
-		fmt.Println(a)
-	}
-	// Output:
-	// alert(n12, 95)
 }
 
 func TestMaintainerFacade(t *testing.T) {
@@ -252,21 +238,21 @@ func TestFacadeErrorPaths(t *testing.T) {
 	if _, _, err := MagicRewrite(`anc(X,Y) :- par(X,Y).`, "par(a, X)"); err == nil {
 		t.Error("MagicRewrite should reject base-predicate queries")
 	}
-	if _, err := DeployGrid(4, `p(`, Options{}); err != nil {
+	if _, err := Deploy(Grid(4), `p(`); err != nil {
 		_ = err
 	} else {
-		t.Error("DeployGrid should surface parse errors")
+		t.Error("Deploy should surface parse errors")
 	}
-	if _, err := DeployRandom(20, 100, 0.1, `d(X) :- s(X).`, Options{}); err == nil {
-		t.Error("DeployRandom should surface disconnected placements")
+	if _, err := Deploy(Random(20, 100, 0.1), `d(X) :- s(X).`); err == nil {
+		t.Error("Deploy should surface disconnected placements")
 	}
 }
 
 func TestClusterAggregateFacade(t *testing.T) {
-	c, err := DeployGrid(5, `
+	c, err := Deploy(Grid(5), `
 .base reading/2.
 coldest(min<T>) :- reading(N, T).
-`, Options{Seed: 21})
+`, WithSeed(21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,12 +273,12 @@ coldest(min<T>) :- reading(N, T).
 }
 
 func TestDeployWithProvenance(t *testing.T) {
-	c, err := DeployGrid(5, `
+	c, err := Deploy(Grid(5), `
 .base ra/2.
 .base rb/2.
 out(X, Z) :- ra(X, Y), rb(Y, Z).
 .query out/2.
-`, Options{Seed: 7, Provenance: true})
+`, WithSeed(7), WithProvenance())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,16 +332,65 @@ out(X, Z) :- ra(X, Y), rb(Y, Z).
 }
 
 func TestExplainWithoutProvenanceErrors(t *testing.T) {
-	c, err := DeployGrid(4, `
+	c, err := Deploy(Grid(4), `
 .base a/2.
 d(X, Y) :- a(X, Y).
 .query d/2.
-`, Options{Seed: 1})
+`, WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	c.Run()
 	if _, err := c.Explain("d", Int(1), Int(2)); err == nil {
 		t.Fatal("Explain without WithProvenance should error")
+	}
+}
+
+// Cluster.Query and the re-exported validation sentinels: goals are
+// validated on the same core.ParseGoal path the serving layer uses, so
+// errors match with errors.Is at the facade too.
+func TestClusterQueryFacade(t *testing.T) {
+	c, err := Deploy(Grid(4), `
+.base edge/2.
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+.query path/2.
+`, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Inject(0, NewTuple("edge", Sym("a"), Sym("b")))
+	c.Inject(1, NewTuple("edge", Sym("b"), Sym("c")))
+	c.Run()
+	got, err := c.Query("path(a, X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("path(a, X) = %v", got)
+	}
+	if got, err := c.Query("path(a, c)"); err != nil || len(got) != 1 {
+		t.Errorf("ground query = %v, %v", got, err)
+	}
+	cases := []struct {
+		goal string
+		want error
+	}{
+		{"edge(a, X)", ErrBasePredicate},
+		{"path(X)", ErrArity},
+		{"ghost(X)", ErrUnknownPredicate},
+		{"path(X", ErrBadGoal},
+	}
+	for _, tc := range cases {
+		if _, err := c.Query(tc.goal); !errors.Is(err, tc.want) {
+			t.Errorf("Query(%q) = %v, want errors.Is(%v)", tc.goal, err, tc.want)
+		}
+	}
+	// Injection sentinels at the facade.
+	if err := c.Inject(0, NewTuple("path", Sym("a"), Sym("b"))); !errors.Is(err, ErrDerivedPredicate) {
+		t.Errorf("Inject derived = %v", err)
+	}
+	if err := c.Inject(99, NewTuple("edge", Sym("a"), Sym("b"))); !errors.Is(err, ErrBadNode) {
+		t.Errorf("Inject bad node = %v", err)
 	}
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-shards bench bench-shards-smoke joinbench bench-sim bench-serve bench-check serve-smoke deploy-gate obs-guard fuzz-smoke profile trace-e1 verify
+.PHONY: all build test vet race race-shards bench bench-shards-smoke joinbench bench-sim bench-serve bench-serve-smoke bench-check serve-smoke deploy-gate obs-guard fuzz-smoke profile trace-e1 verify
 
 all: verify
 
@@ -64,6 +64,13 @@ bench-check: bench-sim bench-serve
 	$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json -candidate BENCH_sim.json \
 		-serve-baseline BENCH_serve_baseline.json -serve-candidate BENCH_serve.json
 
+# Seconds-sized E16 variant: every serving-bench phase — cold, hot,
+# concurrent readers, churn, churn-batched — at CI scale, asserting the
+# structural properties (zero fallbacks, real coalescing, stale serves)
+# rather than wall-clock rates.
+bench-serve-smoke:
+	$(GO) test -run 'TestServeBenchSmoke' -count=1 -v ./internal/experiments/servebench/
+
 # End-to-end smoke of the serving stack: snlogd's exact wire surface —
 # open, query, cache hit, inject, delete, explain, subscribe, stats —
 # over a real TCP connection.
@@ -88,12 +95,14 @@ deploy-gate:
 obs-guard:
 	$(GO) test -run 'TestObsDisabledOverheadE1|TestProvDisabledOverheadE1' -v ./internal/experiments/
 
-# A short coverage-guided fuzz pass over the Datalog front-end: Parse
-# must never panic, and everything it accepts must pretty-print to
-# re-parseable source and survive semantic analysis. The 5s budget is
-# a smoke test; run with a longer -fuzztime to actually hunt.
+# Short coverage-guided fuzz passes: the Datalog front-end (Parse must
+# never panic, accepted programs round-trip) and the serve wire codec
+# (newline-delimited JSON requests/responses, error codes and facts
+# round-trip; no input wedges the decoder). The 5s budgets are smoke
+# tests; run with a longer -fuzztime to actually hunt.
 fuzz-smoke:
 	$(GO) test ./internal/datalog/parser -run '^$$' -fuzz FuzzParse -fuzztime 5s
+	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzWire -fuzztime 5s
 
 # CPU + heap profiles of the two headline hot loops (the E1 join
 # pipeline and the E13 batched-link simulator). Inspect with
@@ -111,4 +120,4 @@ profile:
 trace-e1:
 	$(GO) run ./cmd/snbench -trace trace_e1.jsonl
 
-verify: build test vet race race-shards bench-shards-smoke serve-smoke deploy-gate obs-guard fuzz-smoke bench-check
+verify: build test vet race race-shards bench-shards-smoke bench-serve-smoke serve-smoke deploy-gate obs-guard fuzz-smoke bench-check

@@ -36,6 +36,16 @@
 //     upper bounds, so the quantile moves in 2x jumps; gated
 //     increase-only with enough headroom for one bucket jump plus
 //     scheduling noise.
+//   - churn_batched_qps: the coalesced-write churn rate, regression-only
+//     like the other rates.
+//   - readers rows (matched by reader count): concurrent-reader hot-goal
+//     qps, regression-only — the single-reader row doubles as the "no
+//     worse than the serial path" gate.
+//   - churn_batched_syncs / mean_batch_size: deterministic coalescing
+//     quality — more syncs or smaller batches than the baseline means
+//     write batching is coalescing less. Warn-only: the numbers shift
+//     legitimately when the phase shape changes, and the qps gates catch
+//     any real throughput damage.
 //
 // Usage:
 //
@@ -76,11 +86,21 @@ type shardRow struct {
 // JSON, with the same pointer-field warn-on-absent contract as
 // simBench.
 type serveBench struct {
-	Queries   *int64   `json:"queries"`
-	HotQPS    *float64 `json:"hot_qps"`
-	ChurnQPS  *float64 `json:"churn_qps"`
-	Fallbacks *int64   `json:"fallbacks"`
-	P99Us     *int64   `json:"query_latency_p99_us"`
+	Queries           *int64           `json:"queries"`
+	HotQPS            *float64         `json:"hot_qps"`
+	ChurnQPS          *float64         `json:"churn_qps"`
+	ChurnBatchedQPS   *float64         `json:"churn_batched_qps"`
+	ChurnBatchedSyncs *int64           `json:"churn_batched_syncs"`
+	MeanBatchSize     *float64         `json:"mean_batch_size"`
+	Readers           []serveReaderRow `json:"readers"`
+	Fallbacks         *int64           `json:"fallbacks"`
+	P99Us             *int64           `json:"query_latency_p99_us"`
+}
+
+// serveReaderRow mirrors one concurrent-readers measurement.
+type serveReaderRow struct {
+	Readers *int     `json:"readers"`
+	QPS     *float64 `json:"qps"`
 }
 
 func load(path string) (*simBench, error) {
@@ -275,6 +295,54 @@ func main() {
 		}
 		qps("serve hot qps", sbase.HotQPS, scand.HotQPS)
 		qps("serve churn qps", sbase.ChurnQPS, scand.ChurnQPS)
+		qps("serve churn-batched qps", sbase.ChurnBatchedQPS, scand.ChurnBatchedQPS)
+
+		// Concurrent-reader rows, matched by reader count. Rates, so
+		// regression-only like the other qps gates.
+		candReaders := make(map[int]serveReaderRow)
+		for _, r := range scand.Readers {
+			if r.Readers != nil {
+				candReaders[*r.Readers] = r
+			}
+		}
+		if len(sbase.Readers) == 0 {
+			fmt.Printf("warn  serve readers: absent from baseline %s — refresh it to gate the concurrent read path\n", *serveBaseline)
+		} else {
+			for _, br := range sbase.Readers {
+				if br.Readers == nil {
+					continue
+				}
+				n := *br.Readers
+				cr, ok := candReaders[n]
+				if !ok {
+					fail("serve readers[%d]: present in baseline but missing from candidate %s", n, *serveCandidate)
+					continue
+				}
+				qps(fmt.Sprintf("serve readers=%d qps", n), br.QPS, cr.QPS)
+			}
+		}
+
+		// Coalescing quality: deterministic counts, but phase-shape
+		// changes move them legitimately, so these warn instead of
+		// failing — the qps gates above are the hard floor.
+		if sbase.ChurnBatchedSyncs != nil && scand.ChurnBatchedSyncs != nil {
+			if *scand.ChurnBatchedSyncs > *sbase.ChurnBatchedSyncs {
+				fmt.Printf("warn  serve churn-batched syncs: %d, baseline %d — write batching coalesces less than it used to\n",
+					*scand.ChurnBatchedSyncs, *sbase.ChurnBatchedSyncs)
+			} else {
+				fmt.Printf("ok    serve churn-batched syncs: %d vs baseline %d\n",
+					*scand.ChurnBatchedSyncs, *sbase.ChurnBatchedSyncs)
+			}
+		}
+		if sbase.MeanBatchSize != nil && scand.MeanBatchSize != nil {
+			if *scand.MeanBatchSize < *sbase.MeanBatchSize {
+				fmt.Printf("warn  serve mean batch size: %.1f, baseline %.1f — batches shrank; syncs per write are up\n",
+					*scand.MeanBatchSize, *sbase.MeanBatchSize)
+			} else {
+				fmt.Printf("ok    serve mean batch size: %.1f vs baseline %.1f\n",
+					*scand.MeanBatchSize, *sbase.MeanBatchSize)
+			}
+		}
 
 		if !missing("serve fallbacks", sbase.Fallbacks != nil, scand.Fallbacks != nil) {
 			if *scand.Fallbacks > *sbase.Fallbacks {

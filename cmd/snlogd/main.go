@@ -33,9 +33,13 @@ func main() {
 	grid := flag.Int("grid", 4, "deploy on an m x m grid")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	cache := flag.Int("cache", 0, "result cache entries (0 = default 256, negative = disabled)")
+	cacheShards := flag.Int("cache-shards", 0, "result cache shards (0 = default 8, rounded up to a power of two)")
 	loss := flag.Float64("loss", 0, "radio loss rate [0, 1)")
 	shards := flag.Int("shards", 0, "parallel scheduler shards (0 = single-threaded)")
 	noProv := flag.Bool("no-provenance", false, "skip provenance capture (explain disabled)")
+	batch := flag.Int("batch", 0, "write batch size: the Nth buffered write flushes (0 = default 64, 1 = apply immediately)")
+	batchDelay := flag.Duration("batch-delay", 0, "write batch deadline (0 = default 2ms, negative = size/freshness flushes only)")
+	stale := flag.Int64("stale", 0, "default staleness bound for queries that don't set one: max unapplied writes a served answer may omit (0 = always fresh, negative = unbounded)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: snlogd [flags] program.snl")
@@ -56,6 +60,9 @@ func main() {
 	s, err := serve.Open(context.Background(), string(src), snlog.Grid(*grid), serve.Options{
 		Deploy:       deploy,
 		CacheSize:    *cache,
+		CacheShards:  *cacheShards,
+		BatchSize:    *batch,
+		BatchDelay:   *batchDelay,
 		NoProvenance: *noProv,
 	})
 	if err != nil {
@@ -67,7 +74,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := serve.NewServer(s, ln)
+	srv := serve.NewServer(s, ln, serve.WithDefaultMaxLag(*stale))
 	fmt.Printf("snlogd: serving %s on %s (%d nodes)\n", flag.Arg(0), srv.Addr(), s.Cluster().Size())
 
 	sig := make(chan os.Signal, 1)

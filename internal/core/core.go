@@ -594,6 +594,16 @@ func (e *Engine) validateInject(node nsim.NodeID, t eval.Tuple) error {
 	return nil
 }
 
+// Validate runs injection validation without scheduling anything: the
+// same checks, sentinels and messages Inject/InjectAt/InjectDeleteAt
+// apply. The serving layer's write batching validates at enqueue time
+// so a deferred apply can never fail; the checks depend only on the
+// immutable program and topology, so a tuple that validates now still
+// validates when the batch is applied.
+func (e *Engine) Validate(node nsim.NodeID, t eval.Tuple) error {
+	return e.validateInject(node, t)
+}
+
 // Inject generates base tuple t at the given node (scheduled
 // immediately). Returns an error — without scheduling anything — if
 // the injection fails validation (see validateInject).

@@ -6,6 +6,7 @@ package parser
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -307,18 +308,20 @@ func (lx *lexer) lexString(line int) (token, error) {
 			lx.advance()
 			return token{kind: tokString, text: b.String(), line: line}, nil
 		case '\\':
-			lx.advance()
-			esc := lx.advance()
-			switch esc {
-			case 'n':
-				b.WriteByte('\n')
-			case 't':
-				b.WriteByte('\t')
-			case '\\', '"':
-				b.WriteRune(esc)
-			default:
-				return token{}, fmt.Errorf("line %d: bad escape \\%c", line, esc)
+			// Accept the full Go escape set (\n, \t, \xNN, \uNNNN,
+			// octal, ...), not a hand-picked subset: printed programs
+			// render string literals with strconv.Quote, which emits
+			// \xNN for control bytes, and an accepted program must
+			// re-parse byte-identically. Every escape sequence is pure
+			// ASCII, so the byte count UnquoteChar reports equals the
+			// rune count to advance.
+			rest := string(lx.src[lx.pos:])
+			esc, _, tail, err := strconv.UnquoteChar(rest, '"')
+			if err != nil {
+				return token{}, fmt.Errorf("line %d: bad escape %q", line, rest[:min(len(rest), 2)])
 			}
+			lx.pos += len(rest) - len(tail)
+			b.WriteRune(esc)
 		default:
 			b.WriteRune(lx.advance())
 		}

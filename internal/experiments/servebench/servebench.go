@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	snlog "repro"
@@ -16,12 +17,15 @@ import (
 
 // Result is the query-serving benchmark snbench emits as
 // BENCH_serve.json (DESIGN.md §14, experiment E16): sustained
-// queries/sec through a serve.Session in three regimes — cold (every
+// queries/sec through a serve.Session in five regimes — cold (every
 // goal distinct, full magic-set evaluation), hot (one goal repeated,
-// served from the provenance-keyed cache) and churn (queries
-// interleaved with injections and deletions that keep invalidating
-// entries). Latency quantiles come from the serve.query_latency
-// histogram in microseconds.
+// served from the provenance-keyed cache), concurrent readers (the
+// hot goal hammered by N goroutines through the shared read phase),
+// churn (queries interleaved with injections and deletions, one sync
+// per write — the PR-8 write path) and churn-batched (the same write
+// pressure with coalesced batch syncs and bounded-stale queries).
+// Latency quantiles come from the serve.query_latency histogram in
+// microseconds.
 type Result struct {
 	Nodes   int   `json:"nodes"`
 	GridM   int   `json:"grid_m"`
@@ -30,6 +34,23 @@ type Result struct {
 	ColdQPS  float64 `json:"cold_qps"`
 	HotQPS   float64 `json:"hot_qps"`
 	ChurnQPS float64 `json:"churn_qps"`
+
+	// Hot-goal throughput under concurrent reader goroutines: the
+	// read/write-phase session serves these in parallel, so qps should
+	// scale with readers on a multi-core box (single-reader row ~=
+	// HotQPS).
+	Readers []ReaderRow `json:"readers"`
+
+	// Churn with write batching: same insert pressure as the churn
+	// phase but writes coalesce into size-triggered batches and
+	// queries tolerate bounded staleness, so the sync count collapses
+	// from one-per-write to one-per-batch and exact repeats of an
+	// earlier insert in the same batch are elided before apply.
+	ChurnBatchedQPS    float64 `json:"churn_batched_qps"`
+	ChurnBatchedSyncs  int64   `json:"churn_batched_syncs"`
+	ChurnBatchedElided int64   `json:"churn_batched_elided"`
+	MeanBatchSize      float64 `json:"mean_batch_size"`
+	StaleServed        int64   `json:"stale_served"`
 
 	// Cache behaviour over the whole run; the hot phase alone pins the
 	// hit path, churn pins invalidation.
@@ -47,6 +68,12 @@ type Result struct {
 	GoMaxProcs int `json:"gomaxprocs"`
 }
 
+// ReaderRow is one concurrent-readers measurement.
+type ReaderRow struct {
+	Readers int     `json:"readers"`
+	QPS     float64 `json:"qps"`
+}
+
 // benchSrc is an acyclic chain-reachability program: recursive
 // enough to exercise the magic rewrite and proof-tree support sets,
 // acyclic so the set-of-derivations store stays locally non-recursive
@@ -58,19 +85,64 @@ reach(X, Z) :- reach(X, Y), link(Y, Z).
 .query reach/2.
 `
 
-// Run measures the serving layer. reps scales the per-phase
-// operation counts (reps>=1); the workload is deterministic, so Queries
-// is stable across machines while the rates move with the hardware.
+// config scales the benchmark phases; Run uses the full E16 shape,
+// the bench-serve-smoke CI target a seconds-sized one.
+type config struct {
+	gridM      int
+	chain      int
+	coldN      int
+	hotN       int
+	churnN     int
+	batchN     int   // churn-batched writes (and queries)
+	batchSize  int   // coalescing width for the churn-batched phase
+	staleLag   int64 // staleness budget for churn-batched queries
+	writeFan   int   // distinct source nodes the batched writes rotate over (0 = all)
+	readerRows []int
+	perReaderN int
+}
+
+// Run measures the serving layer. reps scales the per-phase operation
+// counts (reps>=1); the workload is deterministic, so Queries is
+// stable across machines while the rates move with the hardware.
 func Run(reps int) (*Result, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	const (
-		gridM = 6
-		chain = 24 // link(s0,s1), ..., link(s23,s24)
-	)
+	return run(config{
+		gridM:      6,
+		chain:      24, // link(s0,s1), ..., link(s23,s24)
+		coldN:      40 * reps,
+		hotN:       2000 * reps,
+		churnN:     200 * reps,
+		batchN:     200 * reps,
+		batchSize:  128,
+		staleLag:   512,
+		readerRows: []int{1, 2, 4},
+		perReaderN: 1000 * reps,
+	})
+}
+
+// RunSmoke is the CI-sized variant behind `make bench-serve-smoke`:
+// every phase runs, nothing runs long.
+func RunSmoke() (*Result, error) {
+	return run(config{
+		gridM:      4,
+		chain:      8,
+		coldN:      8,
+		hotN:       100,
+		churnN:     10,
+		batchN:     40,
+		batchSize:  8,
+		staleLag:   16,
+		writeFan:   4, // batches of 8 repeat each source node twice → elision is pinned
+		readerRows: []int{1, 2},
+		perReaderN: 50,
+	})
+}
+
+func run(cfg config) (*Result, error) {
 	ctx := context.Background()
-	s, err := serve.Open(ctx, benchSrc, snlog.Grid(gridM), serve.Options{
+	s, err := serve.Open(ctx, benchSrc, snlog.Grid(cfg.gridM), serve.Options{
 		Deploy: []snlog.Option{snlog.WithSeed(11)},
 	})
 	if err != nil {
@@ -82,7 +154,7 @@ func Run(reps int) (*Result, error) {
 	link := func(i, j int) snlog.Tuple {
 		return snlog.NewTuple("link", snlog.Sym(fmt.Sprintf("s%d", i)), snlog.Sym(fmt.Sprintf("s%d", j)))
 	}
-	for i := 0; i < chain; i++ {
+	for i := 0; i < cfg.chain; i++ {
 		if err := s.Inject(i%c.Size(), link(i, i+1)); err != nil {
 			return nil, err
 		}
@@ -90,43 +162,70 @@ func Run(reps int) (*Result, error) {
 
 	res := &Result{
 		Nodes:      c.Size(),
-		GridM:      gridM,
+		GridM:      cfg.gridM,
 		Cores:      runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 
 	// Cold: every goal a distinct binding pattern — each query pays the
 	// full magic-rewrite + evaluation path.
-	coldN := 40 * reps
 	start := time.Now()
-	for i := 0; i < coldN; i++ {
-		goal := fmt.Sprintf("reach(s%d, X)", i%chain)
-		if i >= chain {
-			goal = fmt.Sprintf("reach(X, s%d)", i%chain+1)
+	for i := 0; i < cfg.coldN; i++ {
+		goal := fmt.Sprintf("reach(s%d, X)", i%cfg.chain)
+		if i >= cfg.chain {
+			goal = fmt.Sprintf("reach(X, s%d)", i%cfg.chain+1)
 		}
 		if _, err := s.Query(ctx, goal); err != nil {
 			return nil, fmt.Errorf("cold query %q: %w", goal, err)
 		}
 	}
-	res.ColdQPS = float64(coldN) / time.Since(start).Seconds()
+	res.ColdQPS = float64(cfg.coldN) / time.Since(start).Seconds()
 
 	// Hot: one goal repeated — after the first miss everything is a
 	// cache hit with zero evaluation work.
-	hotN := 2000 * reps
 	start = time.Now()
-	for i := 0; i < hotN; i++ {
+	for i := 0; i < cfg.hotN; i++ {
 		if _, err := s.Query(ctx, "reach(s0, X)"); err != nil {
 			return nil, fmt.Errorf("hot query: %w", err)
 		}
 	}
-	res.HotQPS = float64(hotN) / time.Since(start).Seconds()
+	res.HotQPS = float64(cfg.hotN) / time.Since(start).Seconds()
 
-	// Churn: queries under injection/deletion pressure — every write
-	// invalidates the goal's cone, so the cache keeps re-filling.
-	churnN := 200 * reps
+	// Concurrent readers: R goroutines hammer the warm hot goal
+	// through the shared read phase. Total work is R * perReaderN, so
+	// the row qps divided by the R=1 row shows the scaling.
+	for _, r := range cfg.readerRows {
+		var wg sync.WaitGroup
+		var firstErr error
+		var errOnce sync.Once
+		start = time.Now()
+		for g := 0; g < r; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < cfg.perReaderN; i++ {
+					if _, err := s.Query(ctx, "reach(s0, X)"); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, fmt.Errorf("readers=%d: %w", r, firstErr)
+		}
+		res.Readers = append(res.Readers, ReaderRow{
+			Readers: r,
+			QPS:     float64(r*cfg.perReaderN) / time.Since(start).Seconds(),
+		})
+	}
+
+	// Churn: queries under injection/deletion pressure with a fresh
+	// query after every write — one sync per write, the PR-8 cadence.
 	start = time.Now()
-	for i := 0; i < churnN; i++ {
-		extra := link(chain, chain+1)
+	for i := 0; i < cfg.churnN; i++ {
+		extra := link(cfg.chain, cfg.chain+1)
 		if i%2 == 0 {
 			if err := s.Inject(i%c.Size(), extra); err != nil {
 				return nil, err
@@ -144,7 +243,7 @@ func Run(reps int) (*Result, error) {
 			return nil, fmt.Errorf("churn query: %w", err)
 		}
 	}
-	res.ChurnQPS = float64(churnN) / time.Since(start).Seconds()
+	res.ChurnQPS = float64(cfg.churnN) / time.Since(start).Seconds()
 
 	snap := s.Snapshot()
 	res.Queries = snap.Get("serve.queries")
@@ -158,5 +257,55 @@ func Run(reps int) (*Result, error) {
 	res.P50Us = snap.Get("serve.query_latency.p50")
 	res.P99Us = snap.Get("serve.query_latency.p99")
 	res.MaxUs = snap.Get("serve.query_latency.max")
+
+	// Churn-batched: the same write pressure, separate session so its
+	// counters are clean, writes coalescing into size-triggered batches
+	// (deadline disabled for a deterministic sync count) and queries
+	// riding a bounded staleness budget. The workload re-reports the
+	// same link fact from rotating source nodes — a redundant
+	// retransmission pattern — so each batch also exercises
+	// duplicate-write elision. Expected: syncs = batchN / batchSize
+	// instead of batchN, repeats within a batch elided before apply,
+	// and most queries hit the cache between flushes.
+	sb, err := serve.Open(ctx, benchSrc, snlog.Grid(cfg.gridM), serve.Options{
+		Deploy:     []snlog.Option{snlog.WithSeed(11)},
+		BatchSize:  cfg.batchSize,
+		BatchDelay: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sb.Close()
+	for i := 0; i < cfg.chain; i++ {
+		if err := sb.Inject(i%sb.Cluster().Size(), link(i, i+1)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := sb.Sync(ctx); err != nil {
+		return nil, err
+	}
+	preFlushes := sb.Snapshot().Get("serve.batch.flushes")
+	extra := link(cfg.chain, cfg.chain+1)
+	fan := cfg.writeFan
+	if fan <= 0 || fan > sb.Cluster().Size() {
+		fan = sb.Cluster().Size()
+	}
+	start = time.Now()
+	for i := 0; i < cfg.batchN; i++ {
+		if err := sb.Inject(i%fan, extra); err != nil {
+			return nil, err
+		}
+		if _, _, err := sb.QueryStale(ctx, "reach(s0, X)", cfg.staleLag); err != nil {
+			return nil, fmt.Errorf("churn-batched query: %w", err)
+		}
+	}
+	res.ChurnBatchedQPS = float64(cfg.batchN) / time.Since(start).Seconds()
+	bsnap := sb.Snapshot()
+	res.ChurnBatchedSyncs = bsnap.Get("serve.batch.flushes") - preFlushes
+	res.ChurnBatchedElided = bsnap.Get("serve.batch.elided")
+	res.StaleServed = bsnap.Get("serve.stale.served")
+	if flushes := bsnap.Get("serve.batch.flushes"); flushes > 0 {
+		res.MeanBatchSize = float64(bsnap.Get("serve.batch.writes")) / float64(flushes)
+	}
 	return res, nil
 }

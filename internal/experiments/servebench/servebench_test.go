@@ -1,0 +1,53 @@
+package servebench
+
+import "testing"
+
+// TestServeBenchSmoke is the CI gate behind `make bench-serve-smoke`:
+// the full E16 phase sequence at a seconds-sized scale, so the
+// concurrent read path, the batched write path and the stale-query
+// path are exercised on every verify — not just when someone
+// regenerates BENCH_serve.json.
+func TestServeBenchSmoke(t *testing.T) {
+	res, err := RunSmoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 || res.ColdQPS <= 0 || res.HotQPS <= 0 || res.ChurnQPS <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	// The chain program must stay on the magic path end to end.
+	if res.Fallbacks != 0 {
+		t.Errorf("fallbacks = %d, want 0 (magic path regressed)", res.Fallbacks)
+	}
+	// Reader rows exist and carried real work.
+	if len(res.Readers) == 0 {
+		t.Fatal("no concurrent-reader rows")
+	}
+	for _, row := range res.Readers {
+		if row.QPS <= 0 {
+			t.Errorf("readers=%d row has qps %v", row.Readers, row.QPS)
+		}
+	}
+	// Write batching actually coalesced: more than one write per sync
+	// on average, and the batched phase produced far fewer syncs than
+	// writes.
+	if res.MeanBatchSize <= 1 {
+		t.Errorf("mean batch size = %v, want > 1 (no coalescing happened)", res.MeanBatchSize)
+	}
+	if res.ChurnBatchedSyncs <= 0 {
+		t.Errorf("churn-batched syncs = %d, want > 0", res.ChurnBatchedSyncs)
+	}
+	// The smoke workload repeats each (node, fact) write within a
+	// batch, so duplicate-write elision must have fired.
+	if res.ChurnBatchedElided == 0 {
+		t.Error("churn_batched_elided = 0: redundant repeat inserts were not elided")
+	}
+	if res.ChurnBatchedQPS <= 0 {
+		t.Errorf("churn-batched qps = %v", res.ChurnBatchedQPS)
+	}
+	// Bounded-stale queries were actually served stale between
+	// flushes — the whole point of the batched churn phase.
+	if res.StaleServed == 0 {
+		t.Error("stale_served = 0: every query forced a flush, batching is not deferring syncs")
+	}
+}

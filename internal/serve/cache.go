@@ -2,24 +2,32 @@ package serve
 
 import (
 	"container/list"
+	"hash/fnv"
+	"sync"
 
 	"repro/internal/datalog/eval"
 	"repro/internal/obs"
 )
 
-// resultCache is the provenance-keyed point-query cache. An entry is
-// keyed on the canonical goal (core.CanonicalGoal) and guarded by the
-// goal's provenance subtree; invalidation is lock-stepped with the
-// session's base-fact ledger so a served answer is always the answer
-// a fresh evaluation would produce.
+// shardedCache is the provenance-keyed point-query cache, partitioned
+// N ways by canonical-goal hash so concurrent readers contend only on
+// their own shard's lock. An entry is keyed on the canonical goal
+// (core.CanonicalGoal) and guarded by the goal's provenance subtree;
+// invalidation is lock-stepped with the session's base-fact ledger so
+// a served answer is always the answer a fresh evaluation would
+// produce.
 //
-// Soundness argument (DESIGN.md §14 carries the full version):
+// Soundness argument (DESIGN.md §14 carries the full version). Each
+// shard independently maintains the PR-8 invariant — the argument is
+// per-entry, and every entry lives in exactly one shard, so sharding
+// changes where an entry is stored but not when it is evicted:
 //
 //   - Base INSERT of predicate p: in the goal's positive cone a new
 //     fact can create answers that no recorded provenance mentions, so
 //     every entry with p in its cone is evicted — support sets cannot
 //     help here. In the negation-tainted cone an insert can also
-//     destroy answers. Either way: predicate-level eviction.
+//     destroy answers. Either way: predicate-level eviction, applied
+//     to every shard (each shard scans its own entries).
 //
 //   - Base DELETE of tuple t of predicate p: derivations are monotone
 //     in the positive cone, so deleting t can only remove answers, and
@@ -32,11 +40,32 @@ import (
 //     CREATE answers the cache never saw, so the entry is evicted
 //     regardless of support.
 //
-//   - Replay: rebuilds the set-of-derivations store wholesale; the
-//     whole cache flushes.
+//   - Replay: rebuilds the set-of-derivations store wholesale; every
+//     shard flushes.
+//
+// Phase discipline (serve.go): get/put run in the session's read
+// phase — the deployment is quiescent and the answer being stored was
+// computed against the same quiescent snapshot the entry will serve,
+// so two concurrent puts for the same goal store equal answer sets.
+// baseInserted/baseDeleted/flush run only in the write phase (session
+// lock held exclusively), so an invalidation can never interleave
+// with a put of a stale answer. The per-shard mutex orders same-shard
+// readers; cross-shard operations need no ordering because entries
+// never move between shards.
+//
+// Capacity is per shard: ceil(total/shards), min 1, evicted LRU
+// within the shard. A single-shard cache (CacheShards: 1) degenerates
+// to the PR-8 global LRU.
 //
 // The nil cache (caching disabled) is a valid no-op receiver.
-type resultCache struct {
+type shardedCache struct {
+	shards []*cacheShard
+	mask   uint32
+}
+
+// cacheShard is one independently locked slice of the cache.
+type cacheShard struct {
+	mu        sync.Mutex
 	max       int
 	entries   map[string]*cacheEntry
 	lru       *list.List // front = most recently used; values are *cacheEntry
@@ -46,9 +75,9 @@ type resultCache struct {
 // cacheEntry is one cached point-query answer plus its guard sets.
 type cacheEntry struct {
 	key     string
-	answers []eval.Tuple
+	answers []eval.Tuple // immutable once stored; callers copy
 	// pos/neg are the goal's extensional cone (shared with the
-	// session's memoized cone; read-only).
+	// session's precomputed cone; read-only).
 	pos map[string]bool
 	neg map[string]bool
 	// support holds the base-fact keys of one recorded proof per
@@ -58,98 +87,146 @@ type cacheEntry struct {
 	elem    *list.Element
 }
 
-func newResultCache(max int, evictions *obs.Counter) *resultCache {
-	return &resultCache{
-		max:       max,
-		entries:   make(map[string]*cacheEntry),
-		lru:       list.New(),
-		evictions: evictions,
+// newShardedCache builds a cache totalling max entries across shards
+// (rounded up to a power of two).
+func newShardedCache(max, shards int, evictions *obs.Counter) *shardedCache {
+	n := 1
+	for n < shards {
+		n <<= 1
 	}
+	perShard := (max + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &shardedCache{shards: make([]*cacheShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			max:       perShard,
+			entries:   make(map[string]*cacheEntry),
+			lru:       list.New(),
+			evictions: evictions,
+		}
+	}
+	return c
 }
 
-// get returns the live entry for key (and marks it recently used), or
-// nil.
-func (c *resultCache) get(key string) *cacheEntry {
+// shard picks the shard owning key (FNV-32a of the canonical goal).
+func (c *shardedCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()&c.mask]
+}
+
+// get returns a live entry for key (and marks it recently used), or
+// nil. The returned entry's fields are immutable; callers copy
+// answers before handing them out.
+func (c *shardedCache) get(key string) *cacheEntry {
 	if c == nil {
 		return nil
 	}
-	e := c.entries[key]
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.entries[key]
 	if e == nil {
 		return nil
 	}
-	c.lru.MoveToFront(e.elem)
+	sh.lru.MoveToFront(e.elem)
 	return e
 }
 
-// put stores an entry, evicting the least recently used one past
-// capacity.
-func (c *resultCache) put(e *cacheEntry) {
+// put stores an entry in its shard, evicting the shard's least
+// recently used entry past capacity.
+func (c *shardedCache) put(e *cacheEntry) {
 	if c == nil {
 		return
 	}
-	if old := c.entries[e.key]; old != nil {
-		c.remove(old, false)
+	sh := c.shard(e.key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old := sh.entries[e.key]; old != nil {
+		sh.remove(old, false)
 	}
-	e.elem = c.lru.PushFront(e)
-	c.entries[e.key] = e
-	for len(c.entries) > c.max {
-		back := c.lru.Back()
-		c.remove(back.Value.(*cacheEntry), true)
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[e.key] = e
+	for len(sh.entries) > sh.max {
+		back := sh.lru.Back()
+		sh.remove(back.Value.(*cacheEntry), true)
 	}
 }
 
-// baseInserted evicts every entry whose cone contains pred.
-func (c *resultCache) baseInserted(pred string) {
+// baseInserted evicts every entry whose cone contains pred, in every
+// shard. Write phase only.
+func (c *shardedCache) baseInserted(pred string) {
 	if c == nil {
 		return
 	}
-	for _, e := range c.entries {
-		if e.pos[pred] || e.neg[pred] {
-			c.remove(e, true)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if e.pos[pred] || e.neg[pred] {
+				sh.remove(e, true)
+			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // baseDeleted evicts the entries the deleted tuple can affect: any
 // entry with pred in its negation-tainted cone, and positive-cone
 // entries whose recorded support contains the tuple (or that track no
-// support).
-func (c *resultCache) baseDeleted(pred, tupleKey string) {
+// support). Write phase only.
+func (c *shardedCache) baseDeleted(pred, tupleKey string) {
 	if c == nil {
 		return
 	}
-	for _, e := range c.entries {
-		switch {
-		case e.neg[pred]:
-			c.remove(e, true)
-		case e.pos[pred] && (e.support == nil || e.support[tupleKey]):
-			c.remove(e, true)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			switch {
+			case e.neg[pred]:
+				sh.remove(e, true)
+			case e.pos[pred] && (e.support == nil || e.support[tupleKey]):
+				sh.remove(e, true)
+			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
-// flush drops everything (Replay).
-func (c *resultCache) flush() {
+// flush drops everything (Replay). Write phase only.
+func (c *shardedCache) flush() {
 	if c == nil {
 		return
 	}
-	for _, e := range c.entries {
-		c.remove(e, true)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			sh.remove(e, true)
+		}
+		sh.mu.Unlock()
 	}
 }
 
-// len reports the live entry count.
-func (c *resultCache) len() int {
+// len reports the live entry count across all shards.
+func (c *shardedCache) len() int {
 	if c == nil {
 		return 0
 	}
-	return len(c.entries)
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-func (c *resultCache) remove(e *cacheEntry, count bool) {
-	delete(c.entries, e.key)
-	c.lru.Remove(e.elem)
+// remove drops an entry; caller holds the shard lock.
+func (sh *cacheShard) remove(e *cacheEntry, count bool) {
+	delete(sh.entries, e.key)
+	sh.lru.Remove(e.elem)
 	if count {
-		c.evictions.Inc()
+		sh.evictions.Inc()
 	}
 }

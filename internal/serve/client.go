@@ -13,6 +13,14 @@ import (
 // from any number of goroutines over one connection to snlogd and
 // routes pushed subscription events to their ClientSub. The REPL's
 // -connect mode and the serve tests ride on it.
+//
+// Lifecycle: the read loop owns the connection's inbound side and is
+// the only sender on (and closer of) the internal event channel; one
+// pump goroutine drains that channel and dispatches to subscriptions.
+// Whatever ends the connection — Close, a server-side drop, a read
+// error — the read loop exits, closes the event channel, and the pump
+// drains and exits: no goroutine outlives the connection. Close is
+// idempotent and waits for both.
 type Client struct {
 	conn net.Conn
 
@@ -25,6 +33,10 @@ type Client struct {
 	pending map[int64]chan *Response
 	subs    map[int64]*ClientSub
 	err     error // terminal read error, ErrClosed after Close
+	closed  bool
+
+	events   chan Event    // readLoop -> pump; closed by readLoop on exit
+	pumpDone chan struct{} // closed when the pump goroutine exits
 }
 
 // Dial connects to an snlogd address.
@@ -39,20 +51,36 @@ func Dial(addr string) (*Client, error) {
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn) *Client {
 	c := &Client{
-		conn:    conn,
-		enc:     json.NewEncoder(conn),
-		pending: make(map[int64]chan *Response),
-		subs:    make(map[int64]*ClientSub),
+		conn:     conn,
+		enc:      json.NewEncoder(conn),
+		pending:  make(map[int64]chan *Response),
+		subs:     make(map[int64]*ClientSub),
+		events:   make(chan Event, 256),
+		pumpDone: make(chan struct{}),
 	}
 	go c.readLoop()
+	go c.pump()
 	return c
 }
 
-// Close drops the connection; in-flight calls fail with ErrClosed and
-// subscription channels close.
+// Close drops the connection; in-flight calls fail with ErrClosed,
+// subscription channels close, and both background goroutines (read
+// loop and event pump) are waited out. Idempotent: the second and
+// later calls return nil immediately.
 func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
 	c.fail(ErrClosed)
-	return c.conn.Close()
+	err := c.conn.Close()
+	// The closed connection unblocks the read loop, which closes the
+	// event channel, which drains the pump.
+	<-c.pumpDone
+	return err
 }
 
 func (c *Client) readLoop() {
@@ -68,15 +96,10 @@ func (c *Client) readLoop() {
 			continue
 		}
 		if resp.Event != nil {
-			c.mu.Lock()
-			sub := c.subs[resp.Event.Sub]
-			c.mu.Unlock()
-			if sub != nil {
-				select {
-				case sub.ch <- *resp.Event:
-				default: // slow local consumer: drop, like the server side
-				}
-			}
+			// Blocking send: the pump always drains until this channel
+			// closes, and never blocks itself (subscription dispatch is
+			// non-blocking), so this cannot deadlock.
+			c.events <- *resp.Event
 			continue
 		}
 		c.mu.Lock()
@@ -92,6 +115,24 @@ func (c *Client) readLoop() {
 		err = ErrClosed
 	}
 	c.fail(err)
+	close(c.events) // single sender; lets the pump exit
+}
+
+// pump dispatches pushed events to their subscription. Lookup and
+// send happen under c.mu — the same lock ClientSub.Close and fail
+// close channels under — so a send can never race a close.
+func (c *Client) pump() {
+	defer close(c.pumpDone)
+	for ev := range c.events {
+		c.mu.Lock()
+		if sub := c.subs[ev.Sub]; sub != nil {
+			select {
+			case sub.ch <- ev:
+			default: // slow local consumer: drop, like the server side
+			}
+		}
+		c.mu.Unlock()
+	}
 }
 
 // fail terminates every pending call and subscription.
@@ -101,16 +142,18 @@ func (c *Client) fail(err error) {
 		c.err = err
 	}
 	pending := c.pending
-	subs := c.subs
 	c.pending = make(map[int64]chan *Response)
-	c.subs = make(map[int64]*ClientSub)
-	c.mu.Unlock()
 	for _, ch := range pending {
 		close(ch)
 	}
-	for _, s := range subs {
+	// Close subscription channels under mu: the pump looks subs up and
+	// sends under the same lock, so after this section it can neither
+	// find nor send on a closed channel.
+	for id, s := range c.subs {
+		delete(c.subs, id)
 		close(s.ch)
 	}
+	c.mu.Unlock()
 }
 
 // call sends one request and waits for its response or ctx.
@@ -164,7 +207,9 @@ func (c *Client) Ping(ctx context.Context) error {
 	return err
 }
 
-// Query answers a point query; tuples come back in source syntax.
+// Query answers a point query; tuples come back in source syntax. The
+// answer is as fresh as the server's default staleness bound (fresh
+// unless snlogd runs with -stale).
 func (c *Client) Query(ctx context.Context, goal string) ([]string, error) {
 	resp, err := c.call(ctx, &Request{Op: "query", Arg: goal})
 	if err != nil {
@@ -173,7 +218,21 @@ func (c *Client) Query(ctx context.Context, goal string) ([]string, error) {
 	return resp.Tuples, nil
 }
 
-// Inject generates a base fact ("link(a, b)") at a node, now.
+// QueryStale answers a point query tolerating up to maxLag
+// acknowledged-but-unapplied writes (negative = unbounded; 0 = fresh,
+// overriding any server-side default bound), and reports the served
+// answer's freshness bound.
+func (c *Client) QueryStale(ctx context.Context, goal string, maxLag int64) ([]string, Freshness, error) {
+	resp, err := c.call(ctx, &Request{Op: "query", Arg: goal, Stale: true, MaxLag: maxLag})
+	if err != nil {
+		return nil, Freshness{}, err
+	}
+	return resp.Tuples, Freshness{Lag: resp.Lag, AsOf: resp.AsOf}, nil
+}
+
+// Inject generates a base fact ("link(a, b)") at a node, now. A nil
+// error means the write was validated and accepted into the server's
+// coalesced batch; Sync forces it through.
 func (c *Client) Inject(ctx context.Context, node int, fact string) error {
 	_, err := c.call(ctx, &Request{Op: "inject", Node: node, Arg: fact})
 	return err
@@ -191,7 +250,8 @@ func (c *Client) DeleteAt(ctx context.Context, at int64, node int, fact string) 
 	return err
 }
 
-// Sync runs the deployment to quiescence; returns the virtual time.
+// Sync applies the server's buffered write batch and runs the
+// deployment to quiescence; returns the virtual time.
 func (c *Client) Sync(ctx context.Context) (int64, error) {
 	resp, err := c.call(ctx, &Request{Op: "sync"})
 	if err != nil {
@@ -229,16 +289,19 @@ type ClientSub struct {
 // connection closes.
 func (s *ClientSub) C() <-chan Event { return s.ch }
 
-// Close cancels the subscription server-side.
+// Close cancels the subscription server-side. Idempotent; returns nil
+// if the subscription (or the whole client) is already closed.
 func (s *ClientSub) Close() error {
 	s.c.mu.Lock()
 	_, live := s.c.subs[s.id]
-	delete(s.c.subs, s.id)
+	if live {
+		delete(s.c.subs, s.id)
+		close(s.ch) // under mu: pump can no longer find the sub
+	}
 	s.c.mu.Unlock()
 	if !live {
 		return nil
 	}
-	close(s.ch)
 	_, err := s.c.call(context.Background(), &Request{Op: "unsubscribe", Sub: s.id})
 	return err
 }

@@ -23,15 +23,16 @@ type cone struct {
 	neg map[string]bool
 }
 
-// coneOf memoizes cone construction per goal predicate. Caller holds
-// s.mu.
+// coneOf looks up the precomputed cone for a goal predicate. Open
+// builds a cone for every derived predicate, and goals are validated
+// to be derived, so the map is read-only after Open — safe for any
+// number of concurrent readers with no lock. The fresh build is a
+// belt-and-braces fallback (never shared, so still race-free).
 func (s *Session) coneOf(pred string) *cone {
 	if c, ok := s.cones[pred]; ok {
 		return c
 	}
-	c := buildCone(s.prog, pred)
-	s.cones[pred] = c
-	return c
+	return buildCone(s.prog, pred)
 }
 
 // buildCone walks the rule graph from root, tracking negation taint.

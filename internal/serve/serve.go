@@ -5,14 +5,19 @@
 // "millions of users" item).
 //
 // A Session wraps a running cluster behind a concurrent, context-aware
-// client API: Query answers magic-rewritten point queries, Inject /
-// DeleteAt feed the base-fact stream, Subscribe watches a derived
-// predicate for updates, and Explain reuses the provenance layer.
-// Repeated queries hit a result cache keyed on the canonical goal and
-// guarded by the goal's provenance subtree: a cached answer is served
-// with zero evaluation work, and any injection, deletion or Replay
-// that touches the subtree evicts exactly the dependent entries
-// (cache.go documents the soundness argument).
+// client API built as a read/write-phase state machine: any number of
+// Query/Explain calls proceed concurrently (under a shared read lock)
+// against the last quiesced deployment state, while writes (Inject /
+// DeleteAt) enqueue into a bounded buffer that is applied and synced
+// as ONE coalesced batch — flushed when the buffer fills
+// (Options.BatchSize), when the batch deadline expires
+// (Options.BatchDelay), or when an incoming query demands freshness.
+// Queries are fresh by default; QueryStale opts into answering from
+// the last quiesced snapshot with a reported freshness bound instead
+// of waiting for the in-flight batch. Repeated queries hit a sharded
+// result cache keyed on the canonical goal and guarded by the goal's
+// provenance subtree (cache.go documents the per-shard soundness
+// argument).
 //
 // Command snlogd exposes the same operations to many concurrent
 // clients over newline-delimited JSON on TCP (server.go); Client is
@@ -23,8 +28,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	snlog "repro"
@@ -43,18 +50,43 @@ var ErrClosed = errors.New("serve: session closed")
 // invalidation (still sound, just coarser).
 const maxSupport = 4096
 
+// Defaults for the zero Options value.
+const (
+	defaultCacheSize   = 256
+	defaultCacheShards = 8
+	defaultBatchSize   = 64
+	defaultBatchDelay  = 2 * time.Millisecond
+	defaultSubBuffer   = 64
+)
+
 // Options configures a serving session.
 type Options struct {
 	// Deploy is passed through to snlog.Deploy (scheme, seed, loss,
 	// shards, ...).
 	Deploy []snlog.Option
-	// CacheSize caps the result cache (entries); 0 means the default
-	// (256). Negative disables caching.
+	// CacheSize caps the result cache (entries, summed across shards);
+	// 0 means the default (256). Negative disables caching.
 	CacheSize int
+	// CacheShards is the number of independently locked result-cache
+	// shards (canonical-goal hash partitioned); 0 means the default
+	// (8). Values are rounded up to a power of two. Use 1 for the
+	// PR-8 single-LRU semantics.
+	CacheShards int
 	// SubscribeBuffer is the per-subscription channel capacity; 0
 	// means the default (64). A full subscriber drops updates and
 	// counts them under serve.subs.dropped.
 	SubscribeBuffer int
+	// BatchSize bounds the write buffer: the BatchSize-th buffered
+	// write flushes the batch synchronously. 0 means the default (64);
+	// 1 applies every write immediately (no coalescing).
+	BatchSize int
+	// BatchDelay is the deadline for a non-empty write buffer: a
+	// background flusher applies the batch this long after its first
+	// write, so writes are never stranded waiting for a query. 0 means
+	// the default (2ms); negative disables the deadline (size- and
+	// freshness-triggered flushes only — deterministic, used by the
+	// benchmarks and property tests).
+	BatchDelay time.Duration
 	// NoProvenance skips attaching the provenance graph. Explain then
 	// returns an error; Query and the cache are unaffected (the cache
 	// derives support sets from the evaluator's proof trees, not the
@@ -62,12 +94,59 @@ type Options struct {
 	NoProvenance bool
 }
 
+// Freshness reports how fresh a served answer is.
+type Freshness struct {
+	// Lag is the number of accepted writes not yet reflected in the
+	// answer (0 = the answer is the deductive closure of every write
+	// acknowledged before the query).
+	Lag int64
+	// AsOf is the virtual time of the quiesced snapshot that answered.
+	AsOf int64
+}
+
+// flush reasons, indexed into Session.flushReasons.
+const (
+	flushSize     = iota // buffer reached BatchSize
+	flushDeadline        // BatchDelay expired on a non-empty buffer
+	flushFresh           // a query demanded freshness beyond its lag bound
+	flushExplicit        // Sync, Subscribe, Replay, Close
+	flushReasonCount
+)
+
+// opKind distinguishes buffered write operations.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opInsertAt
+	opDeleteAt
+)
+
+// writeOp is one buffered, validated write.
+type writeOp struct {
+	seq   int64
+	kind  opKind
+	at    int64
+	node  int
+	tuple eval.Tuple // Keyed
+}
+
 // Session is one served deployment: a cluster, its base-fact ledger,
-// the result cache, and the subscriber fan-out. All methods are safe
-// for concurrent use by many goroutines ("clients"); operations are
-// serialized over the underlying single-threaded simulation.
+// the sharded result cache, the write buffer, and the subscriber
+// fan-out. All methods are safe for concurrent use by many goroutines
+// ("clients").
+//
+// Concurrency contract (the read/write-phase state machine): mu held
+// shared (RLock) is the read phase — the cluster is quiescent and
+// edb/cache/derived state are immutable, so any number of
+// Query/Explain calls evaluate concurrently. mu held exclusive (Lock)
+// is the write phase — the coalesced batch is applied, the cluster
+// runs to quiescence, cache entries are invalidated and subscription
+// deltas fan out. Writes themselves never take mu exclusively: they
+// validate under RLock, append to the buffer under bmu, and return;
+// only the flush pays the sync.
 type Session struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	c      *snlog.Cluster
 	prog   *ast.Program
 	opts   Options
@@ -77,27 +156,54 @@ type Session struct {
 	// database at quiescence, keyed by tuple key. Queries evaluate
 	// against it (the reference semantics the differential harness
 	// pins: the deductive closure of the surviving base facts).
+	// Mutated only while mu is held exclusively.
 	edb map[string]eval.Tuple
 
-	cache *resultCache
+	cache *shardedCache
+	// cones is built once at Open for every derived predicate and
+	// read-only afterwards, so concurrent readers need no lock.
 	cones map[string]*cone
 
 	subs     map[int]*Subscription
 	nextSub  int
 	lastSeen map[string]map[string]eval.Tuple
 
+	// Write buffer. bmu orders enqueues against drains; enqSeq is the
+	// last accepted write's sequence number (stored while bmu is
+	// held), appliedSeq the last applied-and-synced one (stored while
+	// mu is held exclusively). Lag = enqSeq - appliedSeq.
+	bmu        sync.Mutex
+	pending    []writeOp
+	nextSeq    int64 // under bmu
+	enqSeq     atomic.Int64
+	appliedSeq atomic.Int64
+	lastEnd    atomic.Int64 // virtual time of the last quiesce
+
+	kick chan struct{} // wakes the deadline flusher on 0->1 buffer
+	done chan struct{} // closed by Close; stops the flusher
+
+	readers    atomic.Int64 // queries/explains currently inside the read phase
+	readerPeak atomic.Int64
+
 	// counters (registered on the cluster's registry, so they appear
 	// in Snapshot next to nsim.*/core.*).
-	queries    *obs.Counter
-	hits       *obs.Counter
-	misses     *obs.Counter
-	evictions  *obs.Counter
-	fallbacks  *obs.Counter
-	subDrops   *obs.Counter
-	evalIns   *obs.Counter
-	evalJoins *obs.Counter
-	evalSteps *obs.Counter
-	latency   *obs.Histogram
+	queries      *obs.Counter
+	hits         *obs.Counter
+	misses       *obs.Counter
+	evictions    *obs.Counter
+	fallbacks    *obs.Counter
+	subDrops     *obs.Counter
+	evalIns      *obs.Counter
+	evalJoins    *obs.Counter
+	evalSteps    *obs.Counter
+	batchWrites  *obs.Counter
+	batchFlushes *obs.Counter
+	batchElided  *obs.Counter
+	applyErrors  *obs.Counter
+	staleServed  *obs.Counter
+	flushReasons [flushReasonCount]*obs.Counter
+	batchSizes   *obs.Histogram
+	latency      *obs.Histogram
 }
 
 // Open compiles src onto the topology and wraps the deployment in a
@@ -117,37 +223,76 @@ func Open(ctx context.Context, src string, t snlog.Topology, opts Options) (*Ses
 		return nil, err
 	}
 	if opts.CacheSize == 0 {
-		opts.CacheSize = 256
+		opts.CacheSize = defaultCacheSize
+	}
+	if opts.CacheShards <= 0 {
+		opts.CacheShards = defaultCacheShards
 	}
 	if opts.SubscribeBuffer == 0 {
-		opts.SubscribeBuffer = 64
+		opts.SubscribeBuffer = defaultSubBuffer
+	}
+	if opts.BatchSize == 0 {
+		opts.BatchSize = defaultBatchSize
+	}
+	if opts.BatchSize < 1 {
+		opts.BatchSize = 1
+	}
+	if opts.BatchDelay == 0 {
+		opts.BatchDelay = defaultBatchDelay
 	}
 	reg := c.Registry()
+	prog := c.Engine.Analysis().Program
 	s := &Session{
 		c:        c,
-		prog:     c.Engine.Analysis().Program,
+		prog:     prog,
 		opts:     opts,
 		edb:      make(map[string]eval.Tuple),
 		cones:    make(map[string]*cone),
 		subs:     make(map[int]*Subscription),
 		lastSeen: make(map[string]map[string]eval.Tuple),
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
 
-		queries:   reg.Counter("serve.queries"),
-		hits:      reg.Counter("serve.cache.hits"),
-		misses:    reg.Counter("serve.cache.misses"),
-		evictions: reg.Counter("serve.cache.evictions"),
-		fallbacks: reg.Counter("serve.fallbacks"),
-		subDrops:  reg.Counter("serve.subs.dropped"),
-		evalIns:   reg.Counter("serve.eval.inserts"),
-		evalJoins: reg.Counter("serve.eval.join_ops"),
-		evalSteps: reg.Counter("serve.eval.cascade_steps"),
+		queries:      reg.Counter("serve.queries"),
+		hits:         reg.Counter("serve.cache.hits"),
+		misses:       reg.Counter("serve.cache.misses"),
+		evictions:    reg.Counter("serve.cache.evictions"),
+		fallbacks:    reg.Counter("serve.fallbacks"),
+		subDrops:     reg.Counter("serve.subs.dropped"),
+		evalIns:      reg.Counter("serve.eval.inserts"),
+		evalJoins:    reg.Counter("serve.eval.join_ops"),
+		evalSteps:    reg.Counter("serve.eval.cascade_steps"),
+		batchWrites:  reg.Counter("serve.batch.writes"),
+		batchFlushes: reg.Counter("serve.batch.flushes"),
+		batchElided:  reg.Counter("serve.batch.elided"),
+		applyErrors:  reg.Counter("serve.batch.apply_errors"),
+		staleServed:  reg.Counter("serve.stale.served"),
+		// Batch sizes: 1 .. 2048 exponential ladder.
+		batchSizes: reg.Histogram("serve.batch.size", obs.ExpBuckets(1, 2, 12)),
 		// Query latency in microseconds: 1µs .. ~4s exponential ladder.
 		latency: reg.Histogram("serve.query_latency", obs.ExpBuckets(1, 2, 22)),
 	}
+	s.flushReasons[flushSize] = reg.Counter("serve.batch.flush.size")
+	s.flushReasons[flushDeadline] = reg.Counter("serve.batch.flush.deadline")
+	s.flushReasons[flushFresh] = reg.Counter("serve.batch.flush.fresh")
+	s.flushReasons[flushExplicit] = reg.Counter("serve.batch.flush.explicit")
+	reg.Gauge("serve.read_concurrency", func() int64 { return s.readers.Load() })
+	reg.Gauge("serve.read_concurrency.peak", func() int64 { return s.readerPeak.Load() })
 	if opts.CacheSize > 0 {
-		s.cache = newResultCache(opts.CacheSize, s.evictions)
+		s.cache = newShardedCache(opts.CacheSize, opts.CacheShards, s.evictions)
 	}
+	// Precompute the dependency cone of every derived predicate: goals
+	// are validated to be derived, so concurrent readers only ever
+	// look cones up, never build them.
+	for _, pred := range prog.DerivedPredicates() {
+		s.cones[pred] = buildCone(prog, pred)
+	}
+	// Establish the initial quiescent snapshot (program-declared facts
+	// settle here) so reads never need to run the cluster.
+	s.lastEnd.Store(c.Run())
+	go s.flusher()
 	if err := ctx.Err(); err != nil {
+		s.Close()
 		return nil, err
 	}
 	return s, nil
@@ -158,177 +303,374 @@ func Open(ctx context.Context, src string, t snlog.Topology, opts Options) (*Ses
 func (s *Session) Cluster() *snlog.Cluster { return s.c }
 
 // Snapshot samples every metric of the deployment plus the serving
-// counters (serve.queries, serve.cache.*, serve.query_latency.*).
+// counters (serve.queries, serve.cache.*, serve.batch.*,
+// serve.query_latency.*).
 func (s *Session) Snapshot() snlog.Snapshot { return s.c.Snapshot() }
 
-// Close shuts the session: subscriptions are closed, every later
-// operation returns ErrClosed. Idempotent.
+// Lag reports the current freshness gap: accepted writes not yet
+// applied and synced.
+func (s *Session) Lag() int64 { return s.enqSeq.Load() - s.appliedSeq.Load() }
+
+// Close shuts the session: the remaining write batch is applied (every
+// acknowledged write reaches the deployment), subscriptions are
+// closed, and every later operation returns ErrClosed. Idempotent.
 func (s *Session) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
+	s.flushLocked(flushExplicit)
 	s.closed = true
 	for id, sub := range s.subs {
 		close(sub.ch)
 		delete(s.subs, id)
 	}
+	s.mu.Unlock()
+	close(s.done)
 	return nil
 }
 
 // Inject generates a base fact at a node, now. Validation failures
-// return the typed sentinels (snlog.ErrUnknownPredicate, ...) and
-// leave cluster, ledger and cache untouched.
+// return the typed sentinels (snlog.ErrUnknownPredicate, ...)
+// immediately and buffer nothing; an accepted write is buffered and
+// applied with the next coalesced batch.
 func (s *Session) Inject(node int, t eval.Tuple) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	if err := s.c.Inject(node, t); err != nil {
-		return err
-	}
-	s.recordInsert(t)
-	return nil
+	_, err := s.enqueue(opInsert, 0, node, t)
+	return err
 }
 
 // InjectAt generates a base fact at a node at an absolute virtual
 // time.
 func (s *Session) InjectAt(at int64, node int, t eval.Tuple) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	if err := s.c.InjectAt(at, node, t); err != nil {
-		return err
-	}
-	s.recordInsert(t)
-	return nil
-}
-
-// recordInsert updates the ledger and cache for a validated
-// injection. Caller holds s.mu.
-func (s *Session) recordInsert(t eval.Tuple) {
-	t = t.Keyed()
-	s.edb[t.Key()] = t
-	// Lock-step with the store: a new base fact can create answers in
-	// its positive cone and destroy them under negation — evict every
-	// entry whose cone contains the predicate.
-	s.cache.baseInserted(t.Pred)
+	_, err := s.enqueue(opInsertAt, at, node, t)
+	return err
 }
 
 // DeleteAt deletes a previously injected base fact at its source node
-// at an absolute virtual time. The ledger and cache update
-// immediately (the session's view is the state at quiescence, after
-// the deletion has fired).
+// at an absolute virtual time. The ledger and cache update when the
+// batch holding the deletion is applied (the session's view is the
+// state at quiescence, after the deletion has fired).
 func (s *Session) DeleteAt(at int64, node int, t eval.Tuple) error {
+	_, err := s.enqueue(opDeleteAt, at, node, t)
+	return err
+}
+
+// enqueue validates a write, appends it to the batch buffer and
+// returns its sequence number (the wire's batch ack). The write is
+// applied by the next flush: when this write fills the buffer the
+// caller flushes synchronously, otherwise the first write of a batch
+// arms the deadline flusher.
+func (s *Session) enqueue(kind opKind, at int64, node int, t eval.Tuple) (int64, error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	if err := s.c.Validate(node, t); err != nil {
+		s.mu.RUnlock()
+		return 0, err
+	}
+	t = t.Keyed()
+	s.bmu.Lock()
+	s.nextSeq++
+	seq := s.nextSeq
+	s.pending = append(s.pending, writeOp{seq: seq, kind: kind, at: at, node: node, tuple: t})
+	n := len(s.pending)
+	s.enqSeq.Store(seq)
+	s.bmu.Unlock()
+	s.mu.RUnlock()
+	s.batchWrites.Inc()
+	if n >= s.opts.BatchSize {
+		// This writer pays the coalesced apply+sync for the whole
+		// batch. A concurrent Close may have drained the buffer first;
+		// the write was applied there, so ErrClosed is not a failure.
+		if _, err := s.flush(flushSize); err != nil && !errors.Is(err, ErrClosed) {
+			return seq, err
+		}
+	} else if n == 1 && s.opts.BatchDelay > 0 {
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
+	return seq, nil
+}
+
+// flusher is the deadline arm of the batch state machine: BatchDelay
+// after a batch's first write it applies whatever has accumulated, so
+// a write never waits indefinitely for a query to force freshness.
+func (s *Session) flusher() {
+	if s.opts.BatchDelay <= 0 {
+		return
+	}
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.kick:
+			t := time.NewTimer(s.opts.BatchDelay)
+			select {
+			case <-s.done:
+				t.Stop()
+				return
+			case <-t.C:
+				s.flush(flushDeadline) // no-op if a size/fresh flush won the race
+			}
+		}
+	}
+}
+
+// flush applies the buffered batch under the exclusive lock.
+func (s *Session) flush(reason int) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
-	if err := s.c.DeleteAt(at, node, t); err != nil {
-		return err
+	return s.flushLocked(reason), nil
+}
+
+// flushLocked drains the write buffer, applies every operation in
+// acceptance order, runs the cluster to quiescence once for the whole
+// batch, publishes the new freshness horizon and fans out
+// subscription deltas. Caller holds mu exclusively. Outside exclusive
+// sections the cluster is always quiescent, so an empty buffer means
+// there is nothing to do.
+func (s *Session) flushLocked(reason int) int64 {
+	s.bmu.Lock()
+	ops := s.pending
+	s.pending = nil
+	s.bmu.Unlock()
+	if len(ops) == 0 {
+		return s.lastEnd.Load()
 	}
-	t = t.Keyed()
-	delete(s.edb, t.Key())
-	// A deletion can only remove answers in the positive cone — only
-	// entries whose provenance subtree contains the tuple are
-	// touched — but under negation it can create answers, so
-	// negation-tainted cones evict predicate-wide.
-	s.cache.baseDeleted(t.Pred, t.Key())
-	return nil
+	for _, op := range s.elideRedundant(ops) {
+		s.applyLocked(op)
+	}
+	s.batchFlushes.Inc()
+	s.flushReasons[reason].Inc()
+	s.batchSizes.Observe(int64(len(ops)))
+	end := s.runLocked()
+	s.appliedSeq.Store(ops[len(ops)-1].seq)
+	return end
+}
+
+// elideRedundant drops buffered inserts that repeat an earlier insert
+// in the same batch exactly (same kind, time, node and tuple key) —
+// the sensor-network common case of a node redundantly re-reporting a
+// reading it already reported. A repeat insert is not a no-op at the
+// engine level: it earns a fresh generation stamp, a full storage and
+// join cascade across the deployment, an overwritten base-ledger
+// entry and a duplicate result delta, all without changing any query
+// answer. Eliding it inside one coalesced batch is therefore
+// observation-equivalent — except when the same key is also deleted
+// somewhere in the batch, because deletion removes the derivation of
+// the latest stamp and collapsing insert;insert;delete to
+// insert;delete would change which stamp survives; those keys are
+// applied verbatim. The freshness horizon is untouched: elision
+// happens after acceptance, so appliedSeq still advances over the
+// elided ops.
+func (s *Session) elideRedundant(ops []writeOp) []writeOp {
+	if len(ops) < 2 {
+		return ops
+	}
+	var deleted map[string]bool
+	for _, op := range ops {
+		if op.kind == opDeleteAt {
+			if deleted == nil {
+				deleted = make(map[string]bool)
+			}
+			deleted[op.tuple.Key()] = true
+		}
+	}
+	type opSig struct {
+		kind opKind
+		at   int64
+		node int
+		key  string
+	}
+	seen := make(map[opSig]bool, len(ops))
+	kept := ops[:0]
+	for _, op := range ops {
+		if op.kind != opDeleteAt {
+			sig := opSig{kind: op.kind, at: op.at, node: op.node, key: op.tuple.Key()}
+			if seen[sig] && !deleted[op.tuple.Key()] {
+				s.batchElided.Inc()
+				continue
+			}
+			seen[sig] = true
+		}
+		kept = append(kept, op)
+	}
+	return kept
+}
+
+// applyLocked replays one buffered write against the cluster, the
+// ledger and the cache. Caller holds mu exclusively.
+func (s *Session) applyLocked(op writeOp) {
+	var err error
+	switch op.kind {
+	case opInsert:
+		err = s.c.Inject(op.node, op.tuple)
+	case opInsertAt:
+		err = s.c.InjectAt(op.at, op.node, op.tuple)
+	case opDeleteAt:
+		err = s.c.DeleteAt(op.at, op.node, op.tuple)
+	}
+	if err != nil {
+		// Unreachable by construction: enqueue validated against the
+		// same immutable program and topology. Count it rather than
+		// lose it silently.
+		s.applyErrors.Inc()
+		return
+	}
+	if op.kind == opDeleteAt {
+		delete(s.edb, op.tuple.Key())
+		// A deletion can only remove answers in the positive cone —
+		// only entries whose provenance subtree contains the tuple are
+		// touched — but under negation it can create answers, so
+		// negation-tainted cones evict predicate-wide.
+		s.cache.baseDeleted(op.tuple.Pred, op.tuple.Key())
+	} else {
+		s.edb[op.tuple.Key()] = op.tuple
+		// Lock-step with the store: a new base fact can create answers
+		// in its positive cone and destroy them under negation — evict
+		// every entry whose cone contains the predicate.
+		s.cache.baseInserted(op.tuple.Pred)
+	}
 }
 
 // Replay schedules the Replay-based repair pass (requires
-// snlog.WithReplayLog) and flushes the whole result cache: repair
-// rebuilds the set-of-derivations store wholesale, so no cached
-// subtree is trustworthy.
+// snlog.WithReplayLog), runs it, and flushes the whole result cache:
+// repair rebuilds the set-of-derivations store wholesale, so no cached
+// subtree is trustworthy. Buffered writes are applied first so the
+// repair sees the full acknowledged timeline.
 func (s *Session) Replay() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
+	s.flushLocked(flushExplicit)
 	if err := s.c.Replay(); err != nil {
 		return err
 	}
 	s.cache.flush()
+	s.runLocked()
 	return nil
 }
 
-// Sync runs the cluster to quiescence, delivers pending subscription
-// updates, and returns the virtual end time.
+// Sync applies the buffered write batch, runs the cluster to
+// quiescence, delivers pending subscription updates, and returns the
+// virtual end time.
 func (s *Session) Sync(ctx context.Context) (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return 0, ErrClosed
-	}
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	return s.sync(), nil
+	return s.flush(flushExplicit)
 }
 
 // Query answers a point query: goal is a literal such as
 // "path(n0, X)". The goal is validated on the shared core.ParseGoal
-// path, the cluster is run to quiescence, and the answer is served
-// from the result cache when the goal's provenance subtree is intact —
-// otherwise the program is magic-set rewritten for the goal and
-// evaluated over the live base facts, deriving only query-relevant
-// tuples. Answers come back in canonical order; the returned slice is
-// the caller's to keep.
+// path, any in-flight write batch is applied (Query is fresh — the
+// answer reflects every write acknowledged before the call), and the
+// answer is served from the sharded result cache when the goal's
+// provenance subtree is intact — otherwise the program is magic-set
+// rewritten for the goal and evaluated over the live base facts,
+// deriving only query-relevant tuples. Answers come back in canonical
+// order; the returned slice is the caller's to keep. Concurrent
+// queries evaluate in parallel under the shared read lock.
 func (s *Session) Query(ctx context.Context, goal string) ([]eval.Tuple, error) {
+	answers, _, err := s.query(ctx, goal, 0)
+	return answers, err
+}
+
+// QueryStale answers like Query but tolerates bounded staleness: if
+// at most maxLag accepted writes are unapplied it answers from the
+// last quiesced snapshot without waiting for the in-flight batch, and
+// reports the actual freshness bound. A negative maxLag means
+// unbounded. maxLag 0 is Query.
+func (s *Session) QueryStale(ctx context.Context, goal string, maxLag int64) ([]eval.Tuple, Freshness, error) {
+	if maxLag < 0 {
+		maxLag = math.MaxInt64
+	}
+	return s.query(ctx, goal, maxLag)
+}
+
+func (s *Session) query(ctx context.Context, goal string, maxLag int64) ([]eval.Tuple, Freshness, error) {
 	start := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, ErrClosed
-	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, Freshness{}, err
 	}
-	lit, err := core.ParseGoal(s.prog, goal)
+	lit, err := core.ParseGoal(s.prog, goal) // prog is immutable: no lock
 	if err != nil {
-		return nil, err
+		return nil, Freshness{}, err
 	}
-	s.sync()
+	if s.Lag() > maxLag {
+		if _, err := s.flush(flushFresh); err != nil {
+			return nil, Freshness{}, err
+		}
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, Freshness{}, ErrClosed
+	}
+	s.enterRead()
 	s.queries.Inc()
 	key := core.CanonicalGoal(lit)
+	var answers []eval.Tuple
 	if e := s.cache.get(key); e != nil {
 		s.hits.Inc()
-		s.latency.Observe(time.Since(start).Microseconds())
-		return append([]eval.Tuple(nil), e.answers...), nil
+		answers = append([]eval.Tuple(nil), e.answers...)
+	} else {
+		s.misses.Inc()
+		var support map[string]bool
+		answers, support, err = s.evaluate(lit)
+		if err == nil {
+			cn := s.coneOf(lit.PredKey())
+			s.cache.put(&cacheEntry{
+				key:     key,
+				answers: answers,
+				pos:     cn.pos,
+				neg:     cn.neg,
+				support: support,
+			})
+			answers = append([]eval.Tuple(nil), answers...)
+		}
 	}
-	s.misses.Inc()
-	answers, support, err := s.evaluate(lit)
+	fr := Freshness{Lag: s.Lag(), AsOf: s.lastEnd.Load()}
+	s.readers.Add(-1)
+	s.mu.RUnlock()
 	if err != nil {
-		return nil, err
+		return nil, Freshness{}, err
 	}
-	cn := s.coneOf(lit.PredKey())
-	s.cache.put(&cacheEntry{
-		key:     key,
-		answers: answers,
-		pos:     cn.pos,
-		neg:     cn.neg,
-		support: support,
-	})
+	if fr.Lag > 0 {
+		s.staleServed.Inc()
+	}
 	s.latency.Observe(time.Since(start).Microseconds())
-	return append([]eval.Tuple(nil), answers...), nil
+	return answers, fr, nil
+}
+
+// enterRead tracks read-phase concurrency for the
+// serve.read_concurrency gauges. Caller holds mu shared and pairs
+// this with readers.Add(-1).
+func (s *Session) enterRead() {
+	cur := s.readers.Add(1)
+	for {
+		peak := s.readerPeak.Load()
+		if cur <= peak || s.readerPeak.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
 }
 
 // Explain answers "why is this tuple derived": the goal must be
 // ground, and the session must have provenance attached (the
-// default). The cluster is run to quiescence first.
+// default). Buffered writes are applied first (Explain is fresh);
+// the provenance walk itself runs in the concurrent read phase.
 func (s *Session) Explain(ctx context.Context, goal string) (*snlog.ExplainTree, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, ErrClosed
-	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -341,16 +683,31 @@ func (s *Session) Explain(ctx context.Context, goal string) (*snlog.ExplainTree,
 			return nil, fmt.Errorf("serve: explain %s: goal must be ground: %w", goal, core.ErrNotGround)
 		}
 	}
-	s.sync()
-	return s.c.Explain(lit.Predicate, lit.Args...)
+	if s.Lag() > 0 {
+		if _, err := s.flush(flushFresh); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	s.enterRead()
+	tree, err := s.c.Explain(lit.Predicate, lit.Args...)
+	s.readers.Add(-1)
+	s.mu.RUnlock()
+	return tree, err
 }
 
 // Subscribe watches a derived predicate ("name/arity"): after every
-// sync (Query, Sync) the subscription's channel carries one Update
-// per derived tuple that appeared or disappeared since the previous
-// sync. The baseline is the state at subscribe time. A subscriber
-// that falls behind its buffer loses updates (counted under
-// serve.subs.dropped); Close the subscription when done.
+// batch apply (Query-forced, size, deadline or Sync) the
+// subscription's channel carries one Update per derived tuple that
+// appeared or disappeared since the previous sync. The baseline is
+// the state at subscribe time, with any buffered writes applied
+// first. A subscriber that falls behind its buffer loses updates
+// (counted under serve.subs.dropped); Close the subscription when
+// done.
 func (s *Session) Subscribe(pred string) (*Subscription, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -365,7 +722,7 @@ func (s *Session) Subscribe(pred string) (*Subscription, error) {
 	}
 	// Baseline at the current quiescent state so the subscriber sees
 	// only changes from now on.
-	s.sync()
+	s.flushLocked(flushExplicit)
 	if _, ok := s.lastSeen[pred]; !ok {
 		s.lastSeen[pred] = tuplesByKey(s.c.Results(pred))
 	}
@@ -414,10 +771,11 @@ func (sub *Subscription) Close() {
 	}
 }
 
-// sync runs the simulation to quiescence and fans out derived-state
-// diffs to subscribers. Caller holds s.mu.
-func (s *Session) sync() int64 {
+// runLocked runs the simulation to quiescence and fans out
+// derived-state diffs to subscribers. Caller holds mu exclusively.
+func (s *Session) runLocked() int64 {
 	end := s.c.Run()
+	s.lastEnd.Store(end)
 	if len(s.lastSeen) == 0 {
 		return end
 	}
@@ -469,7 +827,10 @@ func (s *Session) sync() int64 {
 // the base-fact support set the cache invalidates on. Falls back to
 // filtering the engine's derived state (predicate-level cache
 // precision) when the rewrite or the maintainer cannot handle the
-// program — aggregates, derivation cycles.
+// program — aggregates, derivation cycles. Runs in the read phase:
+// everything it touches (prog, cones, edb, the engine's derived sets)
+// is immutable while mu is held shared, and the rewrite + maintainer
+// are private to this call.
 func (s *Session) evaluate(lit ast.Literal) (answers []eval.Tuple, support map[string]bool, err error) {
 	cn := s.coneOf(lit.PredKey())
 	tr, rewriteErr := magic.Rewrite(s.prog, lit)

@@ -344,7 +344,8 @@ func TestCacheDisabledStillCorrect(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	s := openSession(t, reachSrc, Options{CacheSize: 2})
+	// One shard = the PR-8 global-LRU semantics this test pins.
+	s := openSession(t, reachSrc, Options{CacheSize: 2, CacheShards: 1})
 	for _, l := range []eval.Tuple{link("a", "b"), link("b", "c"), link("c", "d")} {
 		if err := s.Inject(0, l); err != nil {
 			t.Fatal(err)
@@ -481,4 +482,235 @@ func (s *Session) cacheLen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cache.len()
+}
+
+// Writes coalesce: BatchSize writes trigger exactly one apply+sync
+// (deadline disabled so the count is deterministic), and the batch
+// counters record one size-triggered flush of that many writes.
+func TestWriteBatchingCoalescesSyncs(t *testing.T) {
+	s := openSession(t, reachSrc, Options{BatchSize: 8, BatchDelay: -1})
+	for i := 0; i < 8; i++ {
+		if err := s.Inject(0, link(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lag := s.Lag(); lag != 0 {
+		t.Fatalf("lag after full batch = %d, want 0 (size-triggered flush)", lag)
+	}
+	snap := s.Snapshot()
+	if got := snap.Get("serve.batch.flushes"); got != 1 {
+		t.Errorf("serve.batch.flushes = %d, want 1", got)
+	}
+	if got := snap.Get("serve.batch.flush.size"); got != 1 {
+		t.Errorf("serve.batch.flush.size = %d, want 1", got)
+	}
+	if got := snap.Get("serve.batch.writes"); got != 8 {
+		t.Errorf("serve.batch.writes = %d, want 8", got)
+	}
+	if got := snap.Get("serve.batch.size.count"); got != 1 {
+		t.Errorf("batch-size histogram count = %d, want 1", got)
+	}
+	// The batch is applied: a fresh query sees the whole chain.
+	if got := answers(t, s, "reach(n0, X)"); len(got) != 8 {
+		t.Errorf("reach(n0, X) = %d answers, want 8", len(got))
+	}
+}
+
+// Exact repeats of an earlier insert in the same batch are elided
+// before apply — a redundant retransmission buys no cluster work —
+// while repeats of a key that is also deleted in the batch are
+// applied verbatim (stamp order matters there).
+func TestBatchElidesRedundantRepeats(t *testing.T) {
+	s := openSession(t, reachSrc, Options{BatchSize: 8, BatchDelay: -1})
+	ctx := context.Background()
+	// 6 redundant repeats of the same (node, fact) write + 2 distinct
+	// writes fill one batch of 8.
+	for i := 0; i < 6; i++ {
+		if err := s.Inject(0, link("a", "b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Inject(0, link("b", "c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(1, link("a", "b")); err != nil { // different source node: kept
+		t.Fatal(err)
+	}
+	if lag := s.Lag(); lag != 0 {
+		t.Fatalf("lag after full batch = %d, want 0", lag)
+	}
+	snap := s.Snapshot()
+	if got := snap.Get("serve.batch.elided"); got != 5 {
+		t.Errorf("serve.batch.elided = %d, want 5 (6 repeats at node 0 keep the first)", got)
+	}
+	if got := answers(t, s, "reach(a, X)"); len(got) != 2 {
+		t.Errorf("reach(a, X) = %d answers, want 2", len(got))
+	}
+
+	// A key that is also deleted in the batch is exempt: collapsing
+	// insert;insert;delete would change which generation stamp the
+	// deletion removes.
+	now, err := s.Sync(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := s.Snapshot().Get("serve.batch.elided")
+	if err := s.Inject(0, link("c", "d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(0, link("c", "d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteAt(now+1, 0, link("c", "d")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshot().Get("serve.batch.elided"); got != pre {
+		t.Errorf("serve.batch.elided moved %d -> %d on a deleted key, want unchanged", pre, got)
+	}
+}
+
+// A fresh query (maxLag 0) forces the in-flight batch through; a
+// stale query answers from the last quiesced snapshot and reports its
+// lag honestly.
+func TestQueryStaleServesSnapshot(t *testing.T) {
+	s := openSession(t, reachSrc, Options{BatchSize: 64, BatchDelay: -1})
+	ctx := context.Background()
+	if err := s.Inject(0, link("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if got := answers(t, s, "reach(a, X)"); len(got) != 1 { // fresh: flushes
+		t.Fatalf("reach(a, X) = %v", got)
+	}
+	if err := s.Inject(0, link("b", "c")); err != nil { // buffered
+		t.Fatal(err)
+	}
+	got, fr, err := s.QueryStale(ctx, "reach(a, X)", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("stale answer = %v, want the pre-write snapshot (1 tuple)", got)
+	}
+	if fr.Lag != 1 {
+		t.Errorf("stale freshness lag = %d, want 1", fr.Lag)
+	}
+	if s.Snapshot().Get("serve.stale.served") != 1 {
+		t.Error("serve.stale.served did not count the stale answer")
+	}
+	// Bounded staleness: lag 1 > maxLag 0 forces the flush.
+	got, fr, err = s.QueryStale(ctx, "reach(a, X)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || fr.Lag != 0 {
+		t.Errorf("fresh query = %d answers lag %d, want 2 answers lag 0", len(got), fr.Lag)
+	}
+	if s.Snapshot().Get("serve.batch.flush.fresh") == 0 {
+		t.Error("freshness-bounded query recorded no fresh-triggered flush")
+	}
+}
+
+// The deadline flusher applies a lone write without any query or sync
+// forcing it.
+func TestBatchDeadlineFlush(t *testing.T) {
+	s := openSession(t, reachSrc, Options{BatchSize: 1024, BatchDelay: 2 * time.Millisecond})
+	if err := s.Inject(0, link("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Lag() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("write still buffered after 2s: lag=%d", s.Lag())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.Snapshot().Get("serve.batch.flush.deadline") == 0 {
+		t.Error("no deadline-triggered flush recorded")
+	}
+	// Served from the snapshot without any further flush.
+	got, fr, err := s.QueryStale(context.Background(), "reach(a, X)", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || fr.Lag != 0 {
+		t.Errorf("after deadline flush: %d answers lag %d, want 1 answer lag 0", len(got), fr.Lag)
+	}
+}
+
+// The sharded cache keeps the total capacity bound (per-shard caps sum
+// to >= CacheSize, each shard evicts LRU within itself).
+func TestShardedCacheBounds(t *testing.T) {
+	s := openSession(t, reachSrc, Options{CacheSize: 8, CacheShards: 4})
+	for i := 0; i < 12; i++ {
+		if err := s.Inject(0, link(fmt.Sprintf("s%d", i), fmt.Sprintf("s%d", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		answers(t, s, fmt.Sprintf("reach(s%d, X)", i))
+	}
+	if n := s.cacheLen(); n > 8 {
+		t.Errorf("sharded cache holds %d entries, capacity 8", n)
+	}
+	// Entries that survived still serve hits.
+	before := s.Snapshot().Get("serve.cache.hits")
+	answers(t, s, "reach(s11, X)") // most recent: must still be cached
+	if got := s.Snapshot().Get("serve.cache.hits"); got != before+1 {
+		t.Errorf("most-recent entry missed: hits %d -> %d", before, got)
+	}
+}
+
+// Readers really do share the session: a Query completes while another
+// goroutine holds the session's read lock, which the old
+// single-mutex design would deadlock on (deterministic, not timing
+// dependent: the lock is held for the whole query).
+func TestQueriesProceedUnderSharedLock(t *testing.T) {
+	s := openSession(t, reachSrc, Options{})
+	if err := s.Inject(0, link("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	answers(t, s, "reach(a, X)") // flush + warm the cache
+	s.mu.RLock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if got := answers(t, s, "reach(a, X)"); len(got) != 1 {
+			t.Errorf("concurrent read = %v", got)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		s.mu.RUnlock()
+		t.Fatal("query blocked behind a concurrent reader: read path is not shared")
+	}
+	s.mu.RUnlock()
+	if peak := s.readerPeak.Load(); peak < 1 {
+		t.Errorf("serve.read_concurrency.peak = %d, want >= 1", peak)
+	}
+}
+
+// Buffered writes survive Close: every acknowledged write is applied
+// before the session shuts down.
+func TestCloseFlushesBufferedWrites(t *testing.T) {
+	s := openSession(t, reachSrc, Options{BatchSize: 1024, BatchDelay: -1})
+	if err := s.Inject(0, link("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Lag() != 1 {
+		t.Fatalf("precondition: write should be buffered, lag=%d", s.Lag())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Lag() != 0 {
+		t.Errorf("lag after Close = %d, want 0 (batch applied)", s.Lag())
+	}
+	// The cluster itself saw the write.
+	if got := s.c.Results("reach/2"); len(got) != 1 {
+		t.Errorf("cluster reach/2 = %v, want the flushed fact derived", got)
+	}
 }

@@ -18,6 +18,12 @@ type Server struct {
 	s  *Session
 	ln net.Listener
 
+	// defaultMaxLag is applied to queries that don't set Request.Stale
+	// themselves: 0 serves every query fresh (the default), n > 0
+	// serves from the last quiesced snapshot as long as at most n
+	// acknowledged writes are unapplied.
+	defaultMaxLag int64
+
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
 	closed bool
@@ -26,12 +32,25 @@ type Server struct {
 	nextSub atomic.Int64
 }
 
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithDefaultMaxLag makes queries that don't opt in themselves
+// tolerate up to maxLag unapplied writes (negative = unbounded). The
+// snlogd -stale flag maps here. Per-request Stale/MaxLag overrides.
+func WithDefaultMaxLag(maxLag int64) ServerOption {
+	return func(srv *Server) { srv.defaultMaxLag = maxLag }
+}
+
 // NewServer starts serving the session on the listener. The returned
 // server owns the listener; Close stops accepting, drops every
 // connection and waits for the handlers (the session itself stays
 // open — the caller owns it).
-func NewServer(s *Session, ln net.Listener) *Server {
+func NewServer(s *Session, ln net.Listener, opts ...ServerOption) *Server {
 	srv := &Server{s: s, ln: ln, conns: make(map[net.Conn]bool)}
+	for _, o := range opts {
+		o(srv)
+	}
 	srv.wg.Add(1)
 	go srv.acceptLoop()
 	return srv
@@ -147,34 +166,42 @@ func (cs *connState) dispatch(req *Request) *Response {
 	case "ping":
 		return &Response{OK: true}
 	case "query":
-		tuples, err := s.Query(ctx, req.Arg)
+		maxLag := cs.srv.defaultMaxLag
+		if req.Stale {
+			maxLag = req.MaxLag // 0 = explicitly fresh, < 0 = unbounded
+		}
+		tuples, fr, err := s.QueryStale(ctx, req.Arg, maxLag)
 		if err != nil {
 			return errResponse(err)
 		}
-		return &Response{OK: true, Tuples: formatTuples(tuples)}
+		return &Response{OK: true, Tuples: formatTuples(tuples), Lag: fr.Lag, AsOf: fr.AsOf}
 	case "inject", "inject_at", "delete_at":
 		t, err := ParseFact(req.Arg)
 		if err != nil {
 			return errResponse(err)
 		}
+		var kind opKind
 		switch req.Op {
 		case "inject":
-			err = s.Inject(req.Node, t)
+			kind = opInsert
 		case "inject_at":
-			err = s.InjectAt(req.At, req.Node, t)
+			kind = opInsertAt
 		default:
-			err = s.DeleteAt(req.At, req.Node, t)
+			kind = opDeleteAt
 		}
+		seq, err := s.enqueue(kind, req.At, req.Node, t)
 		if err != nil {
 			return errResponse(err)
 		}
-		return &Response{OK: true}
+		// The ack means "validated and accepted": the apply+sync rides
+		// the coalesced batch. Seq lets a client await it via sync.
+		return &Response{OK: true, Batched: true, Seq: seq}
 	case "sync":
 		end, err := s.Sync(ctx)
 		if err != nil {
 			return errResponse(err)
 		}
-		return &Response{OK: true, Time: end}
+		return &Response{OK: true, Time: end, Seq: s.appliedSeq.Load()}
 	case "explain":
 		tree, err := s.Explain(ctx, req.Arg)
 		if err != nil {

@@ -225,6 +225,95 @@ func TestOpenRejectsBadProgram(t *testing.T) {
 	}
 }
 
+// Write acks and freshness bounds travel the wire: a write is
+// acknowledged as batched with its sequence number, sync reports the
+// applied sequence, and a stale query reports its lag.
+func TestWireBatchAckAndStaleQuery(t *testing.T) {
+	s := openSession(t, reachSrc, Options{BatchSize: 1024, BatchDelay: -1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(s, ln)
+	t.Cleanup(func() { srv.Close() })
+	c := dialClient(t, srv)
+	ctx := context.Background()
+
+	// Raw call so the ack fields are visible.
+	resp, err := c.call(ctx, &Request{Op: "inject", Node: 0, Arg: "link(a, b)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Batched || resp.Seq != 1 {
+		t.Errorf("inject ack = batched=%v seq=%d, want batched seq 1", resp.Batched, resp.Seq)
+	}
+
+	// Stale query: served from the pre-write snapshot, lag reported.
+	tuples, fr, err := c.QueryStale(ctx, "reach(a, X)", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 0 || fr.Lag != 1 {
+		t.Errorf("stale query = %v lag %d, want no answers lag 1", tuples, fr.Lag)
+	}
+
+	// Sync applies the batch and reports the applied sequence.
+	resp, err = c.call(ctx, &Request{Op: "sync"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != 1 {
+		t.Errorf("sync applied seq = %d, want 1", resp.Seq)
+	}
+
+	// Fresh query (the default) sees the write and reports lag 0.
+	tuples, fr, err = c.QueryStale(ctx, "reach(a, X)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 1 || fr.Lag != 0 {
+		t.Errorf("fresh query = %v lag %d, want 1 answer lag 0", tuples, fr.Lag)
+	}
+}
+
+// WithDefaultMaxLag makes plain Query calls tolerate staleness without
+// the client opting in (the snlogd -stale flag).
+func TestWireDefaultMaxLag(t *testing.T) {
+	s := openSession(t, reachSrc, Options{BatchSize: 1024, BatchDelay: -1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(s, ln, WithDefaultMaxLag(-1))
+	t.Cleanup(func() { srv.Close() })
+	c := dialClient(t, srv)
+	ctx := context.Background()
+
+	if err := c.Inject(ctx, 0, "link(a, b)"); err != nil {
+		t.Fatal(err)
+	}
+	// Plain Query inherits the server's unbounded staleness: the
+	// buffered write stays buffered.
+	got, err := c.Query(ctx, "reach(a, X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("default-stale query = %v, want pre-write snapshot", got)
+	}
+	if s.Lag() != 1 {
+		t.Errorf("lag = %d, want 1 (query must not have flushed)", s.Lag())
+	}
+	// A per-request fresh query overrides the server default.
+	got, fr, err := c.QueryStale(ctx, "reach(a, X)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || fr.Lag != 0 {
+		t.Errorf("fresh override = %v lag %d, want 1 answer lag 0", got, fr.Lag)
+	}
+}
+
 func TestServerCloseDropsClients(t *testing.T) {
 	srv, _ := startServer(t, reachSrc)
 	c := dialClient(t, srv)

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// itemSrc is deliberately monotone (insert-only schedule, no
+// negation): derived state only grows, so every reader can assert
+// monotonicity of what it sees.
+const itemSrc = `
+.base item/1.
+seen(X) :- item(X).
+.query seen/1.
+`
+
+// TestWireConcurrentReadersWriterStress drives the full TCP wire — not
+// the in-process Session — with one writer connection, several reader
+// connections issuing bounded-stale queries, and a subscriber
+// connection, all concurrent. Run under -race (make race covers this
+// package). Asserted:
+//
+//   - no lost subscribe deltas: every one of the writer's inserts
+//     arrives at the subscriber exactly once (and the server dropped
+//     nothing);
+//   - monotone freshness bounds per reader: answer counts and AsOf
+//     never go backwards, and reported lag is never negative;
+//   - the final fresh answer is the full write set.
+func TestWireConcurrentReadersWriterStress(t *testing.T) {
+	s := openSession(t, itemSrc, Options{BatchSize: 8})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(s, ln)
+	t.Cleanup(func() { srv.Close() })
+
+	const (
+		writes  = 40
+		readers = 4
+	)
+	ctx := context.Background()
+
+	// Subscriber first, so its baseline predates every write.
+	subClient := dialClient(t, srv)
+	sub, err := subClient.Subscribe(ctx, "seen/1", writes*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	stop := make(chan struct{})
+
+	// One writer: distinct inserts, periodic syncs, final sync.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		c, err := Dial(srv.Addr().String())
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		for i := 0; i < writes; i++ {
+			if err := c.Inject(ctx, i%9, fmt.Sprintf("item(i%d)", i)); err != nil {
+				errs <- fmt.Errorf("writer inject %d: %w", i, err)
+				return
+			}
+			if i%8 == 7 {
+				if _, err := c.Sync(ctx); err != nil {
+					errs <- fmt.Errorf("writer sync: %w", err)
+					return
+				}
+			}
+		}
+		if _, err := c.Sync(ctx); err != nil {
+			errs <- fmt.Errorf("writer final sync: %w", err)
+		}
+	}()
+
+	// Readers: unbounded-stale queries; monotone counts, AsOf, lag>=0.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			var lastCount int
+			var lastAsOf int64
+			for done := false; !done; {
+				select {
+				case <-stop:
+					done = true // one final pass after the writer finishes
+				default:
+				}
+				tuples, fr, err := c.QueryStale(ctx, "seen(X)", -1)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d query: %w", r, err)
+					return
+				}
+				if fr.Lag < 0 {
+					errs <- fmt.Errorf("reader %d: negative lag %d", r, fr.Lag)
+					return
+				}
+				if len(tuples) < lastCount {
+					errs <- fmt.Errorf("reader %d: answers went backwards %d -> %d (monotone schedule)", r, lastCount, len(tuples))
+					return
+				}
+				if fr.AsOf < lastAsOf {
+					errs <- fmt.Errorf("reader %d: AsOf went backwards %d -> %d", r, lastAsOf, fr.AsOf)
+					return
+				}
+				lastCount, lastAsOf = len(tuples), fr.AsOf
+			}
+			// Fresh read: must see the complete write set.
+			tuples, fr, err := c.QueryStale(ctx, "seen(X)", 0)
+			if err != nil {
+				errs <- fmt.Errorf("reader %d final: %w", r, err)
+				return
+			}
+			if len(tuples) != writes || fr.Lag != 0 {
+				errs <- fmt.Errorf("reader %d final: %d answers lag %d, want %d answers lag 0", r, len(tuples), fr.Lag, writes)
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every insert delta arrives, exactly once, none dropped.
+	got := map[string]bool{}
+	deadline := time.After(5 * time.Second)
+	for len(got) < writes {
+		select {
+		case ev := <-sub.C():
+			if !ev.Insert {
+				t.Fatalf("deletion delta on an insert-only schedule: %+v", ev)
+			}
+			if got[ev.Tuple] {
+				t.Fatalf("duplicate delta %q", ev.Tuple)
+			}
+			got[ev.Tuple] = true
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d deltas", len(got), writes)
+		}
+	}
+	if n := s.Snapshot().Get("serve.subs.dropped"); n != 0 {
+		t.Errorf("serve.subs.dropped = %d, want 0", n)
+	}
+	// And the read path really ran concurrently at least once is too
+	// timing-dependent to assert; what is deterministic is that the
+	// gauge machinery tracked the readers.
+	if s.readerPeak.Load() < 1 {
+		t.Error("read-concurrency peak gauge never moved")
+	}
+}

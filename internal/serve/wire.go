@@ -32,6 +32,15 @@ type Request struct {
 	At   int64  `json:"at,omitempty"`
 	// Sub names the subscription to drop (unsubscribe).
 	Sub int64 `json:"sub,omitempty"`
+	// Stale takes per-request control of a query's freshness bound,
+	// overriding the server default: the answer may omit up to MaxLag
+	// acknowledged-but-unapplied writes and the response reports the
+	// actual lag (Response.Lag/AsOf). MaxLag < 0 means unbounded, 0
+	// means fresh (wait for the in-flight batch). Stale false defers
+	// to the server's default bound (fresh unless snlogd runs with
+	// -stale).
+	Stale  bool  `json:"stale,omitempty"`
+	MaxLag int64 `json:"max_lag,omitempty"`
 }
 
 // Response answers one Request (ID echoes the request) or pushes a
@@ -50,6 +59,17 @@ type Response struct {
 	Time    int64            `json:"time,omitempty"`
 	Stats   map[string]int64 `json:"stats,omitempty"`
 	Event   *Event           `json:"event,omitempty"`
+	// Batched acknowledges a write that was accepted into the server's
+	// coalesced write buffer: validation already ran, the apply+sync
+	// happens with the batch. Seq is the write's sequence number; the
+	// sync op's Seq reports the last applied one.
+	Batched bool  `json:"batched,omitempty"`
+	Seq     int64 `json:"seq,omitempty"`
+	// Lag/AsOf report a query's freshness bound: Lag acknowledged
+	// writes were not yet reflected, the answer is the deductive
+	// closure as of virtual time AsOf. Fresh queries report Lag 0.
+	Lag  int64 `json:"lag,omitempty"`
+	AsOf int64 `json:"as_of,omitempty"`
 }
 
 // Event is one pushed subscription update.
@@ -129,9 +149,12 @@ func CodeError(code, msg string) error {
 // shared with the REPL.
 func ParseFact(src string) (eval.Tuple, error) {
 	src = strings.TrimSpace(src)
-	if !strings.HasSuffix(src, ".") {
-		src += "."
-	}
+	src = strings.TrimSuffix(src, ".")
+	// Tuple.String renders zero-arity facts as "flag()"; the grammar
+	// wants a bare atom. Normalize so the wire format is a fixpoint
+	// (found by FuzzWire).
+	src = strings.TrimSuffix(src, "()")
+	src += "."
 	prog, err := parser.Parse(src)
 	if err != nil {
 		return eval.Tuple{}, fmt.Errorf("serve: fact %q: %w", src, core.ErrBadGoal)

@@ -484,6 +484,15 @@ func (c *Cluster) DeleteAt(at int64, node int, t Tuple) error {
 	return c.Engine.InjectDeleteAt(nsim.Time(at), nsim.NodeID(node), t)
 }
 
+// Validate checks an injection/deletion pair against the deployed
+// program and topology without scheduling anything: the same checks —
+// and the same typed sentinels — Inject, InjectAt and DeleteAt apply.
+// The serving layer uses it to validate buffered writes at enqueue
+// time, before the coalesced batch is applied.
+func (c *Cluster) Validate(node int, t Tuple) error {
+	return c.Engine.Validate(nsim.NodeID(node), t)
+}
+
 // Run processes the network to quiescence and returns the virtual end
 // time.
 func (c *Cluster) Run() int64 { return int64(c.Network.Run(0)) }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-shards bench bench-shards-smoke joinbench bench-sim bench-serve bench-serve-smoke bench-check serve-smoke deploy-gate obs-guard fuzz-smoke profile trace-e1 verify
+.PHONY: all build test vet race race-shards bench bench-shards-smoke joinbench bench-sim bench-serve bench-serve-smoke bench-check serve-smoke deploy-gate obs-guard obs-export-smoke fuzz-smoke profile trace-e1 verify
 
 all: verify
 
@@ -90,10 +90,18 @@ deploy-gate:
 	fi
 
 # The disabled-observability overhead guards: the E1 m=18 hot loop must
-# stay at the PR 2 allocation baseline both when Observe was never
-# called and when metrics are on but provenance is off.
+# stay at the PR 2 allocation baseline when Observe was never called,
+# when metrics are on but provenance is off, and with the telemetry
+# export layer linked in but no admin endpoint configured.
 obs-guard:
-	$(GO) test -run 'TestObsDisabledOverheadE1|TestProvDisabledOverheadE1' -v ./internal/experiments/
+	$(GO) test -run 'TestObsDisabledOverheadE1|TestProvDisabledOverheadE1|TestAdminDisabledOverheadE1' -v ./internal/experiments/
+
+# End-to-end smoke of the live-telemetry surface: a serving session with
+# the admin server on an ephemeral port, scraped over real HTTP —
+# /healthz answers and /metrics parses as Prometheus text carrying the
+# serve counter families and latency buckets.
+obs-export-smoke:
+	$(GO) test -run 'TestObsExportSmoke' -count=1 -v ./internal/obs/export/
 
 # Short coverage-guided fuzz passes: the Datalog front-end (Parse must
 # never panic, accepted programs round-trip) and the serve wire codec
@@ -120,4 +128,4 @@ profile:
 trace-e1:
 	$(GO) run ./cmd/snbench -trace trace_e1.jsonl
 
-verify: build test vet race race-shards bench-shards-smoke bench-serve-smoke serve-smoke deploy-gate obs-guard fuzz-smoke bench-check
+verify: build test vet race race-shards bench-shards-smoke bench-serve-smoke serve-smoke deploy-gate obs-guard obs-export-smoke fuzz-smoke bench-check

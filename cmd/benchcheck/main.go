@@ -47,6 +47,11 @@
 //     legitimately when the phase shape changes, and the qps gates catch
 //     any real throughput damage.
 //
+// Both comparisons warn (never fail) when baseline and candidate report
+// different num_cpu or gomaxprocs values: the deterministic gates stay
+// meaningful across machines, but every timing gate's noise floor
+// assumes the same hardware.
+//
 // Usage:
 //
 //	benchcheck -baseline BENCH_baseline.json -candidate BENCH_sim.json \
@@ -73,6 +78,8 @@ type simBench struct {
 	AllocsPerEvent   *float64   `json:"allocs_per_event_fast"`
 	EventsPerSecFast *float64   `json:"events_per_sec_fast"`
 	Sharding         []shardRow `json:"sharding"`
+	NumCPU           *int       `json:"num_cpu"`
+	GoMaxProcs       *int       `json:"gomaxprocs"`
 }
 
 // shardRow mirrors the gated subset of experiments.SimShardRow.
@@ -95,6 +102,8 @@ type serveBench struct {
 	Readers           []serveReaderRow `json:"readers"`
 	Fallbacks         *int64           `json:"fallbacks"`
 	P99Us             *int64           `json:"query_latency_p99_us"`
+	NumCPU            *int             `json:"num_cpu"`
+	GoMaxProcs        *int             `json:"gomaxprocs"`
 }
 
 // serveReaderRow mirrors one concurrent-readers measurement.
@@ -176,6 +185,22 @@ func main() {
 		}
 		return !inBase || !inCand
 	}
+
+	// Cross-machine comparisons are legal but every timing gate's noise
+	// floor assumes the same hardware, so a core-count mismatch warns
+	// (never fails): the deterministic gates (events, allocs/event) stay
+	// meaningful, the rate gates deserve suspicion.
+	coreWarn := func(what string, bN, cN, bP, cP *int) {
+		if bN != nil && cN != nil && *bN != *cN {
+			fmt.Printf("warn  %s: candidate measured on %d CPUs, baseline on %d — timing gates compare different machines\n",
+				what, *cN, *bN)
+		}
+		if bP != nil && cP != nil && *bP != *cP {
+			fmt.Printf("warn  %s: candidate ran with GOMAXPROCS=%d, baseline with %d — parallel rows are not comparable\n",
+				what, *cP, *bP)
+		}
+	}
+	coreWarn("sim cores", base.NumCPU, cand.NumCPU, base.GoMaxProcs, cand.GoMaxProcs)
 
 	if !missing("events", base.Events != nil, cand.Events != nil) {
 		if *cand.Events != *base.Events {
@@ -271,6 +296,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 			os.Exit(1)
 		}
+
+		coreWarn("serve cores", sbase.NumCPU, scand.NumCPU, sbase.GoMaxProcs, scand.GoMaxProcs)
 
 		if !missing("serve queries", sbase.Queries != nil, scand.Queries != nil) {
 			if *scand.Queries != *sbase.Queries {

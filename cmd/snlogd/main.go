@@ -23,8 +23,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	snlog "repro"
+	"repro/internal/obs/export"
 	"repro/internal/serve"
 )
 
@@ -40,6 +42,10 @@ func main() {
 	batch := flag.Int("batch", 0, "write batch size: the Nth buffered write flushes (0 = default 64, 1 = apply immediately)")
 	batchDelay := flag.Duration("batch-delay", 0, "write batch deadline (0 = default 2ms, negative = size/freshness flushes only)")
 	stale := flag.Int64("stale", 0, "default staleness bound for queries that don't set one: max unapplied writes a served answer may omit (0 = always fresh, negative = unbounded)")
+	admin := flag.String("admin", "", "admin HTTP listen address (/metrics, /healthz, /snapshot, /trace, pprof); empty = disabled")
+	sampleInterval := flag.Duration("sample-interval", 5*time.Second, "admin rate-gauge sampling interval (serve.qps_1m, nsim.events_per_sec_1m)")
+	traceCap := flag.Int("trace", 0, "event trace ring capacity for the admin /trace endpoint (0 = no trace)")
+	spans := flag.Int("spans", 0, "per-query span ring capacity for /trace/query/<id> (0 = default 4096, negative = disabled)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: snlogd [flags] program.snl")
@@ -57,6 +63,9 @@ func main() {
 	if *shards > 1 {
 		deploy = append(deploy, snlog.WithShards(*shards))
 	}
+	if *traceCap > 0 {
+		deploy = append(deploy, snlog.WithTrace(*traceCap))
+	}
 	s, err := serve.Open(context.Background(), string(src), snlog.Grid(*grid), serve.Options{
 		Deploy:       deploy,
 		CacheSize:    *cache,
@@ -64,6 +73,7 @@ func main() {
 		BatchSize:    *batch,
 		BatchDelay:   *batchDelay,
 		NoProvenance: *noProv,
+		Spans:        *spans,
 	})
 	if err != nil {
 		fatal(err)
@@ -76,6 +86,28 @@ func main() {
 	}
 	srv := serve.NewServer(s, ln, serve.WithDefaultMaxLag(*stale))
 	fmt.Printf("snlogd: serving %s on %s (%d nodes)\n", flag.Arg(0), srv.Addr(), s.Cluster().Size())
+
+	// Live telemetry is strictly opt-in: without -admin no sampler runs,
+	// no HTTP listener binds, and the serve path is byte-for-byte the
+	// pre-admin daemon (pinned by make obs-guard).
+	if *admin != "" {
+		reg := s.Cluster().Registry()
+		sampler := export.NewSampler(reg, *sampleInterval, time.Minute)
+		sampler.ExposeRate("serve.qps_1m", "serve.queries")
+		sampler.ExposeRate("nsim.events_per_sec_1m", "nsim.events")
+		sampler.Start()
+		defer sampler.Close()
+		adm, err := export.StartAdmin(*admin, export.Source{
+			Registry: reg,
+			Trace:    s.Cluster().Trace(),
+			Spans:    s.Spans(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer adm.Close()
+		fmt.Printf("snlogd: admin on http://%s (metrics, snapshot, trace, pprof)\n", adm.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -9,10 +9,15 @@
 // the daemon's magic-set point-query path and result cache, proofs
 // through its provenance store.
 //
+// With -watch it becomes snltop: it polls a daemon's admin endpoint
+// (snlogd -admin) and renders a refreshing table of query rate, cache
+// hit rate, batch flush mix and latency quantiles.
+//
 // Usage:
 //
 //	snlogrepl [program.snl]
 //	snlogrepl -connect 127.0.0.1:7654
+//	snlogrepl -watch 127.0.0.1:8090
 //
 // Commands:
 //
@@ -29,13 +34,16 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datalog/ast"
@@ -46,7 +54,20 @@ import (
 
 func main() {
 	connect := flag.String("connect", "", "snlogd address to drive instead of a local session")
+	watch := flag.String("watch", "", "snlogd admin address (host:port or URL) to poll and render live stats (snltop mode)")
+	interval := flag.Duration("interval", 2*time.Second, "watch poll interval")
+	rounds := flag.Int("rounds", 0, "watch iterations before exiting (0 = until interrupted)")
 	flag.Parse()
+	if *watch != "" {
+		base := *watch
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		watchLoop(os.Stdout, func() (map[string]int64, error) {
+			return fetchSnapshot(base)
+		}, *interval, *rounds, true)
+		return
+	}
 	if *connect != "" {
 		c, err := serve.Dial(*connect)
 		if err != nil {
@@ -287,6 +308,93 @@ func remoteExecute(out io.Writer, c *serve.Client, line string) bool {
 		fmt.Fprintf(out, "  unknown command (try help)\n")
 	}
 	return false
+}
+
+// fetchSnapshot pulls the flat name → value metric map from a daemon's
+// admin /snapshot endpoint.
+func fetchSnapshot(base string) (map[string]int64, error) {
+	resp, err := http.Get(base + "/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/snapshot: %s", base, resp.Status)
+	}
+	var snap map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// watchLoop is the snltop driver: poll, diff against the previous
+// sample, render. rounds 0 polls forever; clear toggles the ANSI
+// clear-and-home prefix (off in tests). A failed poll renders an error
+// line and keeps polling — the daemon restarting should not kill the
+// watcher.
+func watchLoop(out io.Writer, fetch func() (map[string]int64, error), interval time.Duration, rounds int, clear bool) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	var prev map[string]int64
+	last := time.Now()
+	for i := 0; rounds <= 0 || i < rounds; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		cur, err := fetch()
+		now := time.Now()
+		if clear {
+			fmt.Fprint(out, "\x1b[2J\x1b[H")
+		}
+		if err != nil {
+			fmt.Fprintf(out, "snltop: %v\n", err)
+			continue
+		}
+		fmt.Fprint(out, renderWatch(prev, cur, now.Sub(last)))
+		prev, last = cur, now
+	}
+}
+
+// renderWatch formats one snltop frame from two consecutive snapshots.
+// Rates are the deltas over the poll window; totals, quantiles and the
+// daemon's own 1-minute gauges come from the current snapshot.
+func renderWatch(prev, cur map[string]int64, elapsed time.Duration) string {
+	rate := func(name string) int64 {
+		if prev == nil || elapsed <= 0 {
+			return 0
+		}
+		return int64(float64(cur[name]-prev[name])/elapsed.Seconds() + 0.5)
+	}
+	hitRate := func(hits, misses int64) string {
+		if hits+misses == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "snltop — %s window\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  queries   total %-10d qps %-8d 1m avg %d\n",
+		cur["serve.queries"], rate("serve.queries"), cur["serve.qps_1m"])
+	// Indexing a nil prev map yields 0, so the first frame's window
+	// figures are the lifetime ones.
+	dh, dm := cur["serve.cache.hits"]-prev["serve.cache.hits"], cur["serve.cache.misses"]-prev["serve.cache.misses"]
+	fmt.Fprintf(&b, "  cache     hits %-11d misses %-5d hit rate %s (window %s)\n",
+		cur["serve.cache.hits"], cur["serve.cache.misses"],
+		hitRate(cur["serve.cache.hits"], cur["serve.cache.misses"]), hitRate(dh, dm))
+	fmt.Fprintf(&b, "  batches   size %-11d deadline %-3d fresh %-6d explicit %-3d writes/s %d\n",
+		cur["serve.batch.flush.size"], cur["serve.batch.flush.deadline"],
+		cur["serve.batch.flush.fresh"], cur["serve.batch.flush.explicit"],
+		rate("serve.batch.writes"))
+	fmt.Fprintf(&b, "  latency   p50 %-4dµs   p99 %-6dµs  max %-6dµs  stale served %d\n",
+		cur["serve.query_latency.p50"], cur["serve.query_latency.p99"],
+		cur["serve.query_latency.max"], cur["serve.stale.served"])
+	if _, ok := cur["nsim.events"]; ok {
+		fmt.Fprintf(&b, "  sim       events %-9d events/s %-4d 1m avg %d\n",
+			cur["nsim.events"], rate("nsim.events"), cur["nsim.events_per_sec_1m"])
+	}
+	return b.String()
 }
 
 // goalForPred turns "reach/2" into the all-free goal "reach(V0, V1)".

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
+	"fmt"
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	snlog "repro"
 	"repro/internal/serve"
@@ -195,5 +199,140 @@ path(X, Z) :- path(X, Y), edge(Y, Z).
 	out.Reset()
 	if done := remoteExecute(&out, c, "quit"); !done {
 		t.Error("quit should end the session")
+	}
+}
+
+// Regression: -connect printed raw wire error codes (or duplicated
+// sentinel text) for typed validation errors instead of the human
+// message. A code-only response must surface the sentinel's own text,
+// and a message-bearing one must print verbatim — no "not_ground:"
+// prefix, no doubled "tuple not ground: tuple not ground".
+func TestRemoteExecuteErrorMessages(t *testing.T) {
+	// Stub daemon over a pipe: answers every request with a code-only
+	// error frame, the minimal-server shape that leaked raw codes.
+	cliConn, srvConn := net.Pipe()
+	go func() {
+		sc := bufio.NewScanner(srvConn)
+		for sc.Scan() {
+			var req serve.Request
+			if json.Unmarshal(sc.Bytes(), &req) != nil {
+				continue
+			}
+			resp, _ := json.Marshal(serve.Response{ID: req.ID, OK: false, Code: serve.CodeNotGround})
+			srvConn.Write(append(resp, '\n'))
+		}
+	}()
+	c := serve.NewClient(cliConn)
+	defer c.Close()
+
+	var out strings.Builder
+	remoteExecute(&out, c, "? path(a, X)")
+	got := out.String()
+	if !strings.Contains(got, "tuple not ground") {
+		t.Errorf("code-only error lost the human message: %q", got)
+	}
+	if strings.Contains(got, "not_ground") {
+		t.Errorf("raw wire code leaked into the output: %q", got)
+	}
+
+	// Real daemon: a message-bearing validation error prints the
+	// server's message exactly once.
+	sess, err := serve.Open(context.Background(), `
+.base edge/2.
+path(X, Y) :- edge(X, Y).
+.query path/2.
+`, snlog.Grid(2), serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(sess, ln)
+	defer srv.Close()
+	rc, err := serve.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	out.Reset()
+	remoteExecute(&out, rc, "+ edge(X, b)") // unbound variable
+	got = out.String()
+	if !strings.Contains(got, "tuple not ground") {
+		t.Errorf("real-server error lost the human message: %q", got)
+	}
+	if strings.Count(got, "tuple not ground") != 1 {
+		t.Errorf("sentinel text duplicated: %q", got)
+	}
+}
+
+func TestRenderWatch(t *testing.T) {
+	prev := map[string]int64{
+		"serve.queries":      1000,
+		"serve.cache.hits":   500,
+		"serve.cache.misses": 100,
+		"serve.batch.writes": 40,
+		"nsim.events":        10000,
+	}
+	cur := map[string]int64{
+		"serve.queries":           1200,
+		"serve.qps_1m":            95,
+		"serve.cache.hits":        680,
+		"serve.cache.misses":      120,
+		"serve.batch.writes":      60,
+		"serve.batch.flush.size":  7,
+		"serve.batch.flush.fresh": 3,
+		"serve.query_latency.p50": 40,
+		"serve.query_latency.p99": 900,
+		"serve.query_latency.max": 1500,
+		"nsim.events":             11000,
+		"nsim.events_per_sec_1m":  480,
+	}
+	got := renderWatch(prev, cur, 2*time.Second)
+	for _, want := range []string{
+		"qps 100",        // (1200-1000)/2s
+		"1m avg 95",      // daemon gauge passthrough
+		"hit rate 85.0%", // lifetime 680/800
+		"(window 90.0%)", // delta 180/200
+		"p50 40",
+		"p99 900",
+		"events/s 500", // (11000-10000)/2s
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("frame missing %q:\n%s", want, got)
+		}
+	}
+	// First frame: no prev, no rates, no panic.
+	first := renderWatch(nil, cur, 0)
+	if !strings.Contains(first, "qps 0") || !strings.Contains(first, "hit rate 85.0%") {
+		t.Errorf("first frame = %q", first)
+	}
+}
+
+func TestWatchLoop(t *testing.T) {
+	calls := 0
+	fetch := func() (map[string]int64, error) {
+		calls++
+		if calls == 2 {
+			return nil, fmt.Errorf("daemon restarting")
+		}
+		return map[string]int64{"serve.queries": int64(100 * calls)}, nil
+	}
+	var out strings.Builder
+	watchLoop(&out, fetch, time.Millisecond, 3, false)
+	got := out.String()
+	if calls != 3 {
+		t.Fatalf("fetch called %d times, want 3", calls)
+	}
+	if strings.Count(got, "snltop —") != 2 {
+		t.Errorf("want 2 rendered frames around the error, got:\n%s", got)
+	}
+	if !strings.Contains(got, "snltop: daemon restarting") {
+		t.Errorf("fetch error not surfaced: %q", got)
+	}
+	if strings.Contains(got, "\x1b[2J") {
+		t.Errorf("clear=false must not emit ANSI clears")
 	}
 }

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpa"
+	"repro/internal/nsim"
+	"repro/internal/obs/export"
+)
+
+// TestAdminDisabledOverheadE1 guards the admin-export-disabled path on
+// the E1 m=18 hot loop. Linking the telemetry export layer (Prometheus
+// encoder, admin HTTP server, sampler) into the binary — which this
+// test does by importing it — must leave the simulation fast path
+// untouched: export is pull-based, so with no StartAdmin call and no
+// sampler running there is no listener, no goroutine, and no handle on
+// the event path, and allocations per event stay at the same baseline
+// as the fully-unobserved run (2.81 allocs/event in BENCH_sim.json).
+// Part of make obs-guard.
+func TestAdminDisabledOverheadE1(t *testing.T) {
+	// The zero Source is the "admin not configured" state snlogd runs in
+	// without -admin; constructing it must not touch anything.
+	_ = export.Source{}
+
+	e, nw := deployGrid(18, twoStreamSrc,
+		core.Config{Scheme: gpa.Perpendicular}, nsim.Config{Seed: 11})
+	injectJoinWorkload(e, nw, 40, 17)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	nw.Run(0)
+	runtime.ReadMemStats(&after)
+	if nw.EventsProcessed == 0 {
+		t.Fatal("no events processed")
+	}
+	perEvent := float64(after.Mallocs-before.Mallocs) / float64(nw.EventsProcessed)
+	if perEvent > 3.2 {
+		t.Errorf("admin-disabled path allocates %.2f/event, baseline is 2.81 (BENCH_sim.json)", perEvent)
+	}
+}

@@ -64,8 +64,13 @@ type Result struct {
 	P99Us int64 `json:"query_latency_p99_us"`
 	MaxUs int64 `json:"query_latency_max_us"`
 
+	// Cores is runtime.NumCPU() on the measuring machine; GoMaxProcs is
+	// what the Go scheduler was actually allowed to use. NumCPU
+	// duplicates Cores under the conventional name, mirroring
+	// BENCH_sim.json, so benchcheck can flag cross-machine comparisons.
 	Cores      int `json:"cores"`
 	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
 }
 
 // ReaderRow is one concurrent-readers measurement.
@@ -165,6 +170,7 @@ func run(cfg config) (*Result, error) {
 		GridM:      cfg.gridM,
 		Cores:      runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 
 	// Cold: every goal a distinct binding pattern — each query pays the

@@ -1,0 +1,119 @@
+package export
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Sampler periodically snapshots a registry into a small ring of
+// (time, snapshot) pairs and derives per-second rates from the
+// endpoints of the retained window. Exposed through ExposeRate, the
+// rates appear as ordinary gauges in Snapshot and /metrics — so a
+// single curl sees `serve.qps_1m` without running a scraper that
+// computes deltas itself.
+//
+// The sampler owns its goroutine and takes no serve-path locks: each
+// tick is one Registry.Snapshot, the same atomic read path every other
+// export surface uses.
+type Sampler struct {
+	reg      *obs.Registry
+	interval time.Duration
+	keep     int // samples retained: window/interval + 1
+
+	mu      sync.Mutex
+	samples []tsample
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type tsample struct {
+	at   time.Time
+	snap obs.Snapshot
+}
+
+// NewSampler builds a sampler snapshotting reg every interval and
+// retaining window's worth of samples (both floored to one second).
+// Call Start to launch the ticker goroutine and Close to stop it; a
+// never-started sampler is still usable from tests via tick.
+func NewSampler(reg *obs.Registry, interval, window time.Duration) *Sampler {
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if window < interval {
+		window = interval
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		keep:     int(window/interval) + 1,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the periodic snapshot goroutine.
+func (s *Sampler) Start() {
+	go func() {
+		defer close(s.done)
+		tk := time.NewTicker(s.interval)
+		defer tk.Stop()
+		for {
+			select {
+			case now := <-tk.C:
+				s.tick(now)
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the goroutine started by Start and waits for it to exit.
+func (s *Sampler) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// tick records one sample, evicting beyond the retention window.
+func (s *Sampler) tick(now time.Time) {
+	snap := s.reg.Snapshot()
+	s.mu.Lock()
+	s.samples = append(s.samples, tsample{at: now, snap: snap})
+	if len(s.samples) > s.keep {
+		s.samples = s.samples[len(s.samples)-s.keep:]
+	}
+	s.mu.Unlock()
+}
+
+// Rate returns counter's per-second rate over the retained window:
+// (newest - oldest) / elapsed, rounded to the nearest integer. With
+// fewer than two samples (or zero elapsed time) there is no window
+// yet and the rate is 0.
+func (s *Sampler) Rate(counter string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) < 2 {
+		return 0
+	}
+	first, last := s.samples[0], s.samples[len(s.samples)-1]
+	elapsed := last.at.Sub(first.at).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	delta := float64(last.snap.Get(counter) - first.snap.Get(counter))
+	return int64(delta/elapsed + 0.5)
+}
+
+// ExposeRate registers gauge in the sampler's registry reporting
+// counter's windowed rate — e.g. ExposeRate("serve.qps_1m",
+// "serve.queries").
+func (s *Sampler) ExposeRate(gauge, counter string) {
+	s.reg.Gauge(gauge, func() int64 { return s.Rate(counter) })
+}

@@ -1,0 +1,88 @@
+package export
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestSamplerRate(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("serve.queries")
+	s := NewSampler(r, time.Second, time.Minute)
+
+	if s.Rate("serve.queries") != 0 {
+		t.Fatal("rate with no samples should be 0")
+	}
+	base := time.Unix(1000, 0)
+	s.tick(base)
+	if s.Rate("serve.queries") != 0 {
+		t.Fatal("rate with one sample should be 0")
+	}
+	c.Add(100)
+	s.tick(base.Add(10 * time.Second))
+	if got := s.Rate("serve.queries"); got != 10 {
+		t.Fatalf("rate = %d, want 10/s", got)
+	}
+	c.Add(50)
+	s.tick(base.Add(20 * time.Second))
+	if got := s.Rate("serve.queries"); got != 8 { // 150 over 20s, rounded
+		t.Fatalf("rate = %d, want 8/s", got)
+	}
+	if s.Rate("no.such.counter") != 0 {
+		t.Fatal("unknown counter should rate as 0")
+	}
+}
+
+func TestSamplerWindowEviction(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("x")
+	// 1s interval, 5s window → keeps 6 samples.
+	s := NewSampler(r, time.Second, 5*time.Second)
+	base := time.Unix(2000, 0)
+	// A burst of 600 in the first 10s, then silence: once the burst
+	// scrolls out of the window the rate must fall back to 0.
+	for i := 0; i < 10; i++ {
+		c.Add(60)
+		s.tick(base.Add(time.Duration(i) * time.Second))
+	}
+	if got := s.Rate("x"); got != 60 {
+		t.Fatalf("in-burst rate = %d, want 60/s", got)
+	}
+	for i := 10; i < 20; i++ {
+		s.tick(base.Add(time.Duration(i) * time.Second))
+	}
+	if got := s.Rate("x"); got != 0 {
+		t.Fatalf("post-burst rate = %d, want 0 after the window scrolls", got)
+	}
+}
+
+func TestSamplerExposeRate(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("serve.queries")
+	s := NewSampler(r, time.Second, time.Minute)
+	s.ExposeRate("serve.qps_1m", "serve.queries")
+
+	base := time.Unix(3000, 0)
+	s.tick(base)
+	c.Add(300)
+	s.tick(base.Add(30 * time.Second))
+	if got := r.Snapshot().Get("serve.qps_1m"); got != 10 {
+		t.Fatalf("snapshot gauge = %d, want 10", got)
+	}
+}
+
+func TestSamplerStartClose(t *testing.T) {
+	r := obs.NewRegistry()
+	s := NewSampler(r, time.Second, time.Minute)
+	s.Start()
+	s.Close() // must not hang or panic
+}
+
+func TestSamplerClampsDegenerateConfig(t *testing.T) {
+	s := NewSampler(obs.NewRegistry(), 0, 0)
+	if s.interval != time.Second || s.keep != 2 {
+		t.Fatalf("interval=%v keep=%d, want 1s / 2", s.interval, s.keep)
+	}
+}

@@ -106,8 +106,13 @@ func (h *Histogram) Buckets() (bounds, counts []int64) {
 // Quantile returns the inclusive upper bound of the bucket holding the
 // q-quantile observation (0 <= q <= 1), clamped to Max so a sparse top
 // bucket never reports an estimate above the largest observation.
-// Observations in the overflow bucket report Max. Returns 0 on nil or
-// an empty histogram.
+// Interior quantiles whose rank lands in the overflow bucket clamp to
+// the overflow boundary (the last finite bound): the histogram cannot
+// localize observations beyond it, and reporting Max would promote the
+// single largest outlier (p100) to every high quantile. Quantile(1) is
+// exactly Max, and Snapshot exports ".max" separately. A histogram
+// with no finite bounds reports Max for every quantile. Returns 0 on
+// nil or an empty histogram.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0
@@ -120,8 +125,8 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > n {
-		rank = n
+	if rank >= n {
+		return h.Max()
 	}
 	var cum int64
 	for i := range h.counts {
@@ -133,8 +138,12 @@ func (h *Histogram) Quantile(q float64) int64 {
 				}
 				return h.bounds[i]
 			}
-			return h.Max()
+			break
 		}
+	}
+	// Overflow bucket: clamp at its boundary rather than reporting Max.
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
 	}
 	return h.Max()
 }

@@ -52,13 +52,41 @@ func TestHistogramQuantile(t *testing.T) {
 	if q := h.Quantile(0.0); q != 1 {
 		t.Fatalf("p0 = %d, want first bucket bound 1", q)
 	}
-	// Overflow observations report Max.
+	// Overflow observations report Max only at q=1; interior quantiles
+	// clamp at the overflow boundary (the last finite bound).
 	h.Observe(1000)
 	if q := h.Quantile(1.0); q != 1000 {
 		t.Fatalf("p100 with overflow = %d, want the max 1000", q)
 	}
 	if NewHistogram("empty", nil).Quantile(0.5) != 0 {
 		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+// An interior quantile whose rank lands in the overflow bucket must
+// clamp to the overflow boundary, not report Max: Max is p100, and
+// promoting the largest outlier to p99 overstates the tail by however
+// far the outlier sits beyond the ladder.
+func TestHistogramQuantileClampsAtOverflowBoundary(t *testing.T) {
+	h := NewHistogram("ovf", ExpBuckets(1, 2, 4)) // 1 2 4 8
+	for v := int64(1); v <= 8; v++ {
+		h.Observe(v)
+	}
+	h.Observe(1000)
+	h.Observe(2000) // two overflow observations: p95 rank lands there
+	if q := h.Quantile(0.95); q != 8 {
+		t.Fatalf("p95 = %d, want the overflow boundary 8", q)
+	}
+	if q := h.Quantile(1.0); q != 2000 {
+		t.Fatalf("p100 = %d, want the max 2000", q)
+	}
+	// A boundless histogram has no boundary to clamp to: every
+	// quantile reports Max.
+	b := NewHistogram("nobounds", nil)
+	b.Observe(7)
+	b.Observe(9000)
+	if q := b.Quantile(0.5); q != 9000 {
+		t.Fatalf("boundless p50 = %d, want max 9000", q)
 	}
 }
 

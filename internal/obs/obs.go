@@ -219,6 +219,81 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// HistView is the full state of one histogram at Families() time:
+// copies of the bounds and per-bucket counts (the last count is the
+// overflow bucket) plus the scalar aggregates.
+type HistView struct {
+	Bounds []int64
+	Counts []int64 // len(Bounds)+1; last is the overflow bucket
+	Count  int64
+	Sum    int64
+	Max    int64
+}
+
+// Families is a typed view of the registry for exporters that need to
+// distinguish metric kinds — Snapshot flattens everything into one
+// counter map, which loses the counter/gauge/histogram split an
+// encoder like Prometheus text format wants to preserve.
+type Families struct {
+	Counters map[string]int64
+	Gauges   map[string]int64 // gauge callbacks plus provider emissions
+	Hists    map[string]HistView
+}
+
+// Families samples every registered metric, keeping the kinds apart:
+// live counters under Counters, gauge and provider samples under
+// Gauges, and full histogram states under Hists. Like Snapshot it
+// samples outside the registry lock. Returns empty families on a nil
+// registry.
+func (r *Registry) Families() Families {
+	f := Families{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+		Hists:    make(map[string]HistView),
+	}
+	if r == nil {
+		return f
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for name, fn := range r.gauges {
+		gauges[name] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	providers := make([]func(emit func(name string, v int64)), len(r.providers))
+	copy(providers, r.providers)
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		f.Counters[name] = c.Value()
+	}
+	for name, fn := range gauges {
+		f.Gauges[name] = fn()
+	}
+	emit := func(name string, v int64) { f.Gauges[name] = v }
+	for _, fn := range providers {
+		fn(emit)
+	}
+	for name, h := range hists {
+		bounds, counts := h.Buckets()
+		f.Hists[name] = HistView{
+			Bounds: bounds,
+			Counts: counts,
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Max:    h.Max(),
+		}
+	}
+	return f
+}
+
 // Get returns the value recorded under name, or 0 if absent.
 func (s Snapshot) Get(name string) int64 { return s.Counters[name] }
 

@@ -140,3 +140,42 @@ func TestCounterConcurrency(t *testing.T) {
 		t.Fatalf("concurrent total = %d, want 8000", got)
 	}
 }
+
+func TestFamilies(t *testing.T) {
+	var nilReg *Registry
+	nf := nilReg.Families()
+	if len(nf.Counters) != 0 || len(nf.Gauges) != 0 || len(nf.Hists) != 0 {
+		t.Fatal("nil registry should yield empty families")
+	}
+
+	r := NewRegistry()
+	r.Counter("serve.queries").Add(3)
+	r.Gauge("nodes.live", func() int64 { return 12 })
+	r.Provide(func(emit func(string, int64)) { emit("nsim.messages", 40) })
+	h := r.Histogram("serve.query_latency", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(500)
+
+	f := r.Families()
+	if f.Counters["serve.queries"] != 3 {
+		t.Fatalf("counters = %v", f.Counters)
+	}
+	if f.Gauges["nodes.live"] != 12 || f.Gauges["nsim.messages"] != 40 {
+		t.Fatalf("gauges = %v", f.Gauges)
+	}
+	hv, ok := f.Hists["serve.query_latency"]
+	if !ok || hv.Count != 2 || hv.Sum != 505 || hv.Max != 500 {
+		t.Fatalf("hist view = %+v", hv)
+	}
+	if len(hv.Bounds) != 2 || len(hv.Counts) != 3 {
+		t.Fatalf("hist shape = %+v", hv)
+	}
+	if hv.Counts[0] != 1 || hv.Counts[1] != 0 || hv.Counts[2] != 1 {
+		t.Fatalf("hist counts = %v", hv.Counts)
+	}
+	// Histograms live only under Hists — Families keeps the kinds apart,
+	// unlike Snapshot's flattened suffix names.
+	if _, ok := f.Counters["serve.query_latency.count"]; ok {
+		t.Fatal("histogram leaked into the counter family")
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import "testing"
+
+func TestSpanRingNilIsNoOp(t *testing.T) {
+	var r *SpanRing
+	r.Record(Span{Trace: 1, Stage: "parse"})
+	if r.Len() != 0 || r.Total() != 0 || r.Spans() != nil || r.ByTrace(1) != nil {
+		t.Fatal("nil span ring should report zeros")
+	}
+}
+
+func TestSpanRingRecordAndEvict(t *testing.T) {
+	r := NewSpanRing(3)
+	for i := int64(1); i <= 5; i++ {
+		r.Record(Span{Trace: i, Stage: "eval", DurUs: i * 10})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+	got := r.Spans()
+	for i, want := range []int64{3, 4, 5} {
+		if got[i].Trace != want {
+			t.Fatalf("spans = %+v, want traces 3 4 5", got)
+		}
+	}
+}
+
+func TestSpanRingByTrace(t *testing.T) {
+	r := NewSpanRing(8)
+	for _, stage := range []string{"parse", "cache_probe", "eval", "respond"} {
+		r.Record(Span{Trace: 7, Stage: stage})
+	}
+	r.Record(Span{Trace: 9, Stage: "parse"})
+	spans := r.ByTrace(7)
+	if len(spans) != 4 {
+		t.Fatalf("ByTrace(7) = %+v, want 4 spans", spans)
+	}
+	for i, stage := range []string{"parse", "cache_probe", "eval", "respond"} {
+		if spans[i].Stage != stage {
+			t.Fatalf("span %d stage = %q, want %q", i, spans[i].Stage, stage)
+		}
+	}
+	if got := r.ByTrace(1234); len(got) != 0 {
+		t.Fatalf("unknown trace should have no spans, got %+v", got)
+	}
+}
+
+func TestSpanRingMinimumCapacity(t *testing.T) {
+	r := NewSpanRing(0)
+	r.Record(Span{Trace: 1})
+	r.Record(Span{Trace: 2})
+	if r.Len() != 1 || r.Spans()[0].Trace != 2 {
+		t.Fatalf("capacity-clamped ring should hold the newest span: %+v", r.Spans())
+	}
+}

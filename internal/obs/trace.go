@@ -84,9 +84,9 @@ type Event struct {
 type Trace struct {
 	mu     sync.Mutex
 	buf    []Event
-	start  int   // index of the oldest retained event
-	n      int   // retained events
-	total  int64 // events ever recorded
+	start  int                  // index of the oldest retained event
+	n      int                  // retained events
+	total  int64                // events ever recorded
 	totals [numEventKinds]int64 // lifetime per-kind counts, eviction-proof
 }
 
@@ -245,6 +245,23 @@ func (f Filter) Match(e Event) bool {
 	return true
 }
 
+// appendEventJSON appends e's flat JSON object plus a newline to line.
+func appendEventJSON(line []byte, e Event) []byte {
+	line = append(line, `{"at":`...)
+	line = strconv.AppendInt(line, e.At, 10)
+	line = append(line, `,"kind":"`...)
+	line = append(line, e.Kind.String()...)
+	line = append(line, `","node":`...)
+	line = strconv.AppendInt(line, int64(e.Node), 10)
+	line = append(line, `,"peer":`...)
+	line = strconv.AppendInt(line, int64(e.Peer), 10)
+	line = append(line, `,"pred":`...)
+	line = strconv.AppendQuote(line, e.Pred)
+	line = append(line, `,"size":`...)
+	line = strconv.AppendInt(line, int64(e.Size), 10)
+	return append(line, '}', '\n')
+}
+
 // WriteJSONL writes the retained events passing f to w, one JSON
 // object per line, in recording order. Returns the number of events
 // written. The schema is flat and stable:
@@ -263,20 +280,34 @@ func (t *Trace) WriteJSONL(w io.Writer, f Filter) (int, error) {
 		if !f.Match(e) {
 			continue
 		}
-		line = line[:0]
-		line = append(line, `{"at":`...)
-		line = strconv.AppendInt(line, e.At, 10)
-		line = append(line, `,"kind":"`...)
-		line = append(line, e.Kind.String()...)
-		line = append(line, `","node":`...)
-		line = strconv.AppendInt(line, int64(e.Node), 10)
-		line = append(line, `,"peer":`...)
-		line = strconv.AppendInt(line, int64(e.Peer), 10)
-		line = append(line, `,"pred":`...)
-		line = strconv.AppendQuote(line, e.Pred)
-		line = append(line, `,"size":`...)
-		line = strconv.AppendInt(line, int64(e.Size), 10)
-		line = append(line, '}', '\n')
+		line = appendEventJSON(line[:0], e)
+		if _, err := bw.Write(line); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, bw.Flush()
+}
+
+// WriteTailJSONL writes the newest n retained events passing f, in
+// recording order, using the same line schema as WriteJSONL. n <= 0
+// means no limit. This is the admin endpoint's `/trace?n=` view: the
+// tail of the ring, filtered first so the limit counts matching lines.
+func (t *Trace) WriteTailJSONL(w io.Writer, f Filter, n int) (int, error) {
+	matched := make([]Event, 0, 64)
+	for _, e := range t.Events() {
+		if f.Match(e) {
+			matched = append(matched, e)
+		}
+	}
+	if n > 0 && len(matched) > n {
+		matched = matched[len(matched)-n:]
+	}
+	bw := bufio.NewWriter(w)
+	written := 0
+	var line []byte
+	for _, e := range matched {
+		line = appendEventJSON(line[:0], e)
 		if _, err := bw.Write(line); err != nil {
 			return written, err
 		}

@@ -214,3 +214,41 @@ func TestWriteJSONLEscaping(t *testing.T) {
 		t.Fatalf("pred round trip: %q != %q", rec.Pred, hostile)
 	}
 }
+
+func TestWriteTailJSONL(t *testing.T) {
+	tr := NewTrace(16)
+	for i := int64(1); i <= 6; i++ {
+		tr.Record(Event{At: i, Kind: EvSend, Node: 1, Peer: 2, Pred: "p"})
+	}
+	tr.Record(Event{At: 7, Kind: EvRecv, Node: 2, Peer: 1, Pred: "p"})
+
+	var buf bytes.Buffer
+	n, err := tr.WriteTailJSONL(&buf, Filter{Kinds: []EventKind{EvSend}, Node: AnyNode}, 2)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	// The filter runs before the limit: the tail holds the two newest
+	// sends (at 5 and 6), not the newest events overall.
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("lines = %q", buf.String())
+	}
+	var rec struct {
+		At   int64  `json:"at"`
+		Kind string `json:"kind"`
+	}
+	for i, want := range []int64{5, 6} {
+		if err := json.Unmarshal(lines[i], &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.At != want || rec.Kind != "send" {
+			t.Fatalf("line %d = %+v, want at=%d kind=send", i, rec, want)
+		}
+	}
+
+	// n <= 0 means no limit.
+	buf.Reset()
+	if n, _ := tr.WriteTailJSONL(&buf, Filter{Node: AnyNode}, 0); n != 7 {
+		t.Fatalf("unlimited tail wrote %d lines, want 7", n)
+	}
+}

@@ -230,6 +230,18 @@ func (c *Client) QueryStale(ctx context.Context, goal string, maxLag int64) ([]s
 	return resp.Tuples, Freshness{Lag: resp.Lag, AsOf: resp.AsOf}, nil
 }
 
+// QueryTraced is QueryStale plus trace correlation: traceID 0 lets the
+// server allocate an id, a nonzero id is the caller's own correlation
+// key. The effective id comes back with the answer and keys the span
+// records on the daemon's admin endpoint (/trace/query/<id>).
+func (c *Client) QueryTraced(ctx context.Context, goal string, maxLag, traceID int64) ([]string, Freshness, int64, error) {
+	resp, err := c.call(ctx, &Request{Op: "query", Arg: goal, Stale: true, MaxLag: maxLag, TraceID: traceID})
+	if err != nil {
+		return nil, Freshness{}, 0, err
+	}
+	return resp.Tuples, Freshness{Lag: resp.Lag, AsOf: resp.AsOf}, resp.TraceID, nil
+}
+
 // Inject generates a base fact ("link(a, b)") at a node, now. A nil
 // error means the write was validated and accepted into the server's
 // coalesced batch; Sync forces it through.

@@ -57,6 +57,7 @@ const (
 	defaultBatchSize   = 64
 	defaultBatchDelay  = 2 * time.Millisecond
 	defaultSubBuffer   = 64
+	defaultSpanRing    = 4096
 )
 
 // Options configures a serving session.
@@ -92,6 +93,11 @@ type Options struct {
 	// derives support sets from the evaluator's proof trees, not the
 	// engine graph).
 	NoProvenance bool
+	// Spans caps the per-query span ring (span records, summed over all
+	// retained queries); 0 means the default (4096). Negative disables
+	// span capture — trace ids are still allocated and echoed over the
+	// wire, but /trace/query/<id> has nothing to show.
+	Spans int
 }
 
 // Freshness reports how fresh a served answer is.
@@ -112,6 +118,24 @@ const (
 	flushExplicit        // Sync, Subscribe, Replay, Close
 	flushReasonCount
 )
+
+// Span stages, indexed into Session.spanStage. The names double as
+// the obs.Span Stage strings and the "serve.query.spans.<stage>"
+// counter suffixes; counters are pre-resolved at Open so the per-span
+// cost on the query path is one atomic add, not a map lookup.
+const (
+	stParse        = iota // goal parse + validation
+	stCacheProbe          // sharded result-cache lookup (note: "hit"/"miss")
+	stMagicRewrite        // magic-set rewrite of the program for the goal
+	stEval                // evaluation (note: "fallback" on the degraded path)
+	stExplain             // provenance walk (Explain only)
+	stRespond             // post-read bookkeeping until the answer is returned
+	stageCount
+)
+
+var stageNames = [stageCount]string{
+	"parse", "cache_probe", "magic_rewrite", "eval", "explain", "respond",
+}
 
 // opKind distinguishes buffered write operations.
 type opKind uint8
@@ -184,6 +208,13 @@ type Session struct {
 
 	readers    atomic.Int64 // queries/explains currently inside the read phase
 	readerPeak atomic.Int64
+
+	// Per-query tracing: every Query/QueryStale/Explain ingress gets a
+	// trace id (client-chosen over the wire, or allocated here) and its
+	// stages append spans to a shared fixed-capacity ring.
+	nextTrace atomic.Int64
+	spans     *obs.SpanRing
+	spanStage [stageCount]*obs.Counter
 
 	// counters (registered on the cluster's registry, so they appear
 	// in Snapshot next to nsim.*/core.*).
@@ -276,6 +307,16 @@ func Open(ctx context.Context, src string, t snlog.Topology, opts Options) (*Ses
 	s.flushReasons[flushDeadline] = reg.Counter("serve.batch.flush.deadline")
 	s.flushReasons[flushFresh] = reg.Counter("serve.batch.flush.fresh")
 	s.flushReasons[flushExplicit] = reg.Counter("serve.batch.flush.explicit")
+	for i, name := range stageNames {
+		s.spanStage[i] = reg.Counter("serve.query.spans." + name)
+	}
+	spanCap := opts.Spans
+	if spanCap == 0 {
+		spanCap = defaultSpanRing
+	}
+	if spanCap > 0 {
+		s.spans = obs.NewSpanRing(spanCap)
+	}
 	reg.Gauge("serve.read_concurrency", func() int64 { return s.readers.Load() })
 	reg.Gauge("serve.read_concurrency.peak", func() int64 { return s.readerPeak.Load() })
 	if opts.CacheSize > 0 {
@@ -571,6 +612,45 @@ func (s *Session) Sync(ctx context.Context) (int64, error) {
 	return s.flush(flushExplicit)
 }
 
+// qtrace carries one query's trace through its stages: step appends a
+// span covering the time since the previous step and bumps the stage's
+// counter. The zero-cost discipline lives in the callee (SpanRing and
+// Counter are nil-safe), so the query path is identical whether span
+// capture is on or off.
+type qtrace struct {
+	s     *Session
+	id    int64
+	start time.Time
+	last  time.Time
+}
+
+// beginTrace opens a trace. id 0 (a local caller, or a wire request
+// without trace_id) allocates the next session-unique id; a nonzero id
+// is the client's own correlation key, echoed back verbatim.
+func (s *Session) beginTrace(id int64, start time.Time) qtrace {
+	if id == 0 {
+		id = s.nextTrace.Add(1)
+	}
+	return qtrace{s: s, id: id, start: start, last: start}
+}
+
+func (q *qtrace) step(stage int, note string) {
+	now := time.Now()
+	q.s.spans.Record(obs.Span{
+		Trace:   q.id,
+		Stage:   stageNames[stage],
+		StartUs: q.last.Sub(q.start).Microseconds(),
+		DurUs:   now.Sub(q.last).Microseconds(),
+		Note:    note,
+	})
+	q.s.spanStage[stage].Inc()
+	q.last = now
+}
+
+// Spans exposes the per-query span ring (nil when Options.Spans is
+// negative) — the admin endpoint's /trace/query/<id> source.
+func (s *Session) Spans() *obs.SpanRing { return s.spans }
+
 // Query answers a point query: goal is a literal such as
 // "path(n0, X)". The goal is validated on the shared core.ParseGoal
 // path, any in-flight write batch is applied (Query is fresh — the
@@ -582,7 +662,7 @@ func (s *Session) Sync(ctx context.Context) (int64, error) {
 // order; the returned slice is the caller's to keep. Concurrent
 // queries evaluate in parallel under the shared read lock.
 func (s *Session) Query(ctx context.Context, goal string) ([]eval.Tuple, error) {
-	answers, _, err := s.query(ctx, goal, 0)
+	answers, _, _, err := s.query(ctx, goal, 0, 0)
 	return answers, err
 }
 
@@ -592,30 +672,45 @@ func (s *Session) Query(ctx context.Context, goal string) ([]eval.Tuple, error) 
 // reports the actual freshness bound. A negative maxLag means
 // unbounded. maxLag 0 is Query.
 func (s *Session) QueryStale(ctx context.Context, goal string, maxLag int64) ([]eval.Tuple, Freshness, error) {
-	if maxLag < 0 {
-		maxLag = math.MaxInt64
-	}
-	return s.query(ctx, goal, maxLag)
+	answers, fr, _, err := s.query(ctx, goal, staleLag(maxLag), 0)
+	return answers, fr, err
 }
 
-func (s *Session) query(ctx context.Context, goal string, maxLag int64) ([]eval.Tuple, Freshness, error) {
+// QueryTraced is QueryStale plus trace correlation: traceID 0 lets the
+// session allocate one, a nonzero id is the caller's correlation key.
+// Either way the effective id is returned alongside the answer, and
+// the query's stage spans land in Spans() under that id.
+func (s *Session) QueryTraced(ctx context.Context, goal string, maxLag, traceID int64) ([]eval.Tuple, Freshness, int64, error) {
+	return s.query(ctx, goal, staleLag(maxLag), traceID)
+}
+
+func staleLag(maxLag int64) int64 {
+	if maxLag < 0 {
+		return math.MaxInt64
+	}
+	return maxLag
+}
+
+func (s *Session) query(ctx context.Context, goal string, maxLag, tid int64) ([]eval.Tuple, Freshness, int64, error) {
 	start := time.Now()
+	qt := s.beginTrace(tid, start)
 	if err := ctx.Err(); err != nil {
-		return nil, Freshness{}, err
+		return nil, Freshness{}, qt.id, err
 	}
 	lit, err := core.ParseGoal(s.prog, goal) // prog is immutable: no lock
 	if err != nil {
-		return nil, Freshness{}, err
+		return nil, Freshness{}, qt.id, err
 	}
+	qt.step(stParse, "")
 	if s.Lag() > maxLag {
 		if _, err := s.flush(flushFresh); err != nil {
-			return nil, Freshness{}, err
+			return nil, Freshness{}, qt.id, err
 		}
 	}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return nil, Freshness{}, ErrClosed
+		return nil, Freshness{}, qt.id, ErrClosed
 	}
 	s.enterRead()
 	s.queries.Inc()
@@ -623,11 +718,13 @@ func (s *Session) query(ctx context.Context, goal string, maxLag int64) ([]eval.
 	var answers []eval.Tuple
 	if e := s.cache.get(key); e != nil {
 		s.hits.Inc()
+		qt.step(stCacheProbe, "hit")
 		answers = append([]eval.Tuple(nil), e.answers...)
 	} else {
 		s.misses.Inc()
+		qt.step(stCacheProbe, "miss")
 		var support map[string]bool
-		answers, support, err = s.evaluate(lit)
+		answers, support, err = s.evaluate(lit, &qt)
 		if err == nil {
 			cn := s.coneOf(lit.PredKey())
 			s.cache.put(&cacheEntry{
@@ -644,13 +741,14 @@ func (s *Session) query(ctx context.Context, goal string, maxLag int64) ([]eval.
 	s.readers.Add(-1)
 	s.mu.RUnlock()
 	if err != nil {
-		return nil, Freshness{}, err
+		return nil, Freshness{}, qt.id, err
 	}
 	if fr.Lag > 0 {
 		s.staleServed.Inc()
 	}
+	qt.step(stRespond, "")
 	s.latency.Observe(time.Since(start).Microseconds())
-	return answers, fr, nil
+	return answers, fr, qt.id, nil
 }
 
 // enterRead tracks read-phase concurrency for the
@@ -671,33 +769,49 @@ func (s *Session) enterRead() {
 // default). Buffered writes are applied first (Explain is fresh);
 // the provenance walk itself runs in the concurrent read phase.
 func (s *Session) Explain(ctx context.Context, goal string) (*snlog.ExplainTree, error) {
+	tree, _, err := s.explain(ctx, goal, 0)
+	return tree, err
+}
+
+// ExplainTraced is Explain plus trace correlation, mirroring
+// QueryTraced: the effective trace id is returned and the walk's spans
+// land in Spans() under it.
+func (s *Session) ExplainTraced(ctx context.Context, goal string, traceID int64) (*snlog.ExplainTree, int64, error) {
+	return s.explain(ctx, goal, traceID)
+}
+
+func (s *Session) explain(ctx context.Context, goal string, tid int64) (*snlog.ExplainTree, int64, error) {
+	qt := s.beginTrace(tid, time.Now())
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, qt.id, err
 	}
 	lit, err := core.ParseGoal(s.prog, goal)
 	if err != nil {
-		return nil, err
+		return nil, qt.id, err
 	}
 	for _, a := range lit.Args {
 		if !a.Ground() {
-			return nil, fmt.Errorf("serve: explain %s: goal must be ground: %w", goal, core.ErrNotGround)
+			return nil, qt.id, fmt.Errorf("serve: explain %s: goal must be ground: %w", goal, core.ErrNotGround)
 		}
 	}
+	qt.step(stParse, "")
 	if s.Lag() > 0 {
 		if _, err := s.flush(flushFresh); err != nil {
-			return nil, err
+			return nil, qt.id, err
 		}
 	}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return nil, ErrClosed
+		return nil, qt.id, ErrClosed
 	}
 	s.enterRead()
 	tree, err := s.c.Explain(lit.Predicate, lit.Args...)
 	s.readers.Add(-1)
 	s.mu.RUnlock()
-	return tree, err
+	qt.step(stExplain, "")
+	qt.step(stRespond, "")
+	return tree, qt.id, err
 }
 
 // Subscribe watches a derived predicate ("name/arity"): after every
@@ -831,12 +945,14 @@ func (s *Session) runLocked() int64 {
 // everything it touches (prog, cones, edb, the engine's derived sets)
 // is immutable while mu is held shared, and the rewrite + maintainer
 // are private to this call.
-func (s *Session) evaluate(lit ast.Literal) (answers []eval.Tuple, support map[string]bool, err error) {
+func (s *Session) evaluate(lit ast.Literal, qt *qtrace) (answers []eval.Tuple, support map[string]bool, err error) {
 	cn := s.coneOf(lit.PredKey())
 	tr, rewriteErr := magic.Rewrite(s.prog, lit)
 	if rewriteErr != nil {
-		return s.fallback(lit)
+		qt.step(stMagicRewrite, "failed")
+		return s.fallback(lit, qt)
 	}
+	qt.step(stMagicRewrite, "")
 	// Split fact rules (the magic seed, plus any program facts) out of
 	// the rewritten program: NewMaintainer preloads fact rules into the
 	// database without cascading them through the rule set, so a seed
@@ -868,11 +984,11 @@ func (s *Session) evaluate(lit ast.Literal) (answers []eval.Tuple, support map[s
 	}
 	m, mErr := eval.NewMaintainer(mprog, eval.SetOfDerivations, eval.Options{})
 	if mErr != nil {
-		return s.fallback(lit)
+		return s.fallback(lit, qt)
 	}
 	for _, seed := range seeds {
 		if _, insErr := m.Insert(seed); insErr != nil {
-			return s.fallback(lit)
+			return s.fallback(lit, qt)
 		}
 	}
 	// Feed the relevant slice of the ledger in deterministic order.
@@ -885,7 +1001,7 @@ func (s *Session) evaluate(lit ast.Literal) (answers []eval.Tuple, support map[s
 	sort.Strings(keys)
 	for _, k := range keys {
 		if _, insErr := m.Insert(s.edb[k]); insErr != nil {
-			return s.fallback(lit)
+			return s.fallback(lit, qt)
 		}
 	}
 	st := m.Stats()
@@ -911,15 +1027,18 @@ func (s *Session) evaluate(lit ast.Literal) (answers []eval.Tuple, support map[s
 			support = nil
 		}
 	}
+	qt.step(stEval, "")
 	return answers, support, nil
 }
 
 // fallback answers the goal from the engine's live derived state —
 // the pre-magic "grep Derived()" path — with predicate-level cache
 // precision (support nil).
-func (s *Session) fallback(lit ast.Literal) ([]eval.Tuple, map[string]bool, error) {
+func (s *Session) fallback(lit ast.Literal, qt *qtrace) ([]eval.Tuple, map[string]bool, error) {
 	s.fallbacks.Inc()
-	return core.MatchGoal(lit, s.c.Results(lit.PredKey())), nil, nil
+	answers := core.MatchGoal(lit, s.c.Results(lit.PredKey()))
+	qt.step(stEval, "fallback")
+	return answers, nil, nil
 }
 
 // collectBaseSupport walks a proof tree and records the keys of every

@@ -170,11 +170,11 @@ func (cs *connState) dispatch(req *Request) *Response {
 		if req.Stale {
 			maxLag = req.MaxLag // 0 = explicitly fresh, < 0 = unbounded
 		}
-		tuples, fr, err := s.QueryStale(ctx, req.Arg, maxLag)
+		tuples, fr, tid, err := s.QueryTraced(ctx, req.Arg, maxLag, req.TraceID)
 		if err != nil {
 			return errResponse(err)
 		}
-		return &Response{OK: true, Tuples: formatTuples(tuples), Lag: fr.Lag, AsOf: fr.AsOf}
+		return &Response{OK: true, Tuples: formatTuples(tuples), Lag: fr.Lag, AsOf: fr.AsOf, TraceID: tid}
 	case "inject", "inject_at", "delete_at":
 		t, err := ParseFact(req.Arg)
 		if err != nil {
@@ -203,11 +203,11 @@ func (cs *connState) dispatch(req *Request) *Response {
 		}
 		return &Response{OK: true, Time: end, Seq: s.appliedSeq.Load()}
 	case "explain":
-		tree, err := s.Explain(ctx, req.Arg)
+		tree, tid, err := s.ExplainTraced(ctx, req.Arg, req.TraceID)
 		if err != nil {
 			return errResponse(err)
 		}
-		return &Response{OK: true, Explain: tree.String()}
+		return &Response{OK: true, Explain: tree.String(), TraceID: tid}
 	case "subscribe":
 		sub, err := s.Subscribe(req.Arg)
 		if err != nil {

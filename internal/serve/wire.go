@@ -41,6 +41,11 @@ type Request struct {
 	// -stale).
 	Stale  bool  `json:"stale,omitempty"`
 	MaxLag int64 `json:"max_lag,omitempty"`
+	// TraceID correlates a query/explain with its server-side span
+	// records (admin /trace/query/<id>). 0 — and any frame from a
+	// client predating the field — lets the server allocate one; the
+	// effective id is echoed in Response.TraceID either way.
+	TraceID int64 `json:"trace_id,omitempty"`
 }
 
 // Response answers one Request (ID echoes the request) or pushes a
@@ -70,6 +75,9 @@ type Response struct {
 	// closure as of virtual time AsOf. Fresh queries report Lag 0.
 	Lag  int64 `json:"lag,omitempty"`
 	AsOf int64 `json:"as_of,omitempty"`
+	// TraceID is the query's effective trace id (the request's, or the
+	// one the server allocated); old clients ignore the field.
+	TraceID int64 `json:"trace_id,omitempty"`
 }
 
 // Event is one pushed subscription update.
@@ -131,15 +139,35 @@ func ErrorCode(err error) string {
 	}
 }
 
+// wireError is a server-reported error reconstructed client-side: the
+// message is exactly what the server sent (which already ends in the
+// sentinel's text on the validation paths) and Unwrap exposes the
+// sentinel — the same shape as core.ValidationError, so client and
+// in-process callers dispatch identically.
+type wireError struct {
+	msg  string
+	kind error
+}
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return e.kind }
+
 // CodeError reconstructs a typed error from a wire code and message:
-// the result unwraps (errors.Is) to the matching sentinel, so client
-// and in-process callers dispatch identically.
+// the result unwraps (errors.Is) to the matching sentinel and its
+// message is the server's, verbatim. A code-only response (empty
+// message) maps a known code to its sentinel directly — the sentinel's
+// own human message — rather than stuffing the raw wire code into the
+// text ("not_ground: tuple not ground").
 func CodeError(code, msg string) error {
+	kind, known := codeToErr[code]
 	if msg == "" {
+		if known {
+			return kind
+		}
 		msg = code
 	}
-	if kind, ok := codeToErr[code]; ok {
-		return fmt.Errorf("%s: %w", msg, kind)
+	if known {
+		return &wireError{msg: msg, kind: kind}
 	}
 	return errors.New(msg)
 }

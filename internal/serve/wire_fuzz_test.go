@@ -35,6 +35,8 @@ func FuzzWire(f *testing.F) {
 		`{"id":1,"op":"ping"}`,
 		`{"id":2,"op":"query","arg":"reach(a, X)"}`,
 		`{"id":3,"op":"query","arg":"reach(a, X)","stale":true,"max_lag":-1}`,
+		`{"id":3,"op":"query","arg":"reach(a, X)","trace_id":99}`,
+		`{"id":8,"op":"explain","arg":"reach(a, c)","trace_id":-7}`,
 		`{"id":4,"op":"inject","node":0,"arg":"link(a, b)"}`,
 		`{"id":5,"op":"inject_at","at":100,"node":3,"arg":"link(b, c)"}`,
 		`{"id":6,"op":"delete_at","at":200,"node":0,"arg":"link(a, b)"}`,
@@ -44,6 +46,7 @@ func FuzzWire(f *testing.F) {
 		`{"id":10,"op":"unsubscribe","sub":1}`,
 		`{"id":11,"op":"stats"}`,
 		`{"id":1,"ok":true,"tuples":["reach(a, b)","reach(a, c)"],"lag":2,"as_of":17}`,
+		`{"id":1,"ok":true,"tuples":["reach(a, b)"],"trace_id":42}`,
 		`{"id":4,"ok":true,"batched":true,"seq":9}`,
 		`{"id":0,"ok":true,"event":{"sub":1,"insert":true,"tuple":"reach(a, b)"}}`,
 		`{"id":2,"ok":false,"error":"no","code":"unknown_predicate"}`,
@@ -129,7 +132,8 @@ func FuzzWire(f *testing.F) {
 func responseEqual(a, b *Response) bool {
 	if a.ID != b.ID || a.OK != b.OK || a.Error != b.Error || a.Code != b.Code ||
 		a.Explain != b.Explain || a.Sub != b.Sub || a.Time != b.Time ||
-		a.Batched != b.Batched || a.Seq != b.Seq || a.Lag != b.Lag || a.AsOf != b.AsOf {
+		a.Batched != b.Batched || a.Seq != b.Seq || a.Lag != b.Lag || a.AsOf != b.AsOf ||
+		a.TraceID != b.TraceID {
 		return false
 	}
 	if len(a.Tuples) != len(b.Tuples) {

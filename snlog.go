@@ -658,6 +658,16 @@ func (c *Cluster) WriteTrace(w io.Writer, f TraceFilter) (int, error) {
 	return c.trace.WriteJSONL(w, f)
 }
 
+// WriteTraceTail writes the newest n retained trace events passing the
+// filter (n <= 0 = no limit) as JSONL — the windowed view the admin
+// endpoint's /trace?n= serves. Requires WithTrace.
+func (c *Cluster) WriteTraceTail(w io.Writer, f TraceFilter, n int) (int, error) {
+	if c.trace == nil {
+		return 0, fmt.Errorf("snlog: no trace attached; deploy with WithTrace")
+	}
+	return c.trace.WriteTailJSONL(w, f, n)
+}
+
 // Stats summarizes communication and memory costs.
 type Stats struct {
 	Messages    int64
